@@ -1,0 +1,162 @@
+// Command fvbench regenerates the paper's evaluation artifacts
+// (Figures 3-5, Table I) and the extension studies from DESIGN.md on
+// the simulated testbed.
+//
+// Usage:
+//
+//	fvbench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig3      round-trip latency distribution (VirtIO vs XDMA)
+//	fig4      VirtIO latency breakdown (software vs hardware)
+//	fig5      XDMA latency breakdown
+//	table1    tail latencies (95/99/99.9%)
+//	all       fig3+fig4+fig5+table1 from one sweep
+//	offload   E5: checksum-offload ablation
+//	ablate-irq E6: interrupt/notification ablation
+//	bypass    E7: host-bypass interface vs driver path
+//	porta     E8: device-type and link portability
+//	eventidx  E9: EVENT_IDX vs flag-based notification suppression
+//	osprofiles E10: desktop/server/PREEMPT_RT host comparison
+//	throughput E11: pipelined (VirtIO) vs serial (XDMA) throughput
+//	ringformat E12: split vs packed virtqueue format
+//
+// Flags:
+//
+//	-n       packets per point (default 50000, the paper's count)
+//	-seed    RNG seed (default 1)
+//	-gen3    use a Gen3 x4 link instead of the testbed's Gen2 x2
+//	-hist    print per-point latency histograms with fig3
+//	-payloads comma-separated payload sizes (default: the paper's sweep)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	fpgavirtio "fpgavirtio"
+	"fpgavirtio/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "packets per measurement point")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	gen3 := flag.Bool("gen3", false, "use a Gen3 x4 link")
+	hist := flag.Bool("hist", false, "print latency histograms (fig3)")
+	payloads := flag.String("payloads", "", "comma-separated payload sizes overriding the paper's 64..1024 sweep (e.g. 64,512,1458)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := experiments.Params{Seed: *seed, Packets: *n}
+	if *gen3 {
+		p.Link = fpgavirtio.Gen3x4
+	}
+	if *payloads != "" {
+		for _, f := range strings.Split(*payloads, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 || v > 1458 {
+				fmt.Fprintf(os.Stderr, "fvbench: bad payload %q (1..1458)\n", f)
+				os.Exit(2)
+			}
+			p.Payloads = append(p.Payloads, v)
+		}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fvbench:", err)
+		os.Exit(1)
+	}
+
+	needSweep := func() *experiments.Sweep {
+		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers...\n",
+			p.Packets, len(experiments.DefaultPayloads))
+		sw, err := experiments.RunSweep(p)
+		if err != nil {
+			fail(err)
+		}
+		return sw
+	}
+
+	switch flag.Arg(0) {
+	case "fig3":
+		sw := needSweep()
+		f := experiments.RunFig3(sw)
+		fmt.Print(f.Render(*hist))
+		if *hist {
+			for i := range sw.VirtIO {
+				fmt.Printf("\n%d B VirtIO:\n%s", sw.VirtIO[i].Payload, sw.VirtIO[i].Total.Histogram(16, 50))
+				fmt.Printf("\n%d B XDMA:\n%s", sw.XDMA[i].Payload, sw.XDMA[i].Total.Histogram(16, 50))
+			}
+		}
+	case "fig4":
+		fmt.Print(experiments.RunFig4(needSweep()).Render())
+	case "fig5":
+		fmt.Print(experiments.RunFig5(needSweep()).Render())
+	case "table1":
+		fmt.Print(experiments.RunTable1(needSweep()).Render())
+	case "all":
+		fmt.Print(experiments.RenderAll(needSweep()))
+	case "offload":
+		r, err := experiments.RunOffload(p, 1024)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "ablate-irq":
+		r, err := experiments.RunIRQAblation(p, 256)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "bypass":
+		r, err := experiments.RunBypass(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "porta":
+		r, err := experiments.RunPortability(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "eventidx":
+		r, err := experiments.RunEventIdx(p, 32)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "osprofiles":
+		r, err := experiments.RunOSProfiles(p, 256)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "throughput":
+		r, err := experiments.RunThroughput(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	case "ringformat":
+		r, err := experiments.RunRingFormat(p, 256)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command fvtrace prints the annotated discrete-event trace of a single
+// round trip on either driver path — every TLP, engine step, interrupt
+// and wakeup with its simulated timestamp. It is the microscope view of
+// the numbers fvbench aggregates.
+//
+// Usage:
+//
+//	fvtrace [-payload N] [-quiet=false] virtio|xdma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	fpgavirtio "fpgavirtio"
+)
+
+func main() {
+	payload := flag.Int("payload", 256, "payload bytes")
+	quiet := flag.Bool("quiet", true, "disable host noise for a clean trace")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fvtrace [flags] virtio|xdma\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := fpgavirtio.Config{Seed: 1, Quiet: *quiet}
+	var trace []fpgavirtio.TraceEvent
+	var err error
+	switch flag.Arg(0) {
+	case "virtio":
+		trace, err = fpgavirtio.TraceNetPing(fpgavirtio.NetConfig{Config: cfg}, *payload)
+	case "xdma":
+		trace, err = fpgavirtio.TraceXDMARoundTrip(fpgavirtio.XDMAConfig{Config: cfg}, *payload+54)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvtrace:", err)
+		os.Exit(1)
+	}
+
+	if len(trace) == 0 {
+		fmt.Println("(no events)")
+		return
+	}
+	t0 := trace[0].AtNanos
+	var last float64
+	for _, ev := range trace {
+		rel := float64(ev.AtNanos-t0) / 1000
+		delta := rel - last
+		last = rel
+		marker := ""
+		switch {
+		case strings.Contains(ev.Name, "MSIX"):
+			marker = "  <-- interrupt"
+		case strings.HasPrefix(ev.Name, "pcie:down:MWr"):
+			marker = "  (posted write down)"
+		case strings.Contains(ev.Name, "isr:"):
+			marker = "  <-- ISR runs"
+		}
+		fmt.Printf("%10.3fus  +%8.3fus  %s%s\n", rel, delta, ev.Name, marker)
+	}
+	fmt.Printf("\ntotal: %.3fus over %d events\n",
+		float64(trace[len(trace)-1].AtNanos-t0)/1000, len(trace))
+}

@@ -1,0 +1,3 @@
+module fpgavirtio
+
+go 1.22

@@ -1,0 +1,213 @@
+package virtioblk_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fpgavirtio/internal/drivers/virtioblk"
+	"fpgavirtio/internal/hostos"
+	"fpgavirtio/internal/pcie"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/vdev"
+	"fpgavirtio/internal/virtio"
+)
+
+func testbed(t *testing.T, sectors uint64) (*sim.Sim, *hostos.Host, *vdev.BlkDevice) {
+	t.Helper()
+	s := sim.New()
+	cfg := hostos.DefaultConfig()
+	cfg.JitterSigma = 0
+	cfg.PreemptMeanGap = 0
+	cfg.WakeTailProb = 0
+	h := hostos.New(s, 8<<20, cfg, 2)
+	dev := vdev.NewBlk(s, h.RC, "vblk", vdev.BlkOptions{Link: pcie.DefaultGen2x2(), CapacitySectors: sectors})
+	return s, h, dev
+}
+
+func run(t *testing.T, s *sim.Sim, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	s.Go("test", func(p *sim.Proc) {
+		defer s.Stop()
+		fn(p)
+		done = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test did not finish")
+	}
+}
+
+func TestCapacityFromConfigSpace(t *testing.T) {
+	s, h, _ := testbed(t, 777)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		d, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if d.CapacitySectors() != 777 {
+			t.Errorf("capacity = %d, want 777", d.CapacitySectors())
+		}
+	})
+}
+
+func TestReadWriteManySectors(t *testing.T) {
+	s, h, dev := testbed(t, 64)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		d, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rng := sim.NewRNG(9)
+		want := map[uint64][]byte{}
+		for _, sec := range []uint64{0, 1, 31, 63} {
+			data := make([]byte, virtio.BlkSectorSize)
+			rng.Bytes(data)
+			want[sec] = data
+			if err := d.WriteSector(p, sec, data); err != nil {
+				t.Errorf("write %d: %v", sec, err)
+				return
+			}
+		}
+		for sec, data := range want {
+			got, err := d.ReadSector(p, sec)
+			if err != nil {
+				t.Errorf("read %d: %v", sec, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("sector %d mismatch", sec)
+			}
+		}
+		if d.Requests != 8 {
+			t.Errorf("requests = %d, want 8", d.Requests)
+		}
+		if r, w := dev.Stats(); r != 4 || w != 4 {
+			t.Errorf("device stats r=%d w=%d", r, w)
+		}
+	})
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, h, _ := testbed(t, 16)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		d, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := d.ReadSector(p, 16); err == nil {
+			t.Error("read beyond capacity succeeded")
+		}
+		if err := d.WriteSector(p, 16, make([]byte, 512)); err == nil {
+			t.Error("write beyond capacity succeeded")
+		}
+		if err := d.WriteSector(p, 0, make([]byte, 100)); err == nil {
+			t.Error("non-sector-sized write succeeded")
+		}
+		// Valid operation still works after errors.
+		if err := d.WriteSector(p, 15, make([]byte, 512)); err != nil {
+			t.Error(err)
+		}
+		if err := d.Flush(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestProbeRejectsNonBlk(t *testing.T) {
+	s := sim.New()
+	cfg := hostos.DefaultConfig()
+	cfg.JitterSigma = 0
+	cfg.PreemptMeanGap = 0
+	cfg.WakeTailProb = 0
+	h := hostos.New(s, 4<<20, cfg, 1)
+	vdev.NewConsole(s, h.RC, "vcon", vdev.ConsoleOptions{Link: pcie.DefaultGen2x2()})
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		if _, err := virtioblk.Probe(p, h, infos[0]); err == nil {
+			t.Error("console probed as block device")
+		}
+	})
+}
+
+func TestMultiSectorRequests(t *testing.T) {
+	s, h, dev := testbed(t, 64)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		d, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !d.Indirect() {
+			t.Error("indirect descriptors not negotiated")
+		}
+		// Write 8 sectors in one request, read them back in one request.
+		data := make([]byte, 8*virtio.BlkSectorSize)
+		sim.NewRNG(14).Bytes(data)
+		if err := d.WriteSectors(p, 4, data); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := d.ReadSectors(p, 4, 8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("multi-sector data mismatch")
+		}
+		// Two requests total, not sixteen.
+		if d.Requests != 2 {
+			t.Errorf("requests = %d, want 2", d.Requests)
+		}
+		if r, w := dev.Stats(); r != 1 || w != 1 {
+			t.Errorf("device ops r=%d w=%d, want 1/1", r, w)
+		}
+		// Limits enforced.
+		if _, err := d.ReadSectors(p, 0, 9); err == nil {
+			t.Error("over-limit read accepted")
+		}
+		if _, err := d.ReadSectors(p, 60, 8); err == nil {
+			t.Error("read past capacity accepted")
+		}
+	})
+}
+
+func TestMultiSectorFasterPerByte(t *testing.T) {
+	s, h, _ := testbed(t, 64)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		d, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 8 single-sector reads vs one 8-sector read.
+		t0 := p.Now()
+		for i := 0; i < 8; i++ {
+			if _, err := d.ReadSector(p, uint64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		singles := p.Now().Sub(t0)
+		t0 = p.Now()
+		if _, err := d.ReadSectors(p, 0, 8); err != nil {
+			t.Error(err)
+			return
+		}
+		batched := p.Now().Sub(t0)
+		if batched*3 >= singles {
+			t.Errorf("batched read %v not >3x faster than %v", batched, singles)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fpgavirtio/internal/sim"
+)
+
+func TestClockPeriod(t *testing.T) {
+	clk := Default125MHz()
+	if clk.Period() != sim.Ns(8) {
+		t.Fatalf("125MHz period = %v, want 8ns", clk.Period())
+	}
+	if NewClock(250).Period() != sim.Ns(4) {
+		t.Fatal("250MHz period wrong")
+	}
+	if clk.Cycles(10) != sim.Ns(80) {
+		t.Fatalf("Cycles(10) = %v", clk.Cycles(10))
+	}
+}
+
+func TestCyclesFor(t *testing.T) {
+	clk := Default125MHz()
+	cases := []struct{ n, w, want int }{
+		{0, 16, 0}, {1, 16, 1}, {16, 16, 1}, {17, 16, 2}, {1024, 16, 64},
+	}
+	for _, c := range cases {
+		if got := clk.CyclesFor(c.n, c.w); got != c.want {
+			t.Errorf("CyclesFor(%d,%d) = %d, want %d", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestBRAM(t *testing.T) {
+	b := NewBRAM("bram0", 4096)
+	b.PutU32(0, 0x12345678)
+	if b.U32(0) != 0x12345678 {
+		t.Fatal("BRAM round trip failed")
+	}
+	if b.Name() != "bram0" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestPerfCounterQuantization(t *testing.T) {
+	clk := Default125MHz()
+	pc := NewPerfCounter(clk, "dma")
+	pc.Begin(sim.Time(0))
+	d := pc.End(sim.Time(sim.Ns(100))) // 100ns -> 96ns (12 cycles)
+	if d != sim.Ns(96) {
+		t.Fatalf("quantized = %v, want 96ns", d)
+	}
+	if len(pc.Samples()) != 1 {
+		t.Fatal("sample not recorded")
+	}
+}
+
+func TestPerfCounterQuantizeProperty(t *testing.T) {
+	clk := Default125MHz()
+	f := func(ns uint16) bool {
+		pc := NewPerfCounter(clk, "x")
+		pc.Begin(0)
+		d := pc.End(sim.Time(sim.Ns(int64(ns))))
+		raw := sim.Ns(int64(ns))
+		return d <= raw && raw-d < sim.Ns(8) && d%sim.Ns(8) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfCounterPauseAccumulates(t *testing.T) {
+	clk := Default125MHz()
+	pc := NewPerfCounter(clk, "dma")
+	pc.Begin(0)
+	pc.Pause(sim.Time(sim.Ns(80))) // 10 cycles
+	pc.Begin(sim.Time(sim.Ns(1000)))
+	d := pc.End(sim.Time(sim.Ns(1080))) // +10 cycles
+	if d != sim.Ns(160) {
+		t.Fatalf("accumulated = %v, want 160ns", d)
+	}
+}
+
+func TestPerfCounterMisusePanics(t *testing.T) {
+	clk := Default125MHz()
+	pc := NewPerfCounter(clk, "x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("End without Begin should panic")
+			}
+		}()
+		pc.End(0)
+	}()
+	pc.Begin(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Begin should panic")
+			}
+		}()
+		pc.Begin(0)
+	}()
+}
+
+func TestPerfCounterTakeLastAndReset(t *testing.T) {
+	clk := Default125MHz()
+	pc := NewPerfCounter(clk, "x")
+	for i := 1; i <= 3; i++ {
+		pc.Begin(0)
+		pc.End(sim.Time(sim.Ns(int64(8 * i))))
+	}
+	d, ok := pc.TakeLast()
+	if !ok || d != sim.Ns(24) {
+		t.Fatalf("TakeLast = %v,%v", d, ok)
+	}
+	if len(pc.Samples()) != 2 {
+		t.Fatal("TakeLast did not pop")
+	}
+	pc.Reset()
+	if len(pc.Samples()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if _, ok := pc.TakeLast(); ok {
+		t.Fatal("TakeLast on empty should report !ok")
+	}
+}
+
+func TestRegFile(t *testing.T) {
+	r := NewRegFile()
+	r.Set(0x10, 7)
+	if r.Read(0x10) != 7 {
+		t.Fatal("Set/Read failed")
+	}
+	var hooked uint32
+	r.OnWrite(0x20, func(v uint32) { hooked = v })
+	r.Write(0x20, 99)
+	if hooked != 99 || r.Get(0x20) != 99 {
+		t.Fatal("write hook or storage failed")
+	}
+	calls := 0
+	r.OnRead(0x30, func() uint32 { calls++; return 42 })
+	if r.Read(0x30) != 42 || calls != 1 {
+		t.Fatal("read hook failed")
+	}
+}

@@ -1,0 +1,330 @@
+// Package hostos models the host operating system the drivers run in:
+// system-call entry/exit, user/kernel copies, interrupt dispatch, wait
+// queues with scheduler wake latency, a monotonic clock with 1 ns
+// resolution, and the background noise (timer ticks, preemptions) that
+// produces the latency tails the paper measures.
+//
+// The model is cost-based: driver and application code runs as sim
+// processes and charges CPU time through this package, with seeded
+// stochastic jitter so that 50,000-packet experiments produce stable,
+// reproducible distributions.
+package hostos
+
+import (
+	"fmt"
+	"math"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/pcie"
+	"fpgavirtio/internal/sim"
+)
+
+// Config holds the host platform cost model. Defaults (DefaultConfig)
+// are calibrated to a Fedora 37-era desktop like the paper's testbed.
+type Config struct {
+	// SyscallEntry/SyscallExit price crossing the user/kernel boundary.
+	SyscallEntry sim.Duration
+	SyscallExit  sim.Duration
+	// CopyPerByte prices copy_to_user/copy_from_user and other kernel
+	// memcpy work, per byte.
+	CopyPerByte sim.Duration
+	// CopyBase is the fixed overhead of starting any copy.
+	CopyBase sim.Duration
+	// IRQEntry is vector dispatch to ISR-entry time once the APIC has
+	// accepted the message.
+	IRQEntry sim.Duration
+	// SoftIRQLatency is ISR-exit to softirq/NAPI-poll start.
+	SoftIRQLatency sim.Duration
+	// WakeLatency is wake-up to woken-task-running (scheduler+context
+	// switch) for a blocked thread.
+	WakeLatency sim.Duration
+	// ClockReadCost is the cost of clock_gettime(CLOCK_MONOTONIC).
+	ClockReadCost sim.Duration
+	// ClockResolution quantizes clock readings (1 ns on the testbed).
+	ClockResolution sim.Duration
+
+	// JitterSigma is the lognormal sigma applied to every charged CPU
+	// segment (cache/TLB/frequency variation).
+	JitterSigma float64
+	// WakeTailProb is the probability a wakeup hits a busy runqueue /
+	// deep C-state and pays WakeTailBase + Exp(WakeTailMean), capped at
+	// WakeTailCap. Blocking paths with more wakeups per operation (the
+	// XDMA driver's two interrupts per round trip) accumulate more of
+	// this tail — the paper's 95/99% gap.
+	WakeTailProb float64
+	WakeTailBase sim.Duration
+	WakeTailMean sim.Duration
+	WakeTailCap  sim.Duration
+	// PreemptMeanGap is the mean CPU time between background
+	// preemptions (the hazard rate of being descheduled).
+	PreemptMeanGap sim.Duration
+	// PreemptBase + Exp(PreemptExpMean) is the cost of one preemption.
+	PreemptBase    sim.Duration
+	PreemptExpMean sim.Duration
+}
+
+// ServerConfig models a throughput-tuned server distribution: full
+// speculative-execution mitigations (pricier syscalls and IRQ entry)
+// but a quieter machine (fewer background tasks, longer preemption
+// gaps) than the desktop profile.
+func ServerConfig() Config {
+	c := DefaultConfig()
+	c.SyscallEntry += sim.Ns(250)
+	c.SyscallExit += sim.Ns(200)
+	c.IRQEntry += sim.Ns(300)
+	c.JitterSigma = 0.12
+	c.WakeTailProb = 0.03
+	c.PreemptMeanGap = sim.Ms(12)
+	return c
+}
+
+// RTConfig models a PREEMPT_RT-style kernel: threaded IRQs make
+// interrupt entry and wakeups slightly slower on average, but the
+// heavy scheduling tails are largely gone — the configuration the
+// paper's "highly optimized applications" recommendation targets.
+func RTConfig() Config {
+	c := DefaultConfig()
+	c.IRQEntry += sim.Ns(400)
+	c.WakeLatency += sim.Ns(400)
+	c.JitterSigma = 0.08
+	c.WakeTailProb = 0.004
+	c.WakeTailMean = sim.Us(4)
+	c.WakeTailCap = sim.Us(10)
+	c.PreemptMeanGap = sim.Ms(40)
+	c.PreemptExpMean = sim.Us(4)
+	c.PreemptBase = sim.Us(3)
+	return c
+}
+
+// DefaultConfig returns the calibrated host cost model.
+func DefaultConfig() Config {
+	return Config{
+		SyscallEntry:    sim.Ns(450),
+		SyscallExit:     sim.Ns(350),
+		CopyPerByte:     sim.Picosecond * 120, // ~8 GB/s effective
+		CopyBase:        sim.Ns(40),
+		IRQEntry:        sim.Ns(900),
+		SoftIRQLatency:  sim.Ns(500),
+		WakeLatency:     sim.Ns(1600),
+		ClockReadCost:   sim.Ns(25),
+		ClockResolution: sim.Ns(1),
+		JitterSigma:     0.18,
+		WakeTailProb:    0.055,
+		WakeTailBase:    sim.Us(4),
+		WakeTailMean:    sim.Us(13),
+		WakeTailCap:     sim.Us(42),
+		PreemptMeanGap:  sim.Ms(6),
+		PreemptBase:     sim.Us(8),
+		PreemptExpMean:  sim.Us(14),
+	}
+}
+
+// Host is the operating-system instance: it owns host memory, the PCIe
+// root complex, interrupt routing and the noise model.
+type Host struct {
+	Sim   *sim.Sim
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	RC    *pcie.RootComplex
+
+	cfg Config
+	rng *sim.RNG
+
+	irqHandlers map[irqKey]func(p *sim.Proc)
+	chardevs    map[string]CharDev
+}
+
+type irqKey struct {
+	ep     *pcie.Endpoint
+	vector int
+}
+
+// New builds a host with the given memory size and cost model, wiring
+// itself up as the root complex's interrupt sink.
+func New(s *sim.Sim, memBytes int, cfg Config, seed uint64) *Host {
+	m := mem.New(memBytes)
+	h := &Host{
+		Sim: s,
+		Mem: m,
+		// Low memory is reserved so address 0 never looks like a valid
+		// DMA target; allocations start at 64 KiB.
+		Alloc:       mem.NewAllocator(m, 0x10000, memBytes-0x10000),
+		cfg:         cfg,
+		rng:         sim.NewRNG(seed).Fork("hostos"),
+		irqHandlers: make(map[irqKey]func(p *sim.Proc)),
+		chardevs:    make(map[string]CharDev),
+	}
+	h.RC = pcie.NewRootComplex(s, m, pcie.DefaultCosts())
+	h.RC.SetIRQSink(h.deliverIRQ)
+	return h
+}
+
+// Config returns the host cost model.
+func (h *Host) Config() Config { return h.cfg }
+
+// RNG returns the host noise generator (for deriving workload streams).
+func (h *Host) RNG() *sim.RNG { return h.rng }
+
+// CPUWork charges d of CPU time to p, with multiplicative jitter and a
+// preemption hazard proportional to d. This is the single place all
+// software latency variance comes from, so both driver stacks are
+// subject to exactly the same noise process — the paper's variance
+// difference then emerges purely from how much software work each
+// stack performs.
+func (h *Host) CPUWork(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	jittered := h.rng.Jitter(d, h.cfg.JitterSigma)
+	p.Sleep(jittered)
+	if h.cfg.PreemptMeanGap > 0 {
+		pHit := 1 - math.Exp(-float64(d)/float64(h.cfg.PreemptMeanGap))
+		if h.rng.Bool(pHit) {
+			p.Sleep(h.cfg.PreemptBase + sim.NsF(h.rng.Exp(h.cfg.PreemptExpMean.Nanoseconds())))
+		}
+	}
+}
+
+// SyscallEnter charges the user-to-kernel transition.
+func (h *Host) SyscallEnter(p *sim.Proc) { h.CPUWork(p, h.cfg.SyscallEntry) }
+
+// SyscallExit charges the kernel-to-user return.
+func (h *Host) SyscallExit(p *sim.Proc) { h.CPUWork(p, h.cfg.SyscallExit) }
+
+// CopyCost prices a kernel/user copy of n bytes.
+func (h *Host) CopyCost(n int) sim.Duration {
+	return h.cfg.CopyBase + sim.Duration(n)*h.cfg.CopyPerByte
+}
+
+// Copy charges a kernel/user copy of n bytes to p.
+func (h *Host) Copy(p *sim.Proc, n int) { h.CPUWork(p, h.CopyCost(n)) }
+
+// ClockGettime models clock_gettime(CLOCK_MONOTONIC): it charges the
+// vDSO read cost and returns the time quantized to the clock resolution.
+func (h *Host) ClockGettime(p *sim.Proc) sim.Time {
+	p.Sleep(h.cfg.ClockReadCost)
+	return p.Now().Quantize(h.cfg.ClockResolution)
+}
+
+// RegisterIRQ binds an interrupt handler to (endpoint, vector), as
+// request_irq does. The handler runs in its own interrupt-context
+// process after the platform's dispatch latency.
+func (h *Host) RegisterIRQ(ep *pcie.Endpoint, vector int, handler func(p *sim.Proc)) {
+	h.irqHandlers[irqKey{ep, vector}] = handler
+}
+
+func (h *Host) deliverIRQ(ep *pcie.Endpoint, vector int) {
+	handler, ok := h.irqHandlers[irqKey{ep, vector}]
+	if !ok {
+		panic(fmt.Sprintf("hostos: unhandled IRQ %s vector %d", ep.Name(), vector))
+	}
+	h.Sim.GoAfter(h.cfg.IRQEntry, fmt.Sprintf("isr:%s:%d", ep.Name(), vector), handler)
+}
+
+// WaitQueue is a kernel wait queue: sleepers pay the scheduler wake
+// latency when awakened.
+type WaitQueue struct {
+	host    *Host
+	name    string
+	waiters []*waiter
+}
+
+type waiter struct {
+	p    *sim.Proc
+	fire func()
+}
+
+// NewWaitQueue returns an empty wait queue.
+func (h *Host) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{host: h, name: name}
+}
+
+// Wait blocks p until a Wake call releases it; the woken process
+// resumes only after the scheduler wake latency (jittered).
+func (wq *WaitQueue) Wait(p *sim.Proc) {
+	w := &waiter{p: p}
+	wq.waiters = append(wq.waiters, w)
+	wq.park(p, w)
+}
+
+func (wq *WaitQueue) park(p *sim.Proc, w *waiter) {
+	// Implemented on a one-shot trigger per waiter so wake latency is
+	// charged per task, like a real runqueue placement.
+	trig := sim.NewTrigger(wq.host.Sim, "wq:"+wq.name)
+	w.fire = trig.Fire
+	trig.Wait(p)
+}
+
+// Wake releases all current waiters; each becomes runnable after the
+// jittered wake latency.
+func (wq *WaitQueue) Wake() {
+	ws := wq.waiters
+	wq.waiters = nil
+	h := wq.host
+	for _, w := range ws {
+		d := h.rng.Jitter(h.cfg.WakeLatency, h.cfg.JitterSigma)
+		if h.cfg.WakeTailProb > 0 && h.rng.Bool(h.cfg.WakeTailProb) {
+			extra := h.cfg.WakeTailBase + sim.NsF(h.rng.Exp(h.cfg.WakeTailMean.Nanoseconds()))
+			if extra > h.cfg.WakeTailCap {
+				extra = h.cfg.WakeTailCap
+			}
+			d += extra
+		}
+		fire := w.fire
+		h.Sim.After(d, "wake:"+wq.name, fire)
+	}
+}
+
+// Waiters reports the number of blocked tasks.
+func (wq *WaitQueue) Waiters() int { return len(wq.waiters) }
+
+// CharDev is the file-operations surface a character-device driver
+// registers (the XDMA driver's /dev/xdma0_h2c_0-style nodes).
+type CharDev interface {
+	// Write moves len(data) bytes from the user buffer to the device,
+	// blocking until the driver considers the operation complete.
+	Write(p *sim.Proc, data []byte) (int, error)
+	// Read fills buf from the device, blocking per driver semantics.
+	Read(p *sim.Proc, buf []byte) (int, error)
+}
+
+// RegisterCharDev publishes a character device under a /dev-style name.
+func (h *Host) RegisterCharDev(name string, dev CharDev) {
+	if _, exists := h.chardevs[name]; exists {
+		panic("hostos: duplicate chardev " + name)
+	}
+	h.chardevs[name] = dev
+}
+
+// File is an open character-device handle. Its methods price the
+// system-call boundary around the driver's file operations.
+type File struct {
+	host *Host
+	dev  CharDev
+	name string
+}
+
+// Open opens a registered character device.
+func (h *Host) Open(name string) (*File, error) {
+	dev, ok := h.chardevs[name]
+	if !ok {
+		return nil, fmt.Errorf("hostos: no such device %q", name)
+	}
+	return &File{host: h, dev: dev, name: name}, nil
+}
+
+// Write is the write(2) path: syscall entry, driver file op, exit.
+func (f *File) Write(p *sim.Proc, data []byte) (int, error) {
+	f.host.SyscallEnter(p)
+	n, err := f.dev.Write(p, data)
+	f.host.SyscallExit(p)
+	return n, err
+}
+
+// Read is the read(2) path.
+func (f *File) Read(p *sim.Proc, buf []byte) (int, error) {
+	f.host.SyscallEnter(p)
+	n, err := f.dev.Read(p, buf)
+	f.host.SyscallExit(p)
+	return n, err
+}

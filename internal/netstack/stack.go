@@ -1,0 +1,269 @@
+package netstack
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/hostos"
+	"fpgavirtio/internal/sim"
+)
+
+// Costs prices the stack-traversal work per packet. Defaults are
+// calibrated to a modern kernel's UDP fast path.
+type Costs struct {
+	SocketSend    sim.Duration // sock_sendmsg entry + fd lookup
+	UDPLayerTx    sim.Duration // udp_sendmsg header work
+	IPLayerTx     sim.Duration // ip_make_skb, header + route cache hit
+	RouteLookup   sim.Duration
+	NeighLookup   sim.Duration // ARP cache hit
+	DevXmit       sim.Duration // dev_queue_xmit, qdisc bypass
+	NetifReceive  sim.Duration // netif_receive_skb
+	IPLayerRx     sim.Duration
+	UDPLayerRx    sim.Duration
+	SocketDeliver sim.Duration // socket lookup + queue
+	CsumPerByte   sim.Duration // software checksum cost
+	SkbAlloc      sim.Duration // buffer allocation per packet
+}
+
+// DefaultCosts returns the calibrated stack costs.
+func DefaultCosts() Costs {
+	return Costs{
+		SocketSend:    sim.Ns(600),
+		UDPLayerTx:    sim.Ns(300),
+		IPLayerTx:     sim.Ns(350),
+		RouteLookup:   sim.Ns(200),
+		NeighLookup:   sim.Ns(120),
+		DevXmit:       sim.Ns(350),
+		NetifReceive:  sim.Ns(350),
+		IPLayerRx:     sim.Ns(300),
+		UDPLayerRx:    sim.Ns(280),
+		SocketDeliver: sim.Ns(250),
+		CsumPerByte:   sim.Picosecond * 300, // ~3.3 GB/s software csum
+		SkbAlloc:      sim.Ns(180),
+	}
+}
+
+// TxPacket is a frame handed to a NIC driver, with checksum-offload
+// metadata (the skb->ip_summed contract).
+type TxPacket struct {
+	Frame []byte
+	// NeedsCsum asks the device to compute the L4 checksum over
+	// Frame[CsumStart:] and store it at CsumStart+CsumOffset.
+	NeedsCsum  bool
+	CsumStart  int
+	CsumOffset int
+}
+
+// RxPacket is a frame delivered by a NIC driver to the stack.
+type RxPacket struct {
+	Frame []byte
+	// CsumValid reports the device already verified the L4 checksum
+	// (VIRTIO_NET_HDR_F_DATA_VALID), letting the stack skip it.
+	CsumValid bool
+}
+
+// Offloads describes a NIC's checksum capabilities as negotiated.
+type Offloads struct {
+	TxCsum bool
+	RxCsum bool
+}
+
+// NIC is the driver surface the stack transmits through.
+type NIC interface {
+	Name() string
+	MAC() MAC
+	Offloads() Offloads
+	// Xmit queues one frame; it blocks the caller only for the
+	// driver's own TX-path work (never for the wire).
+	Xmit(p *sim.Proc, pkt TxPacket) error
+}
+
+// iface is one configured network interface.
+type iface struct {
+	nic NIC
+	ip  IPv4
+}
+
+type route struct {
+	dst  IPv4
+	mask IPv4
+	nic  string
+}
+
+// Stack is a host network stack instance.
+type Stack struct {
+	host   *hostos.Host
+	costs  Costs
+	ifaces map[string]*iface
+	routes []route
+	arp    map[IPv4]MAC
+	socks  map[uint16]*UDPSocket
+}
+
+// New returns an empty stack bound to the host cost model.
+func New(h *hostos.Host, costs Costs) *Stack {
+	return &Stack{
+		host:   h,
+		costs:  costs,
+		ifaces: make(map[string]*iface),
+		arp:    make(map[IPv4]MAC),
+		socks:  make(map[uint16]*UDPSocket),
+	}
+}
+
+// AddInterface configures a NIC with an address (ip addr add).
+func (st *Stack) AddInterface(nic NIC, ip IPv4) {
+	st.ifaces[nic.Name()] = &iface{nic: nic, ip: ip}
+}
+
+// AddRoute installs a static route (ip route add dst/mask dev nic).
+func (st *Stack) AddRoute(dst, mask IPv4, nicName string) {
+	st.routes = append(st.routes, route{dst: dst, mask: mask, nic: nicName})
+}
+
+// AddARP installs a static neighbour entry (arp -s), as the paper's
+// test setup does to route packets to the FPGA.
+func (st *Stack) AddARP(ip IPv4, mac MAC) { st.arp[ip] = mac }
+
+func (st *Stack) lookupRoute(dst IPv4) (*iface, error) {
+	var best *route
+	for i := range st.routes {
+		r := &st.routes[i]
+		if dst&r.mask == r.dst&r.mask {
+			if best == nil || r.mask > best.mask {
+				best = r
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("netstack: no route to %v", dst)
+	}
+	ifc, ok := st.ifaces[best.nic]
+	if !ok {
+		return nil, fmt.Errorf("netstack: route device %q not configured", best.nic)
+	}
+	return ifc, nil
+}
+
+// UDPSocket is a blocking datagram socket.
+type UDPSocket struct {
+	stack *Stack
+	port  uint16
+	queue []recvItem
+	wq    *hostos.WaitQueue
+}
+
+type recvItem struct {
+	payload []byte
+	from    IPv4
+	port    uint16
+}
+
+// Bind allocates a socket on the given local UDP port.
+func (st *Stack) Bind(port uint16) (*UDPSocket, error) {
+	if _, busy := st.socks[port]; busy {
+		return nil, fmt.Errorf("netstack: port %d in use", port)
+	}
+	s := &UDPSocket{stack: st, port: port, wq: st.host.NewWaitQueue(fmt.Sprintf("udp:%d", port))}
+	st.socks[port] = s
+	return s, nil
+}
+
+// Close releases the socket's port.
+func (s *UDPSocket) Close() { delete(s.stack.socks, s.port) }
+
+// SendTo runs the sendto(2) fast path: syscall boundary, socket/UDP/IP
+// layers, route+neighbour lookup, checksum (unless the NIC offloads
+// it), then the driver's transmit op.
+func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte) error {
+	st, h, c := s.stack, s.stack.host, s.stack.costs
+	h.SyscallEnter(p)
+	h.CPUWork(p, c.SocketSend)
+	h.CPUWork(p, c.RouteLookup)
+	ifc, err := st.lookupRoute(dst)
+	if err != nil {
+		h.SyscallExit(p)
+		return err
+	}
+	h.CPUWork(p, c.NeighLookup)
+	dstMAC, ok := st.arp[dst]
+	if !ok {
+		h.SyscallExit(p)
+		return fmt.Errorf("netstack: no ARP entry for %v", dst)
+	}
+	h.CPUWork(p, c.SkbAlloc)
+	h.Copy(p, len(payload)) // copy_from_user into the skb
+	h.CPUWork(p, c.UDPLayerTx+c.IPLayerTx)
+
+	off := ifc.nic.Offloads()
+	d := UDPDatagram{
+		SrcMAC: ifc.nic.MAC(), DstMAC: dstMAC,
+		SrcIP: ifc.ip, DstIP: dst,
+		SrcPort: s.port, DstPort: dstPort,
+		Payload: payload,
+	}
+	frame := d.EncodeFrame(!off.TxCsum)
+	if !off.TxCsum {
+		h.CPUWork(p, sim.Duration(UDPHdrSize+len(payload))*c.CsumPerByte)
+	}
+	h.CPUWork(p, c.DevXmit)
+	pkt := TxPacket{Frame: frame}
+	if off.TxCsum {
+		pkt.NeedsCsum = true
+		pkt.CsumStart = EthHdrSize + IPv4HdrSize
+		pkt.CsumOffset = 6
+	}
+	err = ifc.nic.Xmit(p, pkt)
+	h.SyscallExit(p)
+	return err
+}
+
+// RecvFrom blocks until a datagram arrives on the socket, then copies
+// it out (recvfrom(2)).
+func (s *UDPSocket) RecvFrom(p *sim.Proc) (payload []byte, from IPv4, fromPort uint16, err error) {
+	h := s.stack.host
+	h.SyscallEnter(p)
+	for len(s.queue) == 0 {
+		s.wq.Wait(p)
+	}
+	item := s.queue[0]
+	s.queue = s.queue[1:]
+	h.Copy(p, len(item.payload)) // copy_to_user
+	h.SyscallExit(p)
+	return item.payload, item.from, item.port, nil
+}
+
+// Pending reports queued datagrams (poll(2) without blocking).
+func (s *UDPSocket) Pending() int { return len(s.queue) }
+
+// Input is the receive path drivers call from softirq context: parse,
+// verify, demultiplex, wake. Frames that are not for a bound socket
+// are counted and dropped.
+func (st *Stack) Input(p *sim.Proc, rx RxPacket) error {
+	h, c := st.host, st.costs
+	h.CPUWork(p, c.NetifReceive)
+	d, err := DecodeFrame(rx.Frame)
+	if err != nil {
+		return err
+	}
+	h.CPUWork(p, c.IPLayerRx)
+	if !VerifyIPChecksum(rx.Frame) {
+		return fmt.Errorf("netstack: bad IP checksum")
+	}
+	h.CPUWork(p, c.UDPLayerRx)
+	if !rx.CsumValid {
+		h.CPUWork(p, sim.Duration(UDPHdrSize+len(d.Payload))*c.CsumPerByte)
+		if !VerifyUDPChecksum(rx.Frame) {
+			return fmt.Errorf("netstack: bad UDP checksum")
+		}
+	}
+	sock, ok := st.socks[d.DstPort]
+	if !ok {
+		return fmt.Errorf("netstack: no socket on port %d", d.DstPort)
+	}
+	h.CPUWork(p, c.SocketDeliver)
+	pl := make([]byte, len(d.Payload))
+	copy(pl, d.Payload)
+	sock.queue = append(sock.queue, recvItem{payload: pl, from: d.SrcIP, port: d.SrcPort})
+	sock.wq.Wake()
+	return nil
+}

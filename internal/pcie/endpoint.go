@@ -1,0 +1,181 @@
+package pcie
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+// BarHandlers are the device-side register callbacks for one BAR.
+// They run at TLP-arrival time in scheduler context and must not block;
+// any multi-cycle reaction is scheduled by the device model itself.
+type BarHandlers struct {
+	Read  func(off uint64, size int) uint64
+	Write func(off uint64, size int, v uint64)
+}
+
+// Endpoint is one PCIe device function attached to the root complex:
+// config space, up to six 32-bit memory BARs, bus-mastered DMA, and
+// MSI-X signalling. Device models (the XDMA example design, the VirtIO
+// controller) are built on top of exactly this surface.
+type Endpoint struct {
+	sim   *sim.Sim
+	name  string
+	cfg   *ConfigSpace
+	link  *Link
+	rc    *RootComplex
+	bars  [6]BarHandlers
+	stats *Stats
+
+	msixVectors int
+	msixMasked  []bool
+}
+
+// Name reports the endpoint's name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Config returns the endpoint's configuration space.
+func (ep *Endpoint) Config() *ConfigSpace { return ep.cfg }
+
+// Link returns the endpoint's link.
+func (ep *Endpoint) Link() *Link { return ep.link }
+
+// Stats returns the endpoint's bus-traffic counters.
+func (ep *Endpoint) Stats() *Stats { return ep.stats }
+
+// SetBarHandlers installs register callbacks for BAR i.
+func (ep *Endpoint) SetBarHandlers(i int, h BarHandlers) {
+	if ep.cfg.BARSize(i) == 0 {
+		panic(fmt.Sprintf("pcie: %s: BAR%d has no size declared", ep.name, i))
+	}
+	ep.bars[i] = h
+}
+
+// ConfigureMSIX declares the number of MSI-X vectors the function
+// exposes (mirrored in the MSI-X capability added by the device model).
+func (ep *Endpoint) ConfigureMSIX(vectors int) {
+	ep.msixVectors = vectors
+	ep.msixMasked = make([]bool, vectors)
+}
+
+// MaskMSIX masks or unmasks one vector (used by interrupt-suppression
+// ablations; the kernel masks vectors while servicing).
+func (ep *Endpoint) MaskMSIX(vector int, masked bool) {
+	ep.msixMasked[vector] = masked
+}
+
+// barRead services an inbound memory read at arrival time.
+func (ep *Endpoint) barRead(bar int, off uint64, size int) uint64 {
+	h := ep.bars[bar]
+	if h.Read == nil {
+		return 0
+	}
+	return h.Read(off, size)
+}
+
+// barWrite services an inbound memory write at arrival time.
+func (ep *Endpoint) barWrite(bar int, off uint64, size int, v uint64) {
+	h := ep.bars[bar]
+	if h.Write != nil {
+		h.Write(off, size, v)
+	}
+}
+
+func (ep *Endpoint) requireBusMaster(op string) {
+	if !ep.cfg.BusMaster() {
+		panic(fmt.Sprintf("pcie: %s: %s attempted with bus mastering disabled", ep.name, op))
+	}
+}
+
+// DMARead fetches n bytes from host memory at a, blocking the calling
+// device process for the bus round trips: one MRd per MRRS-sized
+// request, answered by MPS-sized completions.
+func (ep *Endpoint) DMARead(p *sim.Proc, a mem.Addr, n int) []byte {
+	ep.requireBusMaster("DMARead")
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, 0, n)
+	cfg := ep.link.Config()
+	addr := a
+	for _, req := range SplitPayload(n, cfg.MRRS) {
+		reqAddr, reqLen := addr, req
+		done := sim.NewTrigger(ep.sim, ep.name+":dmard")
+		ep.stats.countUp(TLPMemRead, 0)
+		ep.link.Up(0, "MRd", func() {
+			// Root-complex side: memory access latency, then stream
+			// completions back down the link.
+			ep.sim.After(ep.rc.costs.MemLatency, "rc:mem", func() {
+				data := ep.rc.Mem.Read(reqAddr, reqLen)
+				chunks := SplitPayload(reqLen, cfg.MPS)
+				off := 0
+				for i, c := range chunks {
+					last := i == len(chunks)-1
+					chunk := data[off : off+c]
+					off += c
+					ep.stats.countDown(TLPCompletion, c)
+					ep.link.Down(c, "CplD", func() {
+						out = append(out, chunk...)
+						if last {
+							done.Fire()
+						}
+					})
+				}
+			})
+		})
+		done.Wait(p)
+		addr += mem.Addr(req)
+	}
+	return out
+}
+
+// DMAWrite pushes data into host memory at a with posted writes. The
+// calling device process is blocked while its data mover occupies the
+// upstream half of the link; the bytes land in host memory one
+// propagation delay later.
+func (ep *Endpoint) DMAWrite(p *sim.Proc, a mem.Addr, data []byte) {
+	ep.requireBusMaster("DMAWrite")
+	if len(data) == 0 {
+		return
+	}
+	cfg := ep.link.Config()
+	addr := a
+	off := 0
+	var lastSer sim.Time
+	for _, c := range SplitPayload(len(data), cfg.MPS) {
+		dst := addr
+		chunk := make([]byte, c)
+		copy(chunk, data[off:off+c])
+		off += c
+		addr += mem.Addr(c)
+		ep.stats.countUp(TLPMemWrite, c)
+		lastSer = ep.link.Up(c, "MWr", func() {
+			ep.rc.Mem.Write(dst, chunk)
+		})
+	}
+	if d := lastSer.Sub(p.Now()); d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// RaiseMSIX signals MSI-X vector v: an upstream posted write followed by
+// interrupt-controller dispatch at the root complex.
+func (ep *Endpoint) RaiseMSIX(v int) {
+	ep.requireBusMaster("RaiseMSIX")
+	if v < 0 || v >= ep.msixVectors {
+		panic(fmt.Sprintf("pcie: %s: MSI-X vector %d out of range (%d configured)", ep.name, v, ep.msixVectors))
+	}
+	if ep.msixMasked[v] {
+		return
+	}
+	ep.stats.countUp(TLPMessage, 4)
+	ep.stats.Interrupts++
+	ep.link.Up(4, fmt.Sprintf("MSIX:%d", v), func() {
+		ep.sim.After(ep.rc.costs.APICDelay, "rc:apic", func() {
+			if ep.rc.irqSink != nil {
+				ep.rc.irqSink(ep, v)
+			}
+		})
+	})
+}

@@ -1,0 +1,426 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+func TestSplitPayload(t *testing.T) {
+	cases := []struct {
+		n, max int
+		want   []int
+	}{
+		{0, 128, nil},
+		{1, 128, []int{1}},
+		{128, 128, []int{128}},
+		{129, 128, []int{128, 1}},
+		{1024, 128, []int{128, 128, 128, 128, 128, 128, 128, 128}},
+		{300, 256, []int{256, 44}},
+	}
+	for _, c := range cases {
+		got := SplitPayload(c.n, c.max)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitPayload(%d,%d) = %v, want %v", c.n, c.max, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitPayload(%d,%d) = %v, want %v", c.n, c.max, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSplitPayloadProperty(t *testing.T) {
+	f := func(n uint16, maxRaw uint8) bool {
+		max := int(maxRaw)%512 + 1
+		chunks := SplitPayload(int(n), max)
+		sum := 0
+		for i, c := range chunks {
+			if c <= 0 || c > max {
+				return false
+			}
+			if c < max && i != len(chunks)-1 {
+				return false // only the tail chunk may be short
+			}
+			sum += c
+		}
+		return sum == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkRates(t *testing.T) {
+	g2 := DefaultGen2x2()
+	if got := g2.BytesPerNs(); got != 1.0 {
+		t.Fatalf("Gen2 x2 = %v B/ns, want 1.0", got)
+	}
+	g3 := Gen3x4()
+	if got := g3.BytesPerNs(); got < 3.9 || got > 4.0 {
+		t.Fatalf("Gen3 x4 = %v B/ns, want ~3.94", got)
+	}
+}
+
+func TestLinkSerializationAndOrdering(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, LinkConfig{Gen: 2, Lanes: 2, MPS: 128, MRRS: 512, Prop: sim.Ns(200)})
+	var arrivals []sim.Time
+	var order []int
+	// Two TLPs queued back-to-back: the second serializes after the first.
+	l.Down(104, "a", func() { arrivals = append(arrivals, s.Now()); order = append(order, 1) })
+	l.Down(104, "b", func() { arrivals = append(arrivals, s.Now()); order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 104+24 = 128 wire bytes at 1 B/ns => 128ns serialization each.
+	want1 := sim.Time(sim.Ns(128 + 200))
+	want2 := sim.Time(sim.Ns(256 + 200))
+	if arrivals[0] != want1 || arrivals[1] != want2 {
+		t.Fatalf("arrivals = %v, want [%v %v]", arrivals, want1, want2)
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestLinkDirectionsIndependent(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, DefaultGen2x2())
+	var down, up sim.Time
+	l.Down(1000, "d", func() { down = s.Now() })
+	l.Up(0, "u", func() { up = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The upstream TLP must not queue behind the big downstream one.
+	if up >= down {
+		t.Fatalf("up arrived at %v, down at %v; directions should be independent", up, down)
+	}
+}
+
+func TestConfigSpaceIDsAndCaps(t *testing.T) {
+	c := NewConfigSpace(0x1af4, 0x1041, 0x020000, 0x1af4, 0x0001)
+	if got := c.Read32(CfgVendorID); got != 0x10411af4 {
+		t.Fatalf("ID dword = %#x", got)
+	}
+	off1 := c.AddCapability(CapIDMSIX, []byte{0x03, 0x00, 0, 0, 0, 0, 0, 0, 0, 0})
+	off2 := c.AddCapability(CapIDVendor, []byte{16, 1, 4, 0, 0, 0})
+	caps := c.Capabilities()
+	if len(caps) != 2 {
+		t.Fatalf("caps = %+v", caps)
+	}
+	if caps[0].ID != CapIDMSIX || caps[0].Offset != off1 {
+		t.Fatalf("cap0 = %+v", caps[0])
+	}
+	if caps[1].ID != CapIDVendor || caps[1].Offset != off2 {
+		t.Fatalf("cap1 = %+v", caps[1])
+	}
+	if c.Read32(CfgStatus&^3)>>16&StatusCapList == 0 {
+		t.Fatal("capability-list status bit not set")
+	}
+}
+
+func TestConfigBARSizingProtocol(t *testing.T) {
+	c := NewConfigSpace(0x10ee, 0x7024, 0x058000, 0x10ee, 0x0007)
+	c.SetBARSize(0, 1<<16)
+	c.SetBARSize(1, 1<<20)
+	// Probe BAR0.
+	c.Write32(CfgBAR0, 0xffffffff)
+	if got := c.Read32(CfgBAR0); got != ^uint32(1<<16-1)&0xfffffff0 {
+		t.Fatalf("BAR0 size mask = %#x", got)
+	}
+	// Assign an address; low bits must be cleared.
+	c.Write32(CfgBAR0, 0xe0001234)
+	if got := c.BARAddr(0); got != 0xe0000000 {
+		t.Fatalf("BAR0 addr = %#x", got)
+	}
+	// Unimplemented BAR reads zero, ignores writes.
+	c.Write32(CfgBAR0+8, 0xffffffff)
+	if got := c.Read32(CfgBAR0 + 8); got != 0 {
+		t.Fatalf("BAR2 = %#x, want 0", got)
+	}
+}
+
+func TestConfigCommandRegister(t *testing.T) {
+	c := NewConfigSpace(1, 2, 0, 0, 0)
+	if c.MemEnabled() || c.BusMaster() {
+		t.Fatal("fresh device should have decoding off")
+	}
+	c.Write32(CfgCommand, CmdMemEnable|CmdBusMaster)
+	if !c.MemEnabled() || !c.BusMaster() {
+		t.Fatal("command write did not take")
+	}
+	// Vendor ID must be read-only.
+	c.Write32(CfgVendorID, 0xdead)
+	if got := c.Read32(CfgVendorID); uint16(got) != 1 {
+		t.Fatalf("vendor overwritten: %#x", got)
+	}
+}
+
+// testbed wires one endpoint with a small register BAR and 64KB BRAM-ish
+// scratch behind BAR1.
+type testDev struct {
+	regs map[uint64]uint64
+}
+
+func newTestbed(t *testing.T) (*sim.Sim, *RootComplex, *Endpoint, *testDev) {
+	t.Helper()
+	s := sim.New()
+	m := mem.New(1 << 20)
+	rc := NewRootComplex(s, m, DefaultCosts())
+	cfg := NewConfigSpace(0x10ee, 0x7024, 0x058000, 0x10ee, 0x0007)
+	cfg.SetBARSize(0, 1<<12)
+	ep := rc.Attach("dut", cfg, DefaultGen2x2())
+	dev := &testDev{regs: map[uint64]uint64{}}
+	ep.SetBarHandlers(0, BarHandlers{
+		Read:  func(off uint64, size int) uint64 { return dev.regs[off] },
+		Write: func(off uint64, size int, v uint64) { dev.regs[off] = v },
+	})
+	ep.ConfigureMSIX(4)
+	return s, rc, ep, dev
+}
+
+func TestEnumerateAndMMIO(t *testing.T) {
+	s, rc, ep, dev := newTestbed(t)
+	var info *DeviceInfo
+	s.Go("host", func(p *sim.Proc) {
+		infos := rc.Enumerate(p)
+		if len(infos) != 1 {
+			t.Errorf("enumerated %d devices", len(infos))
+			return
+		}
+		info = infos[0]
+		if info.VendorID != 0x10ee || info.DeviceID != 0x7024 {
+			t.Errorf("IDs = %04x:%04x", info.VendorID, info.DeviceID)
+		}
+		if info.BAR[0] == 0 {
+			t.Error("BAR0 unassigned")
+		}
+		rc.MMIOWrite(p, info.BAR[0]+0x10, 4, 0xabcd)
+		// A posted write then a read: the read must observe the write
+		// (same direction, FIFO ordering).
+		if got := rc.MMIORead(p, info.BAR[0]+0x10, 4); got != 0xabcd {
+			t.Errorf("readback = %#x", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ep.Config().BusMaster() {
+		t.Fatal("enumeration did not enable bus mastering")
+	}
+	if dev.regs[0x10] != 0xabcd {
+		t.Fatal("device register not written")
+	}
+}
+
+func TestMMIOReadLatency(t *testing.T) {
+	s, rc, _, dev := newTestbed(t)
+	dev.regs[0] = 7
+	var start, end sim.Time
+	s.Go("host", func(p *sim.Proc) {
+		info := rc.Enumerate(p)[0]
+		start = p.Now()
+		_ = rc.MMIORead(p, info.BAR[0], 4)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rtt := end.Sub(start)
+	// MRd down: 24B ser (24ns) + 200ns prop; 32ns reg; CplD up: 28B ser + 200ns.
+	want := sim.Ns(24 + 200 + 32 + 28 + 200)
+	if rtt != want {
+		t.Fatalf("MMIO read RTT = %v, want %v", rtt, want)
+	}
+}
+
+func TestMMIOWriteIsPosted(t *testing.T) {
+	s, rc, _, _ := newTestbed(t)
+	var cpuTime sim.Duration
+	s.Go("host", func(p *sim.Proc) {
+		info := rc.Enumerate(p)[0]
+		t0 := p.Now()
+		rc.MMIOWrite(p, info.BAR[0], 4, 1)
+		cpuTime = p.Now().Sub(t0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpuTime != DefaultCosts().MMIOWriteCPU {
+		t.Fatalf("posted write cost = %v, want %v", cpuTime, DefaultCosts().MMIOWriteCPU)
+	}
+}
+
+func TestDMAReadWriteRoundTrip(t *testing.T) {
+	s, rc, ep, _ := newTestbed(t)
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	rc.Mem.Write(0x4000, payload)
+	var got []byte
+	s.Go("host", func(p *sim.Proc) { rc.Enumerate(p) })
+	s.GoAfter(sim.Us(100), "dev", func(p *sim.Proc) {
+		got = ep.DMARead(p, 0x4000, len(payload))
+		ep.DMAWrite(p, 0x8000, got)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("DMA read returned wrong data")
+	}
+	if !bytes.Equal(rc.Mem.Read(0x8000, len(payload)), payload) {
+		t.Fatal("DMA write corrupted data")
+	}
+}
+
+func TestDMAReadSplitsRequests(t *testing.T) {
+	s, rc, ep, _ := newTestbed(t)
+	n := 1024 // MRRS=512 -> 2 MRd; MPS=128 -> 8 CplD
+	rc.Mem.Fill(0, n, 0x55)
+	s.Go("host", func(p *sim.Proc) { rc.Enumerate(p) })
+	s.GoAfter(sim.Us(100), "dev", func(p *sim.Proc) {
+		ep.DMARead(p, 0, n)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ep.Stats().UpTLPs[TLPMemRead]; got != 2 {
+		t.Fatalf("MRd count = %d, want 2", got)
+	}
+	if got := ep.Stats().DownTLPs[TLPCompletion]; got != 8 {
+		t.Fatalf("CplD count = %d, want 8", got)
+	}
+	if got := ep.Stats().DownBytes; got < 1024 {
+		t.Fatalf("completion bytes = %d", got)
+	}
+}
+
+func TestDMAWithoutBusMasterPanics(t *testing.T) {
+	s, _, ep, _ := newTestbed(t)
+	panicked := false
+	s.Go("dev", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		ep.DMARead(p, 0, 4)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("expected panic without bus mastering")
+	}
+}
+
+func TestMSIXDelivery(t *testing.T) {
+	s, rc, ep, _ := newTestbed(t)
+	var gotVec = -1
+	var at sim.Time
+	rc.SetIRQSink(func(e *Endpoint, v int) {
+		gotVec = v
+		at = s.Now()
+	})
+	var raised sim.Time
+	s.Go("host", func(p *sim.Proc) { rc.Enumerate(p) })
+	s.GoAfter(sim.Us(50), "dev", func(p *sim.Proc) {
+		raised = p.Now()
+		ep.RaiseMSIX(2)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotVec != 2 {
+		t.Fatalf("vector = %d, want 2", gotVec)
+	}
+	// 28B ser + 200ns prop + 300ns APIC.
+	want := raised.Add(sim.Ns(28 + 200 + 300))
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+	if ep.Stats().Interrupts != 1 {
+		t.Fatalf("interrupt count = %d", ep.Stats().Interrupts)
+	}
+}
+
+func TestMSIXMasking(t *testing.T) {
+	s, rc, ep, _ := newTestbed(t)
+	fired := 0
+	rc.SetIRQSink(func(e *Endpoint, v int) { fired++ })
+	s.Go("host", func(p *sim.Proc) { rc.Enumerate(p) })
+	s.GoAfter(sim.Us(50), "dev", func(p *sim.Proc) {
+		ep.MaskMSIX(0, true)
+		ep.RaiseMSIX(0)
+		ep.MaskMSIX(0, false)
+		ep.RaiseMSIX(0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (masked raise dropped)", fired)
+	}
+}
+
+func TestDMABandwidthScalesWithLink(t *testing.T) {
+	run := func(link LinkConfig) sim.Duration {
+		s := sim.New()
+		m := mem.New(1 << 20)
+		rc := NewRootComplex(s, m, DefaultCosts())
+		cfg := NewConfigSpace(1, 2, 0, 0, 0)
+		cfg.SetBARSize(0, 4096)
+		ep := rc.Attach("d", cfg, link)
+		ep.SetBarHandlers(0, BarHandlers{})
+		var dur sim.Duration
+		s.Go("host", func(p *sim.Proc) { rc.Enumerate(p) })
+		s.GoAfter(sim.Us(10), "dev", func(p *sim.Proc) {
+			t0 := p.Now()
+			ep.DMARead(p, 0, 64<<10)
+			dur = p.Now().Sub(t0)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	slow := run(DefaultGen2x2())
+	fast := run(Gen3x4())
+	// Sequential reads are latency-bound, so the speedup is less than the
+	// raw 4x bandwidth ratio, but a faster link must still win clearly.
+	if fast*5 >= slow*3 {
+		t.Fatalf("Gen3x4 (%v) should be well under 60%% of Gen2x2 (%v)", fast, slow)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	st := NewStats()
+	st.countDown(TLPMemWrite, 64)
+	st.countUp(TLPCompletion, 128)
+	if st.DownTLPs[TLPMemWrite] != 1 || st.DownBytes != 64 {
+		t.Fatalf("down stats wrong: %+v", st)
+	}
+	if st.UpTLPs[TLPCompletion] != 1 || st.UpBytes != 128 {
+		t.Fatalf("up stats wrong: %+v", st)
+	}
+}
+
+func TestTLPKindString(t *testing.T) {
+	names := map[TLPKind]string{
+		TLPMemRead: "MRd", TLPMemWrite: "MWr", TLPCompletion: "CplD",
+		TLPConfigRead: "CfgRd", TLPConfigWrite: "CfgWr", TLPMessage: "Msg",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package pcie
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+// Costs collects the fixed latencies of the root-complex side of the
+// interconnect. Defaults are typical of the desktop platform in the
+// paper's testbed.
+type Costs struct {
+	// MemLatency is the DRAM access time for a device-initiated read.
+	MemLatency sim.Duration
+	// MMIOWriteCPU is how long an uncached store occupies the CPU
+	// before it is posted toward the device.
+	MMIOWriteCPU sim.Duration
+	// RegReadLatency is the device-internal time to produce a register
+	// read completion once the MRd arrives.
+	RegReadLatency sim.Duration
+	// CfgService is the device-internal service time of a config TLP.
+	CfgService sim.Duration
+	// APICDelay is MSI arrival to interrupt-controller dispatch.
+	APICDelay sim.Duration
+}
+
+// DefaultCosts returns the calibrated platform constants.
+func DefaultCosts() Costs {
+	return Costs{
+		MemLatency:     sim.Ns(80),
+		MMIOWriteCPU:   sim.Ns(60),
+		RegReadLatency: sim.Ns(32), // four fabric cycles at 125 MHz
+		CfgService:     sim.Ns(100),
+		APICDelay:      sim.Ns(300),
+	}
+}
+
+// mmioWindowBase is where the enumerator starts assigning BARs.
+const mmioWindowBase = 0xe000_0000
+
+// RootComplex is the host side of the interconnect: it owns host
+// memory (as the target of device DMA), routes host MMIO to endpoint
+// BARs, and delivers MSI-X interrupts to the platform sink.
+type RootComplex struct {
+	sim     *sim.Sim
+	Mem     *mem.Memory
+	costs   Costs
+	eps     []*Endpoint
+	irqSink func(ep *Endpoint, vector int)
+
+	nextBAR uint64
+	routes  []barRoute
+}
+
+type barRoute struct {
+	ep   *Endpoint
+	bar  int
+	base uint64
+	size uint64
+}
+
+// NewRootComplex returns a root complex over host memory m.
+func NewRootComplex(s *sim.Sim, m *mem.Memory, costs Costs) *RootComplex {
+	return &RootComplex{sim: s, Mem: m, costs: costs, nextBAR: mmioWindowBase}
+}
+
+// Costs returns the platform latency constants.
+func (rc *RootComplex) Costs() Costs { return rc.costs }
+
+// SetIRQSink installs the platform interrupt handler (the host model's
+// interrupt controller).
+func (rc *RootComplex) SetIRQSink(fn func(ep *Endpoint, vector int)) { rc.irqSink = fn }
+
+// Attach connects a new endpoint with the given config space over a
+// fresh link. Device models decorate the returned endpoint with BAR
+// handlers before enumeration runs.
+func (rc *RootComplex) Attach(name string, cfg *ConfigSpace, link LinkConfig) *Endpoint {
+	ep := &Endpoint{
+		sim:   rc.sim,
+		name:  name,
+		cfg:   cfg,
+		link:  NewLink(rc.sim, link),
+		rc:    rc,
+		stats: NewStats(),
+	}
+	rc.eps = append(rc.eps, ep)
+	return ep
+}
+
+// Endpoints lists attached endpoints in attach order.
+func (rc *RootComplex) Endpoints() []*Endpoint { return rc.eps }
+
+func (rc *RootComplex) route(addr uint64) (ep *Endpoint, bar int, off uint64) {
+	for _, r := range rc.routes {
+		if addr >= r.base && addr < r.base+r.size {
+			return r.ep, r.bar, addr - r.base
+		}
+	}
+	panic(fmt.Sprintf("pcie: MMIO address %#x not mapped to any BAR", addr))
+}
+
+// ConfigRead32 performs a configuration read of the given endpoint,
+// blocking the calling host process for the bus round trip.
+func (rc *RootComplex) ConfigRead32(p *sim.Proc, ep *Endpoint, off int) uint32 {
+	var v uint32
+	done := sim.NewTrigger(rc.sim, "cfgrd")
+	ep.stats.countDown(TLPConfigRead, 0)
+	ep.link.Down(0, "CfgRd", func() {
+		rc.sim.After(rc.costs.CfgService, "ep:cfg", func() {
+			v = ep.cfg.Read32(off)
+			ep.stats.countUp(TLPCompletion, 4)
+			ep.link.Up(4, "CplD", done.Fire)
+		})
+	})
+	done.Wait(p)
+	return v
+}
+
+// ConfigWrite32 performs a configuration write, blocking the calling
+// host process until the completion for the non-posted write returns.
+func (rc *RootComplex) ConfigWrite32(p *sim.Proc, ep *Endpoint, off int, v uint32) {
+	done := sim.NewTrigger(rc.sim, "cfgwr")
+	ep.stats.countDown(TLPConfigWrite, 4)
+	ep.link.Down(4, "CfgWr", func() {
+		rc.sim.After(rc.costs.CfgService, "ep:cfg", func() {
+			ep.cfg.Write32(off, v)
+			ep.stats.countUp(TLPCompletion, 0)
+			ep.link.Up(0, "Cpl", done.Fire)
+		})
+	})
+	done.Wait(p)
+}
+
+// MMIOWrite posts a write of size bytes (1, 2, 4 or 8) to a BAR
+// address. The calling host process is charged only the CPU-side cost
+// of the uncached store; delivery is asynchronous (posted semantics) —
+// this asymmetry versus MMIORead is exactly why VirtIO's single
+// doorbell write is cheap for the driver (paper §IV-A).
+func (rc *RootComplex) MMIOWrite(p *sim.Proc, addr uint64, size int, v uint64) {
+	ep, bar, off := rc.route(addr)
+	p.Sleep(rc.costs.MMIOWriteCPU)
+	ep.stats.countDown(TLPMemWrite, size)
+	ep.link.Down(size, "MWr", func() {
+		ep.barWrite(bar, off, size, v)
+	})
+}
+
+// MMIORead performs a non-posted read of size bytes from a BAR address,
+// blocking the calling host process for the full bus round trip.
+func (rc *RootComplex) MMIORead(p *sim.Proc, addr uint64, size int) uint64 {
+	ep, bar, off := rc.route(addr)
+	var v uint64
+	done := sim.NewTrigger(rc.sim, "mmiord")
+	ep.stats.countDown(TLPMemRead, 0)
+	ep.link.Down(0, "MRd", func() {
+		rc.sim.After(rc.costs.RegReadLatency, "ep:reg", func() {
+			v = ep.barRead(bar, off, size)
+			ep.stats.countUp(TLPCompletion, size)
+			ep.link.Up(size, "CplD", done.Fire)
+		})
+	})
+	done.Wait(p)
+	return v
+}
+
+// DeviceInfo is the result of enumerating one endpoint.
+type DeviceInfo struct {
+	EP       *Endpoint
+	VendorID uint16
+	DeviceID uint16
+	BAR      [6]uint64 // assigned base addresses (0 if absent)
+}
+
+// Enumerate scans all attached endpoints the way the kernel's PCI core
+// does at boot: read IDs, size the BARs with the all-ones protocol,
+// assign addresses from the MMIO window, then enable memory decoding
+// and bus mastering.
+func (rc *RootComplex) Enumerate(p *sim.Proc) []*DeviceInfo {
+	var out []*DeviceInfo
+	for _, ep := range rc.eps {
+		idreg := rc.ConfigRead32(p, ep, CfgVendorID)
+		if idreg == 0xffffffff {
+			continue
+		}
+		info := &DeviceInfo{EP: ep, VendorID: uint16(idreg), DeviceID: uint16(idreg >> 16)}
+		for i := 0; i < 6; i++ {
+			reg := CfgBAR0 + 4*i
+			rc.ConfigWrite32(p, ep, reg, 0xffffffff)
+			mask := rc.ConfigRead32(p, ep, reg)
+			if mask == 0 {
+				continue
+			}
+			size := uint64(^(mask &^ 0xf) + 1)
+			base := (rc.nextBAR + size - 1) &^ (size - 1)
+			rc.nextBAR = base + size
+			rc.ConfigWrite32(p, ep, reg, uint32(base))
+			rc.routes = append(rc.routes, barRoute{ep: ep, bar: i, base: base, size: size})
+			info.BAR[i] = base
+		}
+		rc.ConfigWrite32(p, ep, CfgCommand, CmdMemEnable|CmdBusMaster)
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated sequential process (a software thread, a hardware
+// finite-state machine, ...). A Proc runs on its own goroutine but with
+// strict hand-off: exactly one goroutine — either the scheduler or one
+// process — is ever runnable, so execution is fully deterministic.
+//
+// Inside the process function, the Proc methods Sleep, Wait and Park
+// block in *simulated* time by yielding back to the scheduler.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go spawns a process that starts executing at the current simulation
+// time (after already-queued events at this timestamp).
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	return s.GoAfter(0, name, fn)
+}
+
+// GoAfter spawns a process that starts after delay d.
+func (s *Sim) GoAfter(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.procs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		s.procs--
+		p.yield <- struct{}{}
+	}()
+	s.After(d, "start:"+name, func() { p.run() })
+	return p
+}
+
+// run transfers control to the process until it parks or finishes.
+// Must be called from the scheduler goroutine (inside an event).
+func (p *Proc) run() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the process; control returns to the scheduler. The
+// process stays suspended until some event calls run again.
+func (p *Proc) park(why string) {
+	p.sim.parked[p] = p.name + ": " + why
+	p.yield <- struct{}{}
+	<-p.resume
+	delete(p.sim.parked, p)
+}
+
+// Name reports the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the scheduler this process runs under.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now reports the current simulation time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.sim.After(d, "wake:"+p.name, func() { p.run() })
+	p.park("sleeping")
+}
+
+// Trigger is a one-shot event: processes that Wait before Fire are
+// suspended until it fires; waits after it has fired return immediately.
+// It models completions (a DMA finishing, an interrupt being serviced).
+type Trigger struct {
+	sim     *Sim
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewTrigger returns an unfired trigger bound to s.
+func NewTrigger(s *Sim, name string) *Trigger {
+	return &Trigger{sim: s, name: name}
+}
+
+// Fired reports whether the trigger has fired.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// Wait suspends p until the trigger fires. If it already fired, Wait
+// returns immediately without yielding.
+func (t *Trigger) Wait(p *Proc) {
+	if t.fired {
+		return
+	}
+	t.waiters = append(t.waiters, p)
+	p.park("trigger:" + t.name)
+}
+
+// Fire marks the trigger fired and wakes all waiters in FIFO order.
+// Firing twice panics: a completion happens once.
+func (t *Trigger) Fire() {
+	if t.fired {
+		panic("sim: trigger " + t.name + " fired twice")
+	}
+	t.fired = true
+	for _, p := range t.waiters {
+		q := p
+		t.sim.After(0, "fire:"+t.name, func() { q.run() })
+	}
+	t.waiters = nil
+}
+
+// Cond is a condition variable for processes. The zero value is unusable;
+// create with NewCond.
+type Cond struct {
+	sim     *Sim
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Sim, name string) *Cond {
+	return &Cond{sim: s, name: name}
+}
+
+// Wait suspends p until Broadcast or Signal. Spurious wakeups do not
+// occur, but callers that wait on shared state should still re-check
+// their predicate in a loop, as several waiters may be released at once.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("wait:" + c.name)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.sim.After(0, "signal:"+c.name, func() { p.run() })
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		q := p
+		c.sim.After(0, "broadcast:"+c.name, func() { q.run() })
+	}
+}
+
+// Waiters reports how many processes are blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }

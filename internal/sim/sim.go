@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	name string
+	fn   func()
+	idx  int // heap index
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (id EventID) Cancel() {
+	if id.e != nil {
+		id.e.dead = true
+	}
+}
+
+// Tracer receives a record for every event executed when tracing is
+// enabled. It exists for debugging and for latency-attribution tools.
+type Tracer interface {
+	Event(at Time, name string)
+}
+
+// Sim is a discrete-event scheduler. It is not safe for concurrent use;
+// all model code runs on the scheduler's goroutine (processes created
+// with Go run with strict hand-off, one at a time).
+type Sim struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	tracer  Tracer
+	procs   int // live (not yet finished) processes
+	parked  map[*Proc]string
+}
+
+// New returns an empty simulation positioned at time zero.
+func New() *Sim {
+	return &Sim{parked: make(map[*Proc]string)}
+}
+
+// Now reports the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// SetTracer installs t as the execution tracer (nil disables tracing).
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would violate causality.
+func (s *Sim) At(at Time, name string, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, name: name, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return EventID{e}
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (s *Sim) After(d Duration, name string, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Step executes the next pending event, advancing time to it.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		if s.tracer != nil {
+			s.tracer.Event(e.at, e.name)
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+// It returns an error if processes remain parked with no pending events
+// (a deadlock in the modeled system).
+func (s *Sim) Run() error {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+	if !s.stopped && len(s.parked) > 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d process(es) parked: %v", s.now, len(s.parked), s.parkedNames())
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline. Events beyond
+// the deadline remain queued; time is left at the last executed event
+// (or advanced to deadline if nothing ran at it).
+func (s *Sim) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop halts Run after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of live queued events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Sim) parkedNames() []string {
+	var names []string
+	for _, why := range s.parked {
+		names = append(names, why)
+	}
+	return names
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// RecordingTracer stores every executed event; useful in tests that
+// assert ordering, and for offline latency attribution.
+type RecordingTracer struct {
+	Records []TraceRecord
+	Max     int // 0 = unlimited
+}
+
+// TraceRecord is a single executed event.
+type TraceRecord struct {
+	At   Time
+	Name string
+}
+
+// Event implements Tracer.
+func (t *RecordingTracer) Event(at Time, name string) {
+	if t.Max > 0 && len(t.Records) >= t.Max {
+		return
+	}
+	t.Records = append(t.Records, TraceRecord{at, name})
+}
+
+// WriterTracer streams events to an io.Writer as they execute.
+type WriterTracer struct{ W io.Writer }
+
+// Event implements Tracer.
+func (t WriterTracer) Event(at Time, name string) {
+	fmt.Fprintf(t.W, "%12.3fus  %s\n", at.Microseconds(), name)
+}

@@ -1,0 +1,227 @@
+package vdev
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/fpga"
+	"fpgavirtio/internal/netstack"
+	"fpgavirtio/internal/pcie"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/virtio"
+)
+
+// Net queue indices (virtio-net: receiveq1, transmitq1, then the
+// control queue when negotiated).
+const (
+	NetQueueRX   = 0
+	NetQueueTX   = 1
+	NetQueueCtrl = 2
+)
+
+// FrameHandler is the user-logic hook of the network device: it
+// receives each frame the host transmitted and returns zero or more
+// response frames to send back — the paper's echo logic returns one
+// same-size UDP reply per packet. It runs in the user-logic fabric
+// process; cycle costs inside are the implementation's responsibility.
+type FrameHandler interface {
+	HandleFrame(p *sim.Proc, frame []byte) [][]byte
+}
+
+// NetOptions parameterizes a network-device instance.
+type NetOptions struct {
+	Link pcie.LinkConfig
+	MAC  netstack.MAC
+	MTU  uint16
+	// OfferCsum exposes VIRTIO_NET_F_CSUM/GUEST_CSUM (TX/RX checksum
+	// offload); the driver decides whether to accept.
+	OfferCsum bool
+	// OfferCtrlVQ exposes the control virtqueue.
+	OfferCtrlVQ bool
+	// OfferEventIdx exposes VIRTIO_F_RING_EVENT_IDX.
+	OfferEventIdx bool
+	// OfferPacked exposes VIRTIO_F_RING_PACKED.
+	OfferPacked bool
+	Handler     FrameHandler
+}
+
+// NetDevice is the VirtIO network-device personality plus its user
+// logic plumbing: the paper's test case (§III-A).
+type NetDevice struct {
+	ctrl *Controller
+	opt  NetOptions
+
+	frames   [][]byte
+	frameC   *sim.Cond
+	respGen  *fpga.PerfCounter
+	promisc  bool
+	rxFrames int
+	txFrames int
+}
+
+// NewNet attaches a network device to the root complex.
+func NewNet(s *sim.Sim, rc *pcie.RootComplex, name string, opt NetOptions) *NetDevice {
+	if opt.MTU == 0 {
+		opt.MTU = 1500
+	}
+	d := &NetDevice{opt: opt, frameC: sim.NewCond(s, name+".frames")}
+	d.ctrl = NewController(s, rc, name, d, Options{
+		Link:          opt.Link,
+		OfferEventIdx: opt.OfferEventIdx,
+		OfferPacked:   opt.OfferPacked,
+	})
+	if d.opt.Handler == nil {
+		// Default user logic: the paper's same-size UDP echo.
+		d.opt.Handler = NewEchoHandler(d.ctrl.Clock())
+	}
+	d.respGen = fpga.NewPerfCounter(d.ctrl.Clock(), name+".respgen")
+	s.Go(name+".userlogic", d.userLoop)
+	return d
+}
+
+// Controller returns the underlying VirtIO controller.
+func (d *NetDevice) Controller() *Controller { return d.ctrl }
+
+// RespGenCounter returns the response-generation hardware counter,
+// whose samples the experiment deducts per the paper's methodology.
+func (d *NetDevice) RespGenCounter() *fpga.PerfCounter { return d.respGen }
+
+// Stats reports frames seen in each direction.
+func (d *NetDevice) Stats() (tx, rx int) { return d.txFrames, d.rxFrames }
+
+// Type implements Personality.
+func (d *NetDevice) Type() virtio.DeviceType { return virtio.DeviceNet }
+
+// DeviceFeatures implements Personality.
+func (d *NetDevice) DeviceFeatures() virtio.Feature {
+	f := virtio.NetFMAC | virtio.NetFMTU | virtio.NetFStatus
+	if d.opt.OfferCsum {
+		f |= virtio.NetFCsum | virtio.NetFGuestCsum
+	}
+	if d.opt.OfferCtrlVQ {
+		f |= virtio.NetFCtrlVQ
+	}
+	return f
+}
+
+// NumQueues implements Personality.
+func (d *NetDevice) NumQueues() int {
+	if d.opt.OfferCtrlVQ {
+		return 3
+	}
+	return 2
+}
+
+// QueueDir implements Personality.
+func (d *NetDevice) QueueDir(q int) Dir {
+	if q == NetQueueRX {
+		return DeviceToDriver
+	}
+	return DriverToDevice
+}
+
+// ConfigBytes implements Personality: the virtio-net config window
+// (MAC, status, max queue pairs, MTU).
+func (d *NetDevice) ConfigBytes() []byte {
+	b := make([]byte, virtio.NetCfgLen)
+	copy(b[virtio.NetCfgMAC:], d.opt.MAC[:])
+	b[virtio.NetCfgStatus] = virtio.NetStatusLinkUp
+	b[virtio.NetCfgMaxVQP] = 1
+	b[virtio.NetCfgMTU] = byte(d.opt.MTU)
+	b[virtio.NetCfgMTU+1] = byte(d.opt.MTU >> 8)
+	return b
+}
+
+// HandleDriverChain implements Personality for the TX and control
+// queues.
+func (d *NetDevice) HandleDriverChain(p *sim.Proc, q int, data []byte, writable int) []byte {
+	switch q {
+	case NetQueueTX:
+		d.handleTx(p, data)
+		return nil
+	case NetQueueCtrl:
+		return d.handleCtrl(p, data)
+	default:
+		panic(fmt.Sprintf("vdev: net: unexpected driver chain on queue %d", q))
+	}
+}
+
+// handleTx processes one transmitted packet: strip the virtio-net
+// header, perform checksum offload if requested, queue the frame for
+// user logic.
+func (d *NetDevice) handleTx(p *sim.Proc, data []byte) {
+	hdr, err := virtio.DecodeNetHdr(data)
+	if err != nil {
+		panic("vdev: net: " + err.Error())
+	}
+	frame := append([]byte{}, data[virtio.NetHdrSize:]...)
+	if hdr.Flags&virtio.NetHdrFNeedsCsum != 0 {
+		// Checksum datapath runs at line rate over the L4 region.
+		clk := d.ctrl.Clock()
+		n := len(frame) - int(hdr.CsumStart)
+		if n > 0 {
+			p.Sleep(clk.Cycles(clk.CyclesFor(n, 16) * csumPerBeatCycles))
+		}
+		if err := netstack.FillUDPChecksum(frame); err != nil {
+			panic("vdev: net: csum offload: " + err.Error())
+		}
+	}
+	d.txFrames++
+	d.frames = append(d.frames, frame)
+	d.frameC.Broadcast()
+}
+
+// handleCtrl executes a control-queue command and returns the ack byte.
+func (d *NetDevice) handleCtrl(p *sim.Proc, data []byte) []byte {
+	if len(data) < 2 {
+		return []byte{virtio.NetCtrlAckErr}
+	}
+	class, cmd := data[0], data[1]
+	p.Sleep(d.ctrl.Clock().Cycles(configAccessCycles))
+	if class == virtio.NetCtrlRx && cmd == virtio.NetCtrlRxPromisc {
+		if len(data) >= 3 {
+			d.promisc = data[2] != 0
+			return []byte{virtio.NetCtrlAckOK}
+		}
+	}
+	return []byte{virtio.NetCtrlAckErr}
+}
+
+// Promiscuous reports the control-queue promiscuous setting.
+func (d *NetDevice) Promiscuous() bool { return d.promisc }
+
+// userLoop is the user-logic process: it pops frames the TX engine
+// queued, invokes the handler (response generation, measured
+// separately per the paper's Fig. 4 methodology), and delivers
+// responses into the RX queue.
+func (d *NetDevice) userLoop(p *sim.Proc) {
+	for {
+		for len(d.frames) == 0 {
+			d.frameC.Wait(p)
+		}
+		frame := d.frames[0]
+		d.frames = d.frames[1:]
+
+		d.respGen.Begin(p.Now())
+		resps := d.opt.Handler.HandleFrame(p, frame)
+		d.respGen.End(p.Now())
+
+		for _, resp := range resps {
+			if err := d.Send(p, resp); err != nil {
+				panic("vdev: net: " + err.Error())
+			}
+		}
+	}
+}
+
+// Send delivers one frame to the host through the RX queue, prefixed
+// with a virtio-net header. When the driver negotiated GUEST_CSUM the
+// device marks the frame's checksum as already validated.
+func (d *NetDevice) Send(p *sim.Proc, frame []byte) error {
+	hdr := virtio.NetHdr{NumBuffers: 1}
+	if d.ctrl.Negotiated().Has(virtio.NetFGuestCsum) {
+		hdr.Flags = virtio.NetHdrFDataValid
+	}
+	buf := append(hdr.Encode(), frame...)
+	d.rxFrames++
+	return d.ctrl.Deliver(p, NetQueueRX, buf)
+}

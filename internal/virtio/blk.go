@@ -1,0 +1,59 @@
+package virtio
+
+import "fmt"
+
+// Block request types.
+const (
+	BlkTIn    = 0 // read from device
+	BlkTOut   = 1 // write to device
+	BlkTFlush = 4
+)
+
+// Block request status byte values.
+const (
+	BlkStatusOK     = 0
+	BlkStatusIOErr  = 1
+	BlkStatusUnsupp = 2
+)
+
+// BlkSectorSize is the fixed 512-byte sector of the virtio-blk protocol.
+const BlkSectorSize = 512
+
+// BlkReqHdrSize is the size of struct virtio_blk_req's header.
+const BlkReqHdrSize = 16
+
+// BlkReqHdr is the request header the driver places in the first
+// (device-readable) descriptor of every block request.
+type BlkReqHdr struct {
+	Type   uint32
+	Sector uint64
+}
+
+// Encode renders the 16-byte wire format (type, reserved, sector).
+func (h BlkReqHdr) Encode() []byte {
+	b := make([]byte, BlkReqHdrSize)
+	putU32 := func(o int, v uint32) {
+		b[o], b[o+1], b[o+2], b[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(0, h.Type)
+	putU32(8, uint32(h.Sector))
+	putU32(12, uint32(h.Sector>>32))
+	return b
+}
+
+// DecodeBlkReqHdr parses the 16-byte wire format.
+func DecodeBlkReqHdr(b []byte) (BlkReqHdr, error) {
+	if len(b) < BlkReqHdrSize {
+		return BlkReqHdr{}, fmt.Errorf("virtio: blk req hdr too short: %d bytes", len(b))
+	}
+	u32 := func(o int) uint32 {
+		return uint32(b[o]) | uint32(b[o+1])<<8 | uint32(b[o+2])<<16 | uint32(b[o+3])<<24
+	}
+	return BlkReqHdr{Type: u32(0), Sector: uint64(u32(8)) | uint64(u32(12))<<32}, nil
+}
+
+// Block device-specific configuration layout.
+const (
+	BlkCfgCapacity = 0x00 // u64, in 512-byte sectors
+	BlkCfgLen      = 0x08
+)

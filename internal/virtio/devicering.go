@@ -1,0 +1,192 @@
+package virtio
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+// DMA is the device's costed path to host memory. The FPGA-side VirtIO
+// controller supplies an implementation backed by the XDMA engine's
+// card port, so every ring access below takes real bus time — this is
+// the extra hardware work that makes the VirtIO breakdown hardware-
+// heavy in the paper's Figure 4.
+type DMA interface {
+	Read(p *sim.Proc, a mem.Addr, n int) []byte
+	Write(p *sim.Proc, a mem.Addr, data []byte)
+}
+
+// DeviceQueue is the device-side (FPGA) view of one virtqueue. All
+// accesses go through DMA and block the calling fabric process.
+type DeviceQueue struct {
+	dma DMA
+	lay RingLayout
+
+	lastAvail uint16 // next avail slot to consume
+	usedIdx   uint16 // next used idx to publish
+	eventIdx  bool   // VIRTIO_F_RING_EVENT_IDX negotiated
+}
+
+// NewDeviceQueue returns the device-side handle for a ring whose
+// addresses the driver transferred during queue setup.
+func NewDeviceQueue(dma DMA, lay RingLayout) *DeviceQueue {
+	return &DeviceQueue{dma: dma, lay: lay}
+}
+
+// Layout returns the ring layout the queue operates on.
+func (q *DeviceQueue) Layout() RingLayout { return q.lay }
+
+func u16le(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func u32le(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func u64le(b []byte) uint64 { return uint64(u32le(b)) | uint64(u32le(b[4:]))<<32 }
+
+// FetchAvailIdx reads the driver's published avail index.
+func (q *DeviceQueue) FetchAvailIdx(p *sim.Proc) uint16 {
+	return u16le(q.dma.Read(p, q.lay.Avail+2, 2))
+}
+
+// Pending reports (via one DMA read) how many chains the driver has
+// exposed that the device has not yet consumed.
+func (q *DeviceQueue) Pending(p *sim.Proc) int {
+	return int(q.FetchAvailIdx(p) - q.lastAvail)
+}
+
+// NextAvailHead consumes the next avail-ring slot, returning the chain
+// head. Callers must ensure a chain is pending (Pending > 0).
+func (q *DeviceQueue) NextAvailHead(p *sim.Proc) uint16 {
+	slot := q.lay.Avail + availHeaderLen + mem.Addr(q.lastAvail%uint16(q.lay.QueueSize))*2
+	head := u16le(q.dma.Read(p, slot, 2))
+	q.lastAvail++
+	return head
+}
+
+// FetchChain walks the descriptor chain starting at head, fetching each
+// descriptor-table entry over the bus. An indirect descriptor resolves
+// with a single read of the whole indirect table — the bus-efficiency
+// win VIRTIO_F_RING_INDIRECT_DESC exists for.
+func (q *DeviceQueue) FetchChain(p *sim.Proc, head uint16) ([]Desc, error) {
+	var out []Desc
+	idx := head
+	for {
+		if len(out) > q.lay.QueueSize {
+			return nil, fmt.Errorf("virtio: descriptor chain longer than queue (loop?)")
+		}
+		raw := q.dma.Read(p, q.lay.Desc+mem.Addr(idx)*descEntrySize, descEntrySize)
+		d := decodeDesc(raw)
+		if d.Flags&DescFIndirect != 0 {
+			if len(out) != 0 || d.Flags&DescFNext != 0 {
+				return nil, fmt.Errorf("virtio: indirect descriptor must be the sole ring entry")
+			}
+			return q.fetchIndirect(p, d)
+		}
+		out = append(out, d)
+		if d.Flags&DescFNext == 0 {
+			return out, nil
+		}
+		idx = d.Next
+	}
+}
+
+func decodeDesc(raw []byte) Desc {
+	return Desc{
+		Addr:  mem.Addr(u64le(raw)),
+		Len:   u32le(raw[8:]),
+		Flags: u16le(raw[12:]),
+		Next:  u16le(raw[14:]),
+	}
+}
+
+// fetchIndirect reads the whole indirect table in one bus transfer and
+// decodes the chain it contains.
+func (q *DeviceQueue) fetchIndirect(p *sim.Proc, ind Desc) ([]Desc, error) {
+	n := int(ind.Len)
+	if n <= 0 || n%descEntrySize != 0 {
+		return nil, fmt.Errorf("virtio: indirect table length %d not a descriptor multiple", n)
+	}
+	count := n / descEntrySize
+	raw := q.dma.Read(p, ind.Addr, n)
+	out := make([]Desc, 0, count)
+	idx := 0
+	for {
+		if idx < 0 || idx >= count || len(out) > count {
+			return nil, fmt.Errorf("virtio: indirect chain escapes its table")
+		}
+		d := decodeDesc(raw[idx*descEntrySize:])
+		if d.Flags&DescFIndirect != 0 {
+			return nil, fmt.Errorf("virtio: nested indirect descriptor")
+		}
+		out = append(out, d)
+		if d.Flags&DescFNext == 0 {
+			return out, nil
+		}
+		idx = int(d.Next)
+	}
+}
+
+// ReadChain gathers the contents of all device-readable segments.
+func (q *DeviceQueue) ReadChain(p *sim.Proc, chain []Desc) []byte {
+	var out []byte
+	for _, d := range chain {
+		if d.Flags&DescFWrite == 0 {
+			out = append(out, q.dma.Read(p, d.Addr, int(d.Len))...)
+		}
+	}
+	return out
+}
+
+// WriteChain scatters data into the device-writable segments of chain
+// and returns the number of bytes written (for the used entry).
+func (q *DeviceQueue) WriteChain(p *sim.Proc, chain []Desc, data []byte) int {
+	written := 0
+	for _, d := range chain {
+		if d.Flags&DescFWrite == 0 {
+			continue
+		}
+		if len(data) == 0 {
+			break
+		}
+		n := int(d.Len)
+		if n > len(data) {
+			n = len(data)
+		}
+		q.dma.Write(p, d.Addr, data[:n])
+		data = data[n:]
+		written += n
+	}
+	return written
+}
+
+// PushUsed publishes a completed chain: write the used element, then
+// the incremented used index (two posted writes, ordered by the bus).
+func (q *DeviceQueue) PushUsed(p *sim.Proc, head uint16, written int) {
+	slot := q.lay.Used + usedHeaderLen + mem.Addr(q.usedIdx%uint16(q.lay.QueueSize))*usedEntrySize
+	elem := make([]byte, usedEntrySize)
+	putU32 := func(b []byte, v uint32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(elem, uint32(head))
+	putU32(elem[4:], uint32(written))
+	q.dma.Write(p, slot, elem)
+	q.usedIdx++
+	idx := []byte{byte(q.usedIdx), byte(q.usedIdx >> 8)}
+	q.dma.Write(p, q.lay.Used+2, idx)
+}
+
+// InterruptSuppressed reads the driver's avail flags and reports
+// whether VRING_AVAIL_F_NO_INTERRUPT is set.
+func (q *DeviceQueue) InterruptSuppressed(p *sim.Proc) bool {
+	return u16le(q.dma.Read(p, q.lay.Avail, 2))&AvailFNoInterrupt != 0
+}
+
+// SetNoNotify publishes UsedFNoNotify, telling the driver doorbells may
+// be skipped while the device is actively polling.
+func (q *DeviceQueue) SetNoNotify(p *sim.Proc, on bool) {
+	v := uint16(0)
+	if on {
+		v = UsedFNoNotify
+	}
+	q.dma.Write(p, q.lay.Used, []byte{byte(v), byte(v >> 8)})
+}

@@ -1,0 +1,92 @@
+package virtio
+
+import (
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+// This file implements VIRTIO_F_RING_EVENT_IDX (spec §2.7.7/§2.7.8):
+// instead of boolean suppression flags, each side publishes an index
+// threshold — used_event in the avail ring's tail ("interrupt me when
+// used passes this") and avail_event in the used ring's tail ("kick me
+// when avail passes this") — allowing fine-grained batching of both
+// interrupts and doorbells.
+
+// NeedEvent is the spec's vring_need_event: whether crossing from old
+// to new passed the event threshold (all arithmetic mod 2^16).
+func NeedEvent(event, new, old uint16) bool {
+	return uint16(new-event-1) < uint16(new-old)
+}
+
+// usedEventAddr is where the driver publishes its interrupt threshold.
+func (l RingLayout) usedEventAddr() mem.Addr {
+	return l.Avail + availHeaderLen + mem.Addr(2*l.QueueSize)
+}
+
+// availEventAddr is where the device publishes its doorbell threshold.
+func (l RingLayout) availEventAddr() mem.Addr {
+	return l.Used + usedHeaderLen + mem.Addr(usedEntrySize*l.QueueSize)
+}
+
+// ---- driver side ----------------------------------------------------------
+
+// EnableEventIdx switches the queue to event-index suppression; call
+// once, after the feature is negotiated and before traffic starts.
+func (q *DriverQueue) EnableEventIdx() {
+	q.eventIdx = true
+	// Arm immediately: interrupt on the first used entry.
+	q.mem.PutU16(q.lay.usedEventAddr(), q.lastUsedSeen)
+}
+
+// EventIdx reports whether event-index mode is enabled.
+func (q *DriverQueue) EventIdx() bool { return q.eventIdx }
+
+// NeedKick reports whether the device asked for a doorbell covering
+// the avail entries added since the last KickDone. Without EVENT_IDX
+// it falls back to the used-flags hint.
+func (q *DriverQueue) NeedKick() bool {
+	if !q.eventIdx {
+		return !q.DeviceNoNotify()
+	}
+	event := q.mem.U16(q.lay.availEventAddr())
+	return NeedEvent(event, q.availShadow, q.lastKicked)
+}
+
+// KickDone records that the driver has notified (or decided not to)
+// up to the current avail index.
+func (q *DriverQueue) KickDone() { q.lastKicked = q.availShadow }
+
+// armUsedEvent publishes the driver's interrupt threshold.
+func (q *DriverQueue) armUsedEvent(idx uint16) {
+	q.mem.PutU16(q.lay.usedEventAddr(), idx)
+}
+
+// ---- device side ----------------------------------------------------------
+
+// EnableEventIdx switches the device-side queue to event-index mode.
+func (q *DeviceQueue) EnableEventIdx() { q.eventIdx = true }
+
+// EventIdx reports whether event-index mode is enabled.
+func (q *DeviceQueue) EventIdx() bool { return q.eventIdx }
+
+// ShouldInterruptAt decides, after publishing used entries up to newIdx
+// (from oldIdx), whether to raise an interrupt. In event-index mode it
+// reads the driver's used_event threshold; otherwise the avail flags.
+// Both reads are costed bus accesses and happen after the used-index
+// write, preserving the race-free ordering.
+func (q *DeviceQueue) ShouldInterruptAt(p *sim.Proc, oldIdx, newIdx uint16) bool {
+	if q.eventIdx {
+		event := u16le(q.dma.Read(p, q.lay.usedEventAddr(), 2))
+		return NeedEvent(event, newIdx, oldIdx)
+	}
+	return !q.InterruptSuppressed(p)
+}
+
+// PublishAvailEvent writes the device's doorbell threshold: "kick me
+// when avail moves past idx".
+func (q *DeviceQueue) PublishAvailEvent(p *sim.Proc, idx uint16) {
+	q.dma.Write(p, q.lay.availEventAddr(), []byte{byte(idx), byte(idx >> 8)})
+}
+
+// UsedIdx reports the device's next used index (entries published so far).
+func (q *DeviceQueue) UsedIdx() uint16 { return q.usedIdx }

@@ -1,0 +1,77 @@
+package virtio
+
+import "fmt"
+
+// NetHdrSize is the size of struct virtio_net_hdr (with num_buffers,
+// as used by modern devices).
+const NetHdrSize = 12
+
+// NetHdr flag and GSO constants (subset the experiments use).
+const (
+	NetHdrFNeedsCsum = 1 // checksum offload requested for this packet
+	NetHdrFDataValid = 2 // device validated the checksum on receive
+	NetHdrGSONone    = 0
+)
+
+// NetHdr is the per-packet header prepended to every frame on the
+// network device's TX and RX queues.
+type NetHdr struct {
+	Flags      byte
+	GSOType    byte
+	HdrLen     uint16
+	GSOSize    uint16
+	CsumStart  uint16
+	CsumOffset uint16
+	NumBuffers uint16
+}
+
+// Encode renders the 12-byte wire format.
+func (h NetHdr) Encode() []byte {
+	b := make([]byte, NetHdrSize)
+	b[0] = h.Flags
+	b[1] = h.GSOType
+	put := func(o int, v uint16) { b[o] = byte(v); b[o+1] = byte(v >> 8) }
+	put(2, h.HdrLen)
+	put(4, h.GSOSize)
+	put(6, h.CsumStart)
+	put(8, h.CsumOffset)
+	put(10, h.NumBuffers)
+	return b
+}
+
+// DecodeNetHdr parses the 12-byte wire format.
+func DecodeNetHdr(b []byte) (NetHdr, error) {
+	if len(b) < NetHdrSize {
+		return NetHdr{}, fmt.Errorf("virtio: net hdr too short: %d bytes", len(b))
+	}
+	get := func(o int) uint16 { return uint16(b[o]) | uint16(b[o+1])<<8 }
+	return NetHdr{
+		Flags:      b[0],
+		GSOType:    b[1],
+		HdrLen:     get(2),
+		GSOSize:    get(4),
+		CsumStart:  get(6),
+		CsumOffset: get(8),
+		NumBuffers: get(10),
+	}, nil
+}
+
+// Net device-specific configuration layout (device config window).
+const (
+	NetCfgMAC    = 0x00 // 6 bytes
+	NetCfgStatus = 0x06 // u16; bit 0 = link up
+	NetCfgMaxVQP = 0x08 // u16 max_virtqueue_pairs
+	NetCfgMTU    = 0x0a // u16
+	NetCfgLen    = 0x0c
+)
+
+// NetStatusLinkUp is the link-up bit in the net config status field.
+const NetStatusLinkUp = 1
+
+// Control-queue classes/commands (subset).
+const (
+	NetCtrlRx        = 0 // class
+	NetCtrlRxPromisc = 0 // command: promiscuous on/off
+	NetCtrlAckOK     = 0
+	NetCtrlAckErr    = 1
+)

@@ -1,0 +1,400 @@
+package virtio
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/mem"
+	"fpgavirtio/internal/sim"
+)
+
+// This file implements the packed virtqueue format (VirtIO 1.2 §2.8):
+// a single ring of read-write descriptors replaces the split format's
+// three areas. Availability is signalled in-band through per-descriptor
+// AVAIL/USED bits interpreted against free-running wrap counters, so
+// the device discovers work and its parameters with a single bus read
+// per descriptor — no separate avail-ring lookup.
+
+// Packed descriptor flag bits (in addition to NEXT/WRITE/INDIRECT).
+const (
+	PackedDescFAvail = 1 << 7
+	PackedDescFUsed  = 1 << 15
+)
+
+// Event-suppression structure flag values (§2.8.10).
+const (
+	PackedEventFlagEnable  = 0
+	PackedEventFlagDisable = 1
+)
+
+// PackedLayout records where a packed virtqueue's areas live: the
+// descriptor ring and the two 4-byte event suppression structures.
+type PackedLayout struct {
+	QueueSize   int
+	Ring        mem.Addr // 16 bytes per descriptor
+	DriverEvent mem.Addr // written by driver, read by device
+	DeviceEvent mem.Addr // written by device, read by driver
+}
+
+// AllocPackedRing carves the packed ring areas out of host memory.
+func AllocPackedRing(al *mem.Allocator, queueSize int) PackedLayout {
+	if queueSize <= 0 || queueSize&(queueSize-1) != 0 {
+		panic(fmt.Sprintf("virtio: queue size %d must be a power of two", queueSize))
+	}
+	return PackedLayout{
+		QueueSize:   queueSize,
+		Ring:        al.Alloc(descEntrySize*queueSize, 16),
+		DriverEvent: al.Alloc(4, 4),
+		DeviceEvent: al.Alloc(4, 4),
+	}
+}
+
+func (l PackedLayout) slotAddr(i int) mem.Addr {
+	return l.Ring + mem.Addr(i)*descEntrySize
+}
+
+// packedChain records one outstanding chain, keyed by buffer ID.
+type packedChain struct {
+	token any
+	n     int
+}
+
+// PackedDriverQueue is the driver-side packed virtqueue.
+type PackedDriverQueue struct {
+	mem *mem.Memory
+	lay PackedLayout
+
+	nextIdx  int  // next slot to fill
+	wrap     bool // driver avail wrap counter (starts true)
+	usedIdx  int  // next slot to poll for completion
+	usedWrap bool // driver used wrap counter (starts true)
+	numFree  int
+
+	chains map[uint16]packedChain
+
+	kickArmed bool // a doorbell is owed for chains added since KickDone
+}
+
+// NewPackedDriverQueue initializes the ring (all descriptors unavailable)
+// and the event suppression structures (notifications enabled).
+func NewPackedDriverQueue(m *mem.Memory, lay PackedLayout) *PackedDriverQueue {
+	q := &PackedDriverQueue{
+		mem:      m,
+		lay:      lay,
+		wrap:     true,
+		usedWrap: true,
+		numFree:  lay.QueueSize,
+		chains:   make(map[uint16]packedChain),
+	}
+	for i := 0; i < lay.QueueSize; i++ {
+		m.Fill(lay.slotAddr(i), descEntrySize, 0)
+	}
+	m.PutU32(lay.DriverEvent, PackedEventFlagEnable)
+	m.PutU32(lay.DeviceEvent, PackedEventFlagEnable)
+	return q
+}
+
+// Layout returns the ring layout.
+func (q *PackedDriverQueue) Layout() PackedLayout { return q.lay }
+
+// NumFree implements DriverRing.
+func (q *PackedDriverQueue) NumFree() int { return q.numFree }
+
+// availBits returns the AVAIL/USED bit pattern marking a descriptor
+// available under wrap counter w: AVAIL == w, USED == !w.
+func availBits(w bool) uint16 {
+	if w {
+		return PackedDescFAvail
+	}
+	return PackedDescFUsed
+}
+
+// usedBits returns the pattern marking a descriptor used under wrap
+// counter w: AVAIL == USED == w.
+func usedBits(w bool) uint16 {
+	if w {
+		return PackedDescFAvail | PackedDescFUsed
+	}
+	return 0
+}
+
+// Add implements DriverRing: write the chain's descriptors into
+// consecutive slots (the head's flags last, as the visibility barrier),
+// with the buffer ID carried in the final descriptor.
+func (q *PackedDriverQueue) Add(segs []BufSeg, token any) (uint16, error) {
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("virtio: empty buffer chain")
+	}
+	if len(segs) > q.numFree {
+		return 0, fmt.Errorf("virtio: packed ring full (%d free, need %d)", q.numFree, len(segs))
+	}
+	id := uint16(q.nextIdx) // head slot doubles as the buffer ID
+	idx, wrap := q.nextIdx, q.wrap
+	var headAddr mem.Addr
+	var headFlags uint16
+	for i, s := range segs {
+		a := q.lay.slotAddr(idx)
+		flags := availBits(wrap)
+		if s.DeviceWritten {
+			flags |= DescFWrite
+		}
+		if i != len(segs)-1 {
+			flags |= DescFNext
+		}
+		q.mem.PutU64(a, uint64(s.Addr))
+		q.mem.PutU32(a+8, uint32(s.Len))
+		q.mem.PutU16(a+12, id)
+		if i == 0 {
+			// Defer the head's flags: the device must not observe the
+			// chain until every descriptor is in place.
+			headAddr, headFlags = a+14, flags
+		} else {
+			q.mem.PutU16(a+14, flags)
+		}
+		idx++
+		if idx == q.lay.QueueSize {
+			idx = 0
+			wrap = !wrap
+		}
+	}
+	q.mem.PutU16(headAddr, headFlags)
+	q.nextIdx, q.wrap = idx, wrap
+	q.numFree -= len(segs)
+	q.chains[id] = packedChain{token: token, n: len(segs)}
+	q.kickArmed = true
+	return id, nil
+}
+
+// peekUsed reads the descriptor at the poll position and reports
+// whether the device has marked it used.
+func (q *PackedDriverQueue) peekUsed() (uint16, uint32, bool) {
+	a := q.lay.slotAddr(q.usedIdx)
+	flags := q.mem.U16(a + 14)
+	if flags&(PackedDescFAvail|PackedDescFUsed) != usedBits(q.usedWrap) {
+		return 0, 0, false
+	}
+	return q.mem.U16(a + 12), q.mem.U32(a + 8), true
+}
+
+// HasUsed implements DriverRing.
+func (q *PackedDriverQueue) HasUsed() bool {
+	_, _, ok := q.peekUsed()
+	return ok
+}
+
+// GetUsed implements DriverRing: harvest one completion and reclaim its
+// slots.
+func (q *PackedDriverQueue) GetUsed() (Used, bool) {
+	id, written, ok := q.peekUsed()
+	if !ok {
+		return Used{}, false
+	}
+	ch, known := q.chains[id]
+	if !known {
+		panic(fmt.Sprintf("virtio: packed completion for unknown buffer id %d", id))
+	}
+	delete(q.chains, id)
+	q.usedIdx += ch.n
+	if q.usedIdx >= q.lay.QueueSize {
+		q.usedIdx -= q.lay.QueueSize
+		q.usedWrap = !q.usedWrap
+	}
+	q.numFree += ch.n
+	return Used{Token: ch.token, Written: int(written)}, true
+}
+
+// SetNoInterrupt implements DriverRing via the driver event structure.
+func (q *PackedDriverQueue) SetNoInterrupt(on bool) {
+	v := uint32(PackedEventFlagEnable)
+	if on {
+		v = PackedEventFlagDisable
+	}
+	q.mem.PutU32(q.lay.DriverEvent, v)
+}
+
+// NeedKick implements DriverRing: honour the device event structure.
+func (q *PackedDriverQueue) NeedKick() bool {
+	if !q.kickArmed {
+		return false
+	}
+	return q.mem.U32(q.lay.DeviceEvent) == PackedEventFlagEnable
+}
+
+// KickDone implements DriverRing.
+func (q *PackedDriverQueue) KickDone() { q.kickArmed = false }
+
+// ---- device side ----------------------------------------------------------
+
+// PackedDeviceQueue is the device-side packed virtqueue; all accesses
+// go through costed DMA.
+type PackedDeviceQueue struct {
+	dma DMA
+	lay PackedLayout
+
+	idx      int  // next slot to poll for available descriptors
+	wrap     bool // device avail wrap counter
+	usedIdx  int  // next slot to write completions into
+	usedWrap bool // device used wrap counter
+
+	// pending caches the head descriptor the last HasPending read, so
+	// NextChain does not pay for it twice.
+	pending   *Desc
+	pendingID uint16
+}
+
+// NewPackedDeviceQueue returns the device-side handle.
+func NewPackedDeviceQueue(dma DMA, lay PackedLayout) *PackedDeviceQueue {
+	return &PackedDeviceQueue{dma: dma, lay: lay, wrap: true, usedWrap: true}
+}
+
+// Layout returns the ring layout.
+func (q *PackedDeviceQueue) Layout() PackedLayout { return q.lay }
+
+// readSlot fetches one descriptor (16 bytes, one bus read). The packed
+// layout differs from the split one: the buffer ID sits at offset 12
+// and the flags at offset 14 (there is no next field — chains are
+// positional).
+func (q *PackedDeviceQueue) readSlot(p *sim.Proc, i int) (Desc, uint16) {
+	raw := q.dma.Read(p, q.lay.slotAddr(i), descEntrySize)
+	d := Desc{
+		Addr:  mem.Addr(u64le(raw)),
+		Len:   u32le(raw[8:]),
+		Flags: u16le(raw[14:]),
+	}
+	return d, u16le(raw[12:])
+}
+
+// isAvail reports whether flags mark the descriptor available under the
+// device's wrap counter.
+func (q *PackedDeviceQueue) isAvail(flags uint16) bool {
+	return flags&(PackedDescFAvail|PackedDescFUsed) == availBits(q.wrap)
+}
+
+// HasPending implements DeviceRing: read the next slot and check its
+// availability bits — the packed format's single-read work discovery.
+func (q *PackedDeviceQueue) HasPending(p *sim.Proc) bool {
+	d, id := q.readSlot(p, q.idx)
+	if !q.isAvail(d.Flags) {
+		q.pending = nil
+		return false
+	}
+	q.pending, q.pendingID = &d, id
+	return true
+}
+
+// NextChain implements DeviceRing: consume the pending chain. The head
+// was already fetched by HasPending; only chained descriptors cost
+// further reads.
+func (q *PackedDeviceQueue) NextChain(p *sim.Proc) ([]Desc, ChainToken, error) {
+	head := q.pending
+	id := q.pendingID
+	if head == nil {
+		d, did := q.readSlot(p, q.idx)
+		if !q.isAvail(d.Flags) {
+			return nil, ChainToken{}, fmt.Errorf("virtio: packed NextChain with nothing pending")
+		}
+		head, id = &d, did
+	}
+	q.pending = nil
+	chain := []Desc{*head}
+	q.advance()
+	for chain[len(chain)-1].Flags&DescFNext != 0 {
+		if len(chain) > q.lay.QueueSize {
+			return nil, ChainToken{}, fmt.Errorf("virtio: packed chain longer than queue")
+		}
+		d, did := q.readSlot(p, q.idx)
+		if !q.isAvailOrPrevWrap(d.Flags) {
+			return nil, ChainToken{}, fmt.Errorf("virtio: packed chain truncated at slot %d", q.idx)
+		}
+		id = did
+		chain = append(chain, d)
+		q.advance()
+	}
+	return chain, ChainToken{Head: id, Len: len(chain)}, nil
+}
+
+// isAvailOrPrevWrap accepts chained descriptors that were written under
+// the wrap counter value in force at their slot — which flips when the
+// chain crosses the ring boundary (advance() has already updated
+// q.wrap, so a plain isAvail check suffices).
+func (q *PackedDeviceQueue) isAvailOrPrevWrap(flags uint16) bool {
+	return q.isAvail(flags)
+}
+
+// advance moves the poll position one slot, flipping the wrap counter
+// at the ring boundary.
+func (q *PackedDeviceQueue) advance() {
+	q.idx++
+	if q.idx == q.lay.QueueSize {
+		q.idx = 0
+		q.wrap = !q.wrap
+	}
+}
+
+// ReadChain implements DeviceRing.
+func (q *PackedDeviceQueue) ReadChain(p *sim.Proc, chain []Desc) []byte {
+	var out []byte
+	for _, d := range chain {
+		if d.Flags&DescFWrite == 0 {
+			out = append(out, q.dma.Read(p, d.Addr, int(d.Len))...)
+		}
+	}
+	return out
+}
+
+// WriteChain implements DeviceRing.
+func (q *PackedDeviceQueue) WriteChain(p *sim.Proc, chain []Desc, data []byte) int {
+	written := 0
+	for _, d := range chain {
+		if d.Flags&DescFWrite == 0 {
+			continue
+		}
+		if len(data) == 0 {
+			break
+		}
+		n := int(d.Len)
+		if n > len(data) {
+			n = len(data)
+		}
+		q.dma.Write(p, d.Addr, data[:n])
+		data = data[n:]
+		written += n
+	}
+	return written
+}
+
+// Complete implements DeviceRing: write one used descriptor carrying
+// the buffer ID and written length (a single posted write), then skip
+// the chain's remaining slots.
+func (q *PackedDeviceQueue) Complete(p *sim.Proc, tok ChainToken, written int) {
+	a := q.lay.slotAddr(q.usedIdx)
+	buf := make([]byte, descEntrySize)
+	put32 := func(o int, v uint32) {
+		buf[o], buf[o+1], buf[o+2], buf[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	put32(8, uint32(written))
+	buf[12], buf[13] = byte(tok.Head), byte(tok.Head>>8)
+	fl := usedBits(q.usedWrap)
+	buf[14], buf[15] = byte(fl), byte(fl>>8)
+	q.dma.Write(p, a, buf)
+	q.usedIdx += tok.Len
+	if q.usedIdx >= q.lay.QueueSize {
+		q.usedIdx -= q.lay.QueueSize
+		q.usedWrap = !q.usedWrap
+	}
+}
+
+// ShouldInterrupt implements DeviceRing via the driver event structure.
+func (q *PackedDeviceQueue) ShouldInterrupt(p *sim.Proc) bool {
+	return u32le(q.dma.Read(p, q.lay.DriverEvent, 4)) == PackedEventFlagEnable
+}
+
+// PublishIdleHint implements DeviceRing: (re-)enable doorbells in the
+// device event structure before the engine parks.
+func (q *PackedDeviceQueue) PublishIdleHint(p *sim.Proc) {
+	q.dma.Write(p, q.lay.DeviceEvent, []byte{PackedEventFlagEnable, 0, 0, 0})
+}
+
+var (
+	_ DeviceRing = (*PackedDeviceQueue)(nil)
+	_ DriverRing = (*PackedDriverQueue)(nil)
+)

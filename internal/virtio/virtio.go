@@ -1,0 +1,202 @@
+// Package virtio implements the VirtIO 1.2 machinery both sides of the
+// experiment share: device and feature constants, the split virtqueue
+// memory layout, driver-side ring operations (the front-end running on
+// the host CPU against its own memory), and device-side ring operations
+// (the FPGA controller reaching the same structures through costed DMA).
+package virtio
+
+import "fmt"
+
+// PCIVendorID is the VirtIO PCI vendor ID.
+const PCIVendorID = 0x1af4
+
+// PCIDeviceIDBase is the modern (non-transitional) PCI device ID base:
+// the PCI device ID is PCIDeviceIDBase + DeviceType.
+const PCIDeviceIDBase = 0x1040
+
+// DeviceType identifies a VirtIO device class.
+type DeviceType uint16
+
+// Device types from the specification.
+const (
+	DeviceNet     DeviceType = 1
+	DeviceBlock   DeviceType = 2
+	DeviceConsole DeviceType = 3
+)
+
+// String names the device type.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceNet:
+		return "net"
+	case DeviceBlock:
+		return "block"
+	case DeviceConsole:
+		return "console"
+	default:
+		return fmt.Sprintf("device-type-%d", uint16(t))
+	}
+}
+
+// PCIDeviceID returns the modern PCI device ID for the type.
+func (t DeviceType) PCIDeviceID() uint16 { return PCIDeviceIDBase + uint16(t) }
+
+// Device status bits (driver writes these during bring-up).
+const (
+	StatusAcknowledge = 1
+	StatusDriver      = 2
+	StatusDriverOK    = 4
+	StatusFeaturesOK  = 8
+	StatusNeedsReset  = 64
+	StatusFailed      = 128
+)
+
+// Feature is a 64-bit feature bitmap.
+type Feature uint64
+
+// Device-independent feature bits.
+const (
+	FRingIndirectDesc Feature = 1 << 28
+	FRingEventIdx     Feature = 1 << 29
+	FVersion1         Feature = 1 << 32
+)
+
+// Network device feature bits.
+const (
+	NetFCsum      Feature = 1 << 0
+	NetFGuestCsum Feature = 1 << 1
+	NetFMTU       Feature = 1 << 3
+	NetFMAC       Feature = 1 << 5
+	NetFStatus    Feature = 1 << 16
+	NetFCtrlVQ    Feature = 1 << 17
+)
+
+// Has reports whether f contains all bits of want.
+func (f Feature) Has(want Feature) bool { return f&want == want }
+
+// String lists the known set bits.
+func (f Feature) String() string {
+	names := []struct {
+		bit  Feature
+		name string
+	}{
+		{NetFCsum, "CSUM"}, {NetFGuestCsum, "GUEST_CSUM"}, {NetFMTU, "MTU"},
+		{NetFMAC, "MAC"}, {NetFStatus, "STATUS"}, {NetFCtrlVQ, "CTRL_VQ"},
+		{FRingIndirectDesc, "RING_INDIRECT"}, {FRingEventIdx, "EVENT_IDX"},
+		{FVersion1, "VERSION_1"},
+	}
+	out := ""
+	for _, n := range names {
+		if f.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+// Configuration structure types carried in VirtIO PCI vendor capabilities.
+const (
+	CfgTypeCommon = 1
+	CfgTypeNotify = 2
+	CfgTypeISR    = 3
+	CfgTypeDevice = 4
+	CfgTypePCI    = 5
+)
+
+// Common configuration structure register offsets (within the common
+// window of the device BAR), per VirtIO 1.2 §4.1.4.3.
+const (
+	CommonDeviceFeatureSel = 0x00
+	CommonDeviceFeature    = 0x04
+	CommonDriverFeatureSel = 0x08
+	CommonDriverFeature    = 0x0c
+	CommonMSIXConfig       = 0x10
+	CommonNumQueues        = 0x12
+	CommonDeviceStatus     = 0x14
+	CommonConfigGeneration = 0x15
+	CommonQueueSelect      = 0x16
+	CommonQueueSize        = 0x18
+	CommonQueueMSIXVector  = 0x1a
+	CommonQueueEnable      = 0x1c
+	CommonQueueNotifyOff   = 0x1e
+	CommonQueueDesc        = 0x20
+	CommonQueueDriver      = 0x28
+	CommonQueueDevice      = 0x30
+)
+
+// ISR status bits.
+const (
+	ISRQueue  = 1 << 0
+	ISRConfig = 1 << 1
+)
+
+// Descriptor flags.
+const (
+	DescFNext     = 1
+	DescFWrite    = 2
+	DescFIndirect = 4
+)
+
+// Avail/used ring flags.
+const (
+	AvailFNoInterrupt = 1
+	UsedFNoNotify     = 1
+)
+
+// PCICap is the virtio_pci_cap structure carried in a PCI vendor
+// capability: it tells the driver where in which BAR a configuration
+// structure lives. Body layout (after the generic 2-byte cap header):
+// cap_len, cfg_type, bar, id, padding[2], offset le32, length le32.
+type PCICap struct {
+	CfgType byte
+	Bar     byte
+	ID      byte
+	Offset  uint32
+	Length  uint32
+	// NotifyOffMultiplier is appended for CfgTypeNotify capabilities.
+	NotifyOffMultiplier uint32
+}
+
+// Encode renders the capability body bytes (the part following the
+// capability ID and next pointer).
+func (c PCICap) Encode() []byte {
+	capLen := byte(16)
+	if c.CfgType == CfgTypeNotify {
+		capLen = 20
+	}
+	b := []byte{
+		capLen, c.CfgType, c.Bar, c.ID, 0, 0,
+		byte(c.Offset), byte(c.Offset >> 8), byte(c.Offset >> 16), byte(c.Offset >> 24),
+		byte(c.Length), byte(c.Length >> 8), byte(c.Length >> 16), byte(c.Length >> 24),
+	}
+	if c.CfgType == CfgTypeNotify {
+		m := c.NotifyOffMultiplier
+		b = append(b, byte(m), byte(m>>8), byte(m>>16), byte(m>>24))
+	}
+	return b
+}
+
+// DecodePCICap parses a capability body produced by Encode (or read
+// from config space starting at the cap_len byte).
+func DecodePCICap(b []byte) (PCICap, error) {
+	if len(b) < 14 {
+		return PCICap{}, fmt.Errorf("virtio: pci cap body too short: %d bytes", len(b))
+	}
+	u32 := func(o int) uint32 {
+		return uint32(b[o]) | uint32(b[o+1])<<8 | uint32(b[o+2])<<16 | uint32(b[o+3])<<24
+	}
+	c := PCICap{CfgType: b[1], Bar: b[2], ID: b[3], Offset: u32(6), Length: u32(10)}
+	if c.CfgType == CfgTypeNotify {
+		if len(b) < 18 {
+			return PCICap{}, fmt.Errorf("virtio: notify cap body too short")
+		}
+		c.NotifyOffMultiplier = u32(14)
+	}
+	return c, nil
+}

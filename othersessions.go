@@ -1,0 +1,215 @@
+package fpgavirtio
+
+import (
+	"fmt"
+	"time"
+
+	"fpgavirtio/internal/drivers/virtioblk"
+	"fpgavirtio/internal/drivers/virtioconsole"
+	"fpgavirtio/internal/hostos"
+	"fpgavirtio/internal/pcie"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/vdev"
+)
+
+// ConsoleSession is a booted VirtIO console testbed (the device type of
+// the prior work the paper extends).
+type ConsoleSession struct {
+	s    *sim.Sim
+	host *hostos.Host
+	drv  *virtioconsole.Device
+}
+
+// OpenConsole boots a console session with echo user logic.
+func OpenConsole(cfg Config) (*ConsoleSession, error) {
+	s := sim.New()
+	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
+	vdev.NewConsole(s, h.RC, "fpga-vcon", vdev.ConsoleOptions{Link: cfg.Link.config()})
+	cs := &ConsoleSession{s: s, host: h}
+	if err := bootSession(s, h, func(p *sim.Proc, infos []*pcie.DeviceInfo) error {
+		drv, err := virtioconsole.Probe(p, h, infos[0])
+		if err != nil {
+			return err
+		}
+		cs.drv = drv
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// WriteRead sends bytes to the console device and waits for the echoed
+// bytes, returning them with the observed round-trip time.
+func (cs *ConsoleSession) WriteRead(data []byte) ([]byte, time.Duration, error) {
+	var out []byte
+	var rtt sim.Duration
+	err := runApp(cs.s, func(p *sim.Proc) error {
+		t0 := cs.host.ClockGettime(p)
+		if err := cs.drv.Write(p, data); err != nil {
+			return err
+		}
+		got, err := cs.drv.Read(p)
+		if err != nil {
+			return err
+		}
+		t1 := cs.host.ClockGettime(p)
+		out = got
+		rtt = t1.Sub(t0)
+		return nil
+	})
+	return out, toStd(rtt), err
+}
+
+// BlkSession is a booted VirtIO block-device testbed (the storage-
+// accelerator use case).
+type BlkSession struct {
+	s    *sim.Sim
+	host *hostos.Host
+	dev  *vdev.BlkDevice
+	drv  *virtioblk.Device
+}
+
+// BlkConfig configures a block session.
+type BlkConfig struct {
+	Config
+	// CapacitySectors sizes the device (512-byte sectors; default 2048).
+	CapacitySectors uint64
+}
+
+// OpenBlk boots a block-device session backed by card memory.
+func OpenBlk(cfg BlkConfig) (*BlkSession, error) {
+	s := sim.New()
+	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
+	dev := vdev.NewBlk(s, h.RC, "fpga-vblk", vdev.BlkOptions{
+		Link:            cfg.Link.config(),
+		CapacitySectors: cfg.CapacitySectors,
+	})
+	bs := &BlkSession{s: s, host: h, dev: dev}
+	if err := bootSession(s, h, func(p *sim.Proc, infos []*pcie.DeviceInfo) error {
+		drv, err := virtioblk.Probe(p, h, infos[0])
+		if err != nil {
+			return err
+		}
+		bs.drv = drv
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// CapacitySectors reports the negotiated device capacity.
+func (bs *BlkSession) CapacitySectors() uint64 { return bs.drv.CapacitySectors() }
+
+// WriteSector writes one 512-byte sector and returns the operation time.
+func (bs *BlkSession) WriteSector(sector uint64, data []byte) (time.Duration, error) {
+	var rtt sim.Duration
+	err := runApp(bs.s, func(p *sim.Proc) error {
+		t0 := bs.host.ClockGettime(p)
+		if err := bs.drv.WriteSector(p, sector, data); err != nil {
+			return err
+		}
+		rtt = bs.host.ClockGettime(p).Sub(t0)
+		return nil
+	})
+	return toStd(rtt), err
+}
+
+// ReadSector reads one 512-byte sector and returns it with the
+// operation time.
+func (bs *BlkSession) ReadSector(sector uint64) ([]byte, time.Duration, error) {
+	var out []byte
+	var rtt sim.Duration
+	err := runApp(bs.s, func(p *sim.Proc) error {
+		t0 := bs.host.ClockGettime(p)
+		data, err := bs.drv.ReadSector(p, sector)
+		if err != nil {
+			return err
+		}
+		out = data
+		rtt = bs.host.ClockGettime(p).Sub(t0)
+		return nil
+	})
+	return out, toStd(rtt), err
+}
+
+// WriteSectors writes len(data)/512 consecutive sectors in one request.
+func (bs *BlkSession) WriteSectors(sector uint64, data []byte) (time.Duration, error) {
+	var rtt sim.Duration
+	err := runApp(bs.s, func(p *sim.Proc) error {
+		t0 := bs.host.ClockGettime(p)
+		if err := bs.drv.WriteSectors(p, sector, data); err != nil {
+			return err
+		}
+		rtt = bs.host.ClockGettime(p).Sub(t0)
+		return nil
+	})
+	return toStd(rtt), err
+}
+
+// ReadSectors reads count consecutive sectors in one request.
+func (bs *BlkSession) ReadSectors(sector uint64, count int) ([]byte, time.Duration, error) {
+	var out []byte
+	var rtt sim.Duration
+	err := runApp(bs.s, func(p *sim.Proc) error {
+		t0 := bs.host.ClockGettime(p)
+		data, err := bs.drv.ReadSectors(p, sector, count)
+		if err != nil {
+			return err
+		}
+		out = data
+		rtt = bs.host.ClockGettime(p).Sub(t0)
+		return nil
+	})
+	return out, toStd(rtt), err
+}
+
+// Flush issues a flush barrier.
+func (bs *BlkSession) Flush() error {
+	return runApp(bs.s, func(p *sim.Proc) error { return bs.drv.Flush(p) })
+}
+
+// ---- shared session plumbing -------------------------------------------
+
+func bootSession(s *sim.Sim, h *hostos.Host, bind func(p *sim.Proc, infos []*pcie.DeviceInfo) error) error {
+	var bootErr error
+	booted := false
+	s.Go("boot", func(p *sim.Proc) {
+		defer s.Stop()
+		infos := h.RC.Enumerate(p)
+		if len(infos) == 0 {
+			bootErr = fmt.Errorf("fpgavirtio: no devices enumerated")
+			return
+		}
+		bootErr = bind(p, infos)
+		booted = bootErr == nil
+	})
+	if err := s.Run(); err != nil {
+		return err
+	}
+	if bootErr != nil {
+		return bootErr
+	}
+	if !booted {
+		return fmt.Errorf("fpgavirtio: session did not boot")
+	}
+	return nil
+}
+
+func runApp(s *sim.Sim, fn func(p *sim.Proc) error) error {
+	var opErr error
+	done := false
+	s.Go("app", func(p *sim.Proc) {
+		defer s.Stop()
+		opErr = fn(p)
+		done = true
+	})
+	if err := s.Run(); err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("fpgavirtio: operation did not complete")
+	}
+	return opErr
+}

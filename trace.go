@@ -1,0 +1,56 @@
+package fpgavirtio
+
+import (
+	"fpgavirtio/internal/sim"
+)
+
+// TraceEvent is one executed simulation event: a TLP arrival, an engine
+// step, an interrupt, a wakeup. AtNanos is the absolute simulated
+// timestamp in nanoseconds.
+type TraceEvent struct {
+	AtNanos int64
+	Name    string
+}
+
+func convertTrace(records []sim.TraceRecord) []TraceEvent {
+	out := make([]TraceEvent, len(records))
+	for i, r := range records {
+		ns := int64(r.At / sim.Time(sim.Nanosecond))
+		out[i] = TraceEvent{AtNanos: ns, Name: r.Name}
+	}
+	return out
+}
+
+// TraceNetPing boots a VirtIO-net session and records every simulation
+// event of a single echo round trip.
+func TraceNetPing(cfg NetConfig, payload int) ([]TraceEvent, error) {
+	ns, err := OpenNet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &sim.RecordingTracer{Max: 100000}
+	ns.s.SetTracer(tr)
+	_, _, err = ns.Ping(make([]byte, payload))
+	ns.s.SetTracer(nil)
+	if err != nil {
+		return nil, err
+	}
+	return convertTrace(tr.Records), nil
+}
+
+// TraceXDMARoundTrip boots a vendor-path session and records every
+// simulation event of a single write()+read() round trip.
+func TraceXDMARoundTrip(cfg XDMAConfig, bytes int) ([]TraceEvent, error) {
+	xs, err := OpenXDMA(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := &sim.RecordingTracer{Max: 100000}
+	xs.s.SetTracer(tr)
+	_, err = xs.RoundTrip(make([]byte, bytes))
+	xs.s.SetTracer(nil)
+	if err != nil {
+		return nil, err
+	}
+	return convertTrace(tr.Records), nil
+}

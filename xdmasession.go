@@ -1,0 +1,183 @@
+package fpgavirtio
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"fpgavirtio/internal/drivers/xdmadrv"
+	"fpgavirtio/internal/hostos"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/xdmaip"
+)
+
+// XDMAConfig configures a vendor-driver session. The zero value (plus
+// Config) reproduces the paper's baseline: the XDMA example design
+// (BRAM behind the DMA engine, no user logic), driven through the
+// reference character-device driver.
+type XDMAConfig struct {
+	Config
+	// WaitC2HReady switches from the paper's favourable back-to-back
+	// setup to the realistic one (§IV-C): user logic raises a
+	// data-ready interrupt after the H2C transfer, and the application
+	// waits for it before issuing the read.
+	WaitC2HReady bool
+}
+
+// XDMASession is a booted vendor-path testbed.
+type XDMASession struct {
+	s    *sim.Sim
+	host *hostos.Host
+	dev  *xdmaip.VendorDevice
+	drv  *xdmadrv.Driver
+	h2c  *hostos.File
+	c2h  *hostos.File
+
+	waitReady bool
+	readyWQ   *hostos.WaitQueue
+	dataReady bool
+}
+
+// OpenXDMA boots the vendor baseline: attach the XDMA example design,
+// enumerate, probe the reference driver, open both device nodes.
+func OpenXDMA(cfg XDMAConfig) (*XDMASession, error) {
+	s := sim.New()
+	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
+	devCfg := xdmaip.DefaultConfig()
+	devCfg.Link = cfg.Link.config()
+	devCfg.NotifyOnH2CComplete = cfg.WaitC2HReady
+	dev := xdmaip.NewVendor(s, h.RC, "xdma0", devCfg)
+	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady}
+
+	var bootErr error
+	booted := false
+	s.Go("boot", func(p *sim.Proc) {
+		defer s.Stop()
+		infos := h.RC.Enumerate(p)
+		if len(infos) != 1 {
+			bootErr = fmt.Errorf("fpgavirtio: enumerated %d devices, want 1", len(infos))
+			return
+		}
+		drv, err := xdmadrv.Probe(p, h, infos[0], "xdma0")
+		if err != nil {
+			bootErr = err
+			return
+		}
+		xs.drv = drv
+		if xs.h2c, err = h.Open("/dev/xdma0_h2c_0"); err != nil {
+			bootErr = err
+			return
+		}
+		if xs.c2h, err = h.Open("/dev/xdma0_c2h_0"); err != nil {
+			bootErr = err
+			return
+		}
+		if xs.waitReady {
+			// Realistic mode: enable user interrupt 0 and register the
+			// data-ready handler the stock example design lacks.
+			xs.readyWQ = h.NewWaitQueue("xdma.ready")
+			h.RC.MMIOWrite(p, infos[0].BAR[1]+xdmaip.IRQBlockBase+xdmaip.RegIRQUserEnable, 4, 1)
+			h.RegisterIRQ(infos[0].EP, xdmaip.VecUserBase, func(ip *sim.Proc) {
+				h.CPUWork(ip, 300*sim.Nanosecond)
+				xs.dataReady = true
+				xs.readyWQ.Wake()
+			})
+		}
+		booted = true
+	})
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	if !booted {
+		return nil, fmt.Errorf("fpgavirtio: xdma session did not boot")
+	}
+	return xs, nil
+}
+
+func (xs *XDMASession) run(fn func(p *sim.Proc) error) error {
+	var opErr error
+	done := false
+	xs.s.Go("app", func(p *sim.Proc) {
+		defer xs.s.Stop()
+		opErr = fn(p)
+		done = true
+	})
+	if err := xs.s.Run(); err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("fpgavirtio: operation did not complete")
+	}
+	return opErr
+}
+
+// RoundTrip writes data to the FPGA and reads the same number of bytes
+// back, exactly the paper's XDMA test-program loop: back-to-back
+// write() and read() with no device-side wait in between (the
+// favourable setup of §IV-C), returning the total round-trip time.
+func (xs *XDMASession) RoundTrip(data []byte) (time.Duration, error) {
+	sample, err := xs.RoundTripDetailed(data)
+	return sample.Total, err
+}
+
+// RoundTripDetailed is RoundTrip plus the hardware-counter
+// decomposition (H2C engine time + C2H engine time).
+func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
+	var sample RTTSample
+	err := xs.run(func(p *sim.Proc) error {
+		t0 := xs.host.ClockGettime(p)
+		if xs.waitReady {
+			xs.dataReady = false
+		}
+		if _, err := xs.h2c.Write(p, data); err != nil {
+			return err
+		}
+		if xs.waitReady {
+			// poll(2) on the user-interrupt eventfd, then re-arm.
+			xs.host.SyscallEnter(p)
+			for !xs.dataReady {
+				xs.readyWQ.Wait(p)
+			}
+			xs.host.SyscallExit(p)
+		}
+		back := make([]byte, len(data))
+		if _, err := xs.c2h.Read(p, back); err != nil {
+			return err
+		}
+		t1 := xs.host.ClockGettime(p)
+		if !bytes.Equal(back, data) {
+			return fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
+		}
+		total := t1.Sub(t0)
+		var hw sim.Duration
+		if d, ok := xs.dev.H2CCounter().TakeLast(); ok {
+			hw += d
+		}
+		if d, ok := xs.dev.C2HCounter().TakeLast(); ok {
+			hw += d
+		}
+		sample = RTTSample{
+			Total:    toStd(total),
+			Hardware: toStd(hw),
+			Software: toStd(total - hw),
+		}
+		return nil
+	})
+	return sample, err
+}
+
+// BusStats returns the FPGA endpoint's accumulated bus counters.
+func (xs *XDMASession) BusStats() BusStats {
+	st := xs.dev.EP().Stats()
+	out := BusStats{DownBytes: st.DownBytes, UpBytes: st.UpBytes, Interrupts: st.Interrupts}
+	for _, n := range st.DownTLPs {
+		out.DownTLPs += n
+	}
+	for _, n := range st.UpTLPs {
+		out.UpTLPs += n
+	}
+	return out
+}
