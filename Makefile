@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# smoke runs a tiny fvbench sweep and writes the JSON bench artifact;
+# fvbench re-reads and validates the file against the exporter schema,
+# so a passing run proves the end-to-end export path.
+smoke:
+	$(GO) run ./cmd/fvbench -n 200 -payloads 64,256 -json $${TMPDIR:-/tmp}/fvbench-smoke.json fig3 > /dev/null
+	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
+
+ci: vet build fmt race smoke
+	@echo "ci: all checks passed"
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,170 @@
+package fpgavirtio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// crossCheck asserts the span-derived attribution agrees with the
+// counter-based RTTSample decomposition. The FPGA counters quantize to
+// 8 ns intervals (125 MHz) and the app clock to 1 ns, so per round the
+// two views may differ by a few tens of nanoseconds; 100 ns per round
+// is a comfortable bound that still catches any structural mismatch.
+func crossCheck(t *testing.T, r BreakdownReport) {
+	t.Helper()
+	if r.OpenSpans != 0 {
+		t.Errorf("%s/%dB: %d spans left open", r.Driver, r.PayloadBytes, r.OpenSpans)
+	}
+	var total, hw, rg, sw time.Duration
+	for _, s := range r.Samples {
+		total += s.Total
+		hw += s.Hardware
+		rg += s.RespGen
+		sw += s.Software
+	}
+	tol := time.Duration(r.Rounds) * 100 * time.Nanosecond
+	check := func(name string, spanV, counterV time.Duration) {
+		d := spanV - counterV
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			t.Errorf("%s/%dB %s: spans say %v, counters say %v (|diff| %v > tol %v)",
+				r.Driver, r.PayloadBytes, name, spanV, counterV, d, tol)
+		}
+	}
+	check("total", r.Total, total)
+	check("hardware", r.Hardware, hw)
+	check("respgen", r.RespGen, rg)
+	check("software", r.Software, sw)
+	if r.Total <= 0 || r.Hardware <= 0 || r.Software <= 0 {
+		t.Errorf("%s/%dB: non-positive attribution: total %v hw %v sw %v",
+			r.Driver, r.PayloadBytes, r.Total, r.Hardware, r.Software)
+	}
+}
+
+func TestBreakdownCrossCheckVirtIO(t *testing.T) {
+	for _, payload := range []int{64, 1024} {
+		ns, err := OpenNet(NetConfig{Config: Config{Seed: 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ns.Breakdown(20, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Driver != "virtio-net" || r.Rounds != 20 || r.PayloadBytes != payload {
+			t.Fatalf("report header = %+v", r)
+		}
+		if r.RespGen <= 0 {
+			t.Errorf("virtio respgen share = %v, want > 0", r.RespGen)
+		}
+		crossCheck(t, r)
+	}
+}
+
+func TestBreakdownCrossCheckXDMA(t *testing.T) {
+	for _, nbytes := range []int{64, 1024} {
+		xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := xs.Breakdown(20, nbytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Driver != "xdma" {
+			t.Fatalf("driver = %q", r.Driver)
+		}
+		if r.RespGen != 0 {
+			t.Errorf("xdma respgen share = %v, want 0", r.RespGen)
+		}
+		crossCheck(t, r)
+	}
+}
+
+func TestBreakdownRejectsBadRounds(t *testing.T) {
+	ns, err := OpenNet(NetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Breakdown(0, 64); err == nil {
+		t.Fatal("Breakdown(0, ...) did not error")
+	}
+}
+
+func TestTraceNetLayersAndChrome(t *testing.T) {
+	tr, err := TraceNet(NetConfig{Config: Config{Seed: 1, Quiet: true}}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DroppedEvents != 0 || tr.OpenSpans != 0 {
+		t.Fatalf("dropped=%d open=%d, want clean capture", tr.DroppedEvents, tr.OpenSpans)
+	}
+	layers := tr.Layers()
+	if len(layers) < 6 {
+		t.Fatalf("virtio trace has %d layers (%v), want >= 6", len(layers), layers)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output not JSON: %v", err)
+	}
+	pids := make(map[float64]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			pids[ev["pid"].(float64)] = true
+		}
+	}
+	if len(pids) < 6 {
+		t.Fatalf("chrome trace has %d layer tracks, want >= 6", len(pids))
+	}
+
+	filtered := tr.FilterLayers("driver", "irq")
+	for _, sp := range filtered.Spans {
+		if sp.Layer != "driver" && sp.Layer != "irq" {
+			t.Fatalf("FilterLayers leaked layer %q", sp.Layer)
+		}
+	}
+	if len(filtered.Spans) == 0 {
+		t.Fatal("FilterLayers(driver, irq) kept no spans")
+	}
+	if len(filtered.Events) != len(tr.Events) {
+		t.Fatal("FilterLayers dropped flat events")
+	}
+	got := strings.Join(filtered.Layers(), ",")
+	if got != "driver,irq" {
+		t.Fatalf("filtered layers = %q", got)
+	}
+}
+
+func TestTraceXDMAHasDMAEngine(t *testing.T) {
+	tr, err := TraceXDMA(XDMAConfig{Config: Config{Seed: 1, Quiet: true}}, 310)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := tr.Layers()
+	has := func(l string) bool {
+		for _, x := range layers {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("dma-engine") || !has("app") || !has("driver") {
+		t.Fatalf("xdma trace layers = %v", layers)
+	}
+	if has("virtio-device") {
+		t.Fatalf("xdma trace contains virtio-device spans: %v", layers)
+	}
+}

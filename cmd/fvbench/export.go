@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fpgavirtio/internal/experiments"
+	"fpgavirtio/internal/telemetry"
+)
+
+// exportSweep writes the sweep's machine-readable artifacts as requested
+// by the -json/-csv/-metrics flags. The JSON artifact is re-read and
+// validated against the exporter schema after writing, so a passing run
+// guarantees a loadable file.
+func exportSweep(sw *experiments.Sweep, experiment, jsonPath, csvPath string, metrics bool, fail func(error)) {
+	art := experiments.BuildArtifact(experiment, sw)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteBenchJSON(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.ValidateBenchJSON(data); err != nil {
+			fail(fmt.Errorf("artifact %s failed schema validation: %w", jsonPath, err))
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d points, schema %s)\n", jsonPath, len(art.Points), art.Schema)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteBenchCSV(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d points)\n", csvPath, len(art.Points))
+	}
+	if metrics {
+		dump := func(pt *experiments.PointResult) {
+			fmt.Printf("== metrics: %s/%dB ==\n", pt.Driver, pt.Payload)
+			if err := telemetry.WriteMetricsCSV(os.Stdout, pt.Metrics); err != nil {
+				fail(err)
+			}
+		}
+		for i := range sw.VirtIO {
+			dump(sw.VirtIO[i])
+			if i < len(sw.XDMA) {
+				dump(sw.XDMA[i])
+			}
+		}
+	}
+}

@@ -29,6 +29,9 @@
 //	-gen3    use a Gen3 x4 link instead of the testbed's Gen2 x2
 //	-hist    print per-point latency histograms with fig3
 //	-payloads comma-separated payload sizes (default: the paper's sweep)
+//	-json    write the sweep as a validated bench artifact (sweep experiments)
+//	-csv     write the sweep as CSV (sweep experiments)
+//	-metrics dump each point's telemetry metric snapshot to stdout
 package main
 
 import (
@@ -48,6 +51,9 @@ func main() {
 	gen3 := flag.Bool("gen3", false, "use a Gen3 x4 link")
 	hist := flag.Bool("hist", false, "print latency histograms (fig3)")
 	payloads := flag.String("payloads", "", "comma-separated payload sizes overriding the paper's 64..1024 sweep (e.g. 64,512,1458)")
+	jsonPath := flag.String("json", "", "write the sweep's bench artifact as JSON to this file")
+	csvPath := flag.String("csv", "", "write the sweep's bench artifact as CSV to this file")
+	metrics := flag.Bool("metrics", false, "dump per-point telemetry metric snapshots to stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat\n")
 		flag.PrintDefaults()
@@ -78,17 +84,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	experiment := flag.Arg(0)
+	isSweep := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table1": true, "all": true}[experiment]
+	if (*jsonPath != "" || *csvPath != "" || *metrics) && !isSweep {
+		fmt.Fprintf(os.Stderr, "fvbench: -json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q\n", experiment)
+		os.Exit(2)
+	}
+
 	needSweep := func() *experiments.Sweep {
+		npayloads := len(p.Payloads)
+		if npayloads == 0 {
+			npayloads = len(experiments.DefaultPayloads)
+		}
 		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers...\n",
-			p.Packets, len(experiments.DefaultPayloads))
+			p.Packets, npayloads)
 		sw, err := experiments.RunSweep(p)
 		if err != nil {
 			fail(err)
 		}
+		exportSweep(sw, experiment, *jsonPath, *csvPath, *metrics, fail)
 		return sw
 	}
 
-	switch flag.Arg(0) {
+	switch experiment {
 	case "fig3":
 		sw := needSweep()
 		f := experiments.RunFig3(sw)

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	fvtrace [-payload N] [-quiet=false] virtio|xdma
+//	fvtrace [-payload N] [-quiet=false] [-chrome out.json] [-layers a,b] [-summary] virtio|xdma
+//
+// With -chrome the capture is written as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one
+// process track per layer plus a track of raw simulation events.
+// -layers filters the exported spans to the named layers (e.g.
+// driver,irq). -summary prints capture statistics instead of the
+// flat event log.
 package main
 
 import (
@@ -20,6 +27,9 @@ import (
 func main() {
 	payload := flag.Int("payload", 256, "payload bytes")
 	quiet := flag.Bool("quiet", true, "disable host noise for a clean trace")
+	chrome := flag.String("chrome", "", "write the capture as Chrome trace-event JSON to this file")
+	layers := flag.String("layers", "", "comma-separated layer filter for -chrome/-summary (e.g. driver,irq)")
+	summary := flag.Bool("summary", false, "print capture statistics instead of the event log")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fvtrace [flags] virtio|xdma\n")
 		flag.PrintDefaults()
@@ -31,14 +41,15 @@ func main() {
 	}
 
 	cfg := fpgavirtio.Config{Seed: 1, Quiet: *quiet}
-	var trace []fpgavirtio.TraceEvent
+	var trace *fpgavirtio.Trace
 	var err error
-	switch flag.Arg(0) {
+	switch path := flag.Arg(0); path {
 	case "virtio":
-		trace, err = fpgavirtio.TraceNetPing(fpgavirtio.NetConfig{Config: cfg}, *payload)
+		trace, err = fpgavirtio.TraceNet(fpgavirtio.NetConfig{Config: cfg}, *payload)
 	case "xdma":
-		trace, err = fpgavirtio.TraceXDMARoundTrip(fpgavirtio.XDMAConfig{Config: cfg}, *payload+54)
+		trace, err = fpgavirtio.TraceXDMA(fpgavirtio.XDMAConfig{Config: cfg}, *payload+54)
 	default:
+		fmt.Fprintf(os.Stderr, "fvtrace: unknown path %q (want virtio or xdma)\n", path)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,7 +57,86 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fvtrace:", err)
 		os.Exit(1)
 	}
+	if trace.DroppedEvents > 0 {
+		fmt.Fprintf(os.Stderr, "fvtrace: warning: capture truncated, %d events dropped\n", trace.DroppedEvents)
+	}
+	if trace.OpenSpans > 0 {
+		fmt.Fprintf(os.Stderr, "fvtrace: warning: %d spans never closed\n", trace.OpenSpans)
+	}
 
+	if *layers != "" {
+		var keep []string
+		for _, l := range strings.Split(*layers, ",") {
+			keep = append(keep, strings.TrimSpace(l))
+		}
+		trace = trace.FilterLayers(keep...)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fvtrace:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "fvtrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fvtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fvtrace: wrote %s (%d spans, %d events) — load it at ui.perfetto.dev\n",
+			*chrome, len(trace.Spans), len(trace.Events))
+	}
+
+	if *summary {
+		printSummary(trace)
+		return
+	}
+	if *chrome != "" {
+		return // the JSON file is the output; skip the flat log
+	}
+	printEvents(trace.Events)
+}
+
+// printSummary reports capture statistics: sizes, simulated time, and
+// the per-layer span census.
+func printSummary(t *fpgavirtio.Trace) {
+	var t0, t1 int64
+	if len(t.Events) > 0 {
+		t0, t1 = t.Events[0].AtNanos, t.Events[len(t.Events)-1].AtNanos
+	}
+	for _, sp := range t.Spans {
+		if sp.StartNanos < t0 || t1 == 0 {
+			t0 = sp.StartNanos
+		}
+		if sp.EndNanos > t1 {
+			t1 = sp.EndNanos
+		}
+	}
+	fmt.Printf("events:      %d\n", len(t.Events))
+	fmt.Printf("spans:       %d\n", len(t.Spans))
+	fmt.Printf("open spans:  %d\n", t.OpenSpans)
+	fmt.Printf("dropped:     %d\n", t.DroppedEvents)
+	fmt.Printf("sim time:    %.3fus\n", float64(t1-t0)/1000)
+	for _, layer := range t.Layers() {
+		var n int
+		var total int64
+		for _, sp := range t.Spans {
+			if sp.Layer == layer {
+				n++
+				total += sp.EndNanos - sp.StartNanos
+			}
+		}
+		fmt.Printf("  %-14s %3d spans  %10.3fus\n", layer, n, float64(total)/1000)
+	}
+}
+
+// printEvents renders the flat event log with relative timestamps and
+// the classic interrupt/ISR markers.
+func printEvents(trace []fpgavirtio.TraceEvent) {
 	if len(trace) == 0 {
 		fmt.Println("(no events)")
 		return

@@ -13,6 +13,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -34,6 +35,8 @@ type Device struct {
 	wq *hostos.WaitQueue
 
 	Requests int
+
+	requests *telemetry.Counter
 }
 
 // MaxSectorsPerRequest bounds one request's data segment.
@@ -52,7 +55,13 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Device, error) 
 	if err != nil {
 		return nil, err
 	}
-	d := &Device{tr: tr, host: h, wq: h.NewWaitQueue("vblk"), indirect: feats.Has(virtio.FRingIndirectDesc)}
+	d := &Device{
+		tr:       tr,
+		host:     h,
+		wq:       h.NewWaitQueue("vblk"),
+		indirect: feats.Has(virtio.FRingIndirectDesc),
+		requests: h.Metrics().Counter("driver.virtioblk.requests"),
+	}
 	cfg := tr.ReadDeviceConfig(p, virtio.BlkCfgCapacity, 8)
 	for i := 7; i >= 0; i-- {
 		d.capacity = d.capacity<<8 | uint64(cfg[i])
@@ -84,6 +93,8 @@ func (d *Device) onIRQ(p *sim.Proc) {
 // submit issues one request chain and blocks for its completion, using
 // an indirect table when negotiated (one ring slot, one device fetch).
 func (d *Device) submit(p *sim.Proc, segs []virtio.BufSeg) error {
+	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtioblk.submit")
+	defer sp.End()
 	if d.indirect {
 		d.host.CPUWork(p, 150*sim.Nanosecond) // table setup
 		if _, err := d.vq.AddIndirect(segs, "req", d.indTable); err != nil {
@@ -98,6 +109,7 @@ func (d *Device) submit(p *sim.Proc, segs []virtio.BufSeg) error {
 	}
 	d.vq.Harvest(p)
 	d.Requests++
+	d.requests.Inc()
 	if st := d.host.Mem.U8(d.statusBuf); st != virtio.BlkStatusOK {
 		return fmt.Errorf("virtioblk: request failed: status %d", st)
 	}

@@ -12,6 +12,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -35,6 +36,8 @@ type Device struct {
 	txDone   int // TX completions harvested by the ISR, not yet consumed
 
 	pending [][]byte
+
+	txBytes, rxBytes *telemetry.Counter
 }
 
 type rxTok struct{ addr mem.Addr }
@@ -52,10 +55,12 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Device, error) 
 		return nil, err
 	}
 	d := &Device{
-		tr:   tr,
-		host: h,
-		rxWQ: h.NewWaitQueue("console.rx"),
-		txWQ: h.NewWaitQueue("console.tx"),
+		tr:      tr,
+		host:    h,
+		rxWQ:    h.NewWaitQueue("console.rx"),
+		txWQ:    h.NewWaitQueue("console.tx"),
+		txBytes: h.Metrics().Counter("driver.virtioconsole.tx.bytes"),
+		rxBytes: h.Metrics().Counter("driver.virtioconsole.rx.bytes"),
 	}
 	if d.rxq, err = tr.SetupQueue(p, queueRX, 64); err != nil {
 		return nil, err
@@ -103,9 +108,12 @@ func (d *Device) Write(p *sim.Proc, data []byte) error {
 	if len(data) > rxBufSize {
 		return fmt.Errorf("virtioconsole: write too large: %d", len(data))
 	}
+	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "console.write")
+	defer sp.End()
 	d.host.SyscallEnter(p)
 	d.host.Copy(p, len(data))
 	d.host.Mem.Write(d.txBuf, data)
+	d.txBytes.Add(int64(len(data)))
 	if err := d.txq.AddChain(p, []virtio.BufSeg{{Addr: d.txBuf, Len: len(data)}}, "tx"); err != nil {
 		d.host.SyscallExit(p)
 		return err
@@ -127,6 +135,7 @@ func (d *Device) Read(p *sim.Proc) ([]byte, error) {
 	}
 	out := d.pending[0]
 	d.pending = d.pending[1:]
+	d.rxBytes.Add(int64(len(out)))
 	d.host.Copy(p, len(out))
 	d.host.SyscallExit(p)
 	return out, nil

@@ -16,6 +16,7 @@ import (
 	"fpgavirtio/internal/netstack"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -82,6 +83,8 @@ type Device struct {
 
 	// stats
 	TxPackets, RxPackets, RxIRQs int
+
+	txPkts, rxPkts, rxIRQs *telemetry.Counter
 }
 
 // rxToken records one posted receive buffer.
@@ -110,6 +113,7 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	if info.DeviceID != virtio.DeviceNet.PCIDeviceID() {
 		return nil, fmt.Errorf("virtionet: not a net device: %#x", info.DeviceID)
 	}
+	reg := h.Metrics()
 	d := &Device{
 		tr:     tr,
 		host:   h,
@@ -117,6 +121,9 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 		opt:    opt,
 		txWQ:   h.NewWaitQueue(opt.Name + ".tx"),
 		ctrlWQ: h.NewWaitQueue(opt.Name + ".ctrl"),
+		txPkts: reg.Counter("driver.virtionet.tx.packets"),
+		rxPkts: reg.Counter("driver.virtionet.rx.packets"),
+		rxIRQs: reg.Counter("driver.virtionet.rx.irqs"),
 	}
 
 	want := virtio.NetFMAC | virtio.NetFMTU | virtio.NetFStatus
@@ -206,6 +213,8 @@ func (d *Device) Transport() *virtiopci.Transport { return d.tr }
 // transmissions are reclaimed here rather than by interrupt, matching
 // the suppressed-TX-interrupt configuration.
 func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
+	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.xmit")
+	defer sp.End()
 	d.host.CPUWork(p, xmitPathCost)
 
 	// Reclaim finished TX chains (free_old_xmit_skbs).
@@ -238,6 +247,7 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	}
 	d.txq.KickIfNeeded(p)
 	d.TxPackets++
+	d.txPkts.Inc()
 	return nil
 }
 
@@ -255,6 +265,7 @@ func (d *Device) onTxIRQ(p *sim.Proc) {
 // hand off to NAPI poll, per the kernel's structure.
 func (d *Device) onRxIRQ(p *sim.Proc) {
 	d.RxIRQs++
+	d.rxIRQs.Inc()
 	d.host.CPUWork(p, irqBodyCost)
 	d.rxq.SetNoInterrupt(true)
 	p.Sleep(d.host.Config().SoftIRQLatency)
@@ -265,6 +276,8 @@ func (d *Device) onRxIRQ(p *sim.Proc) {
 // reposts buffers, then re-enables interrupts (with the standard
 // re-check to close the race).
 func (d *Device) napiPoll(p *sim.Proc) {
+	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.napi")
+	defer sp.End()
 	for {
 		for _, u := range d.rxq.Harvest(p) {
 			tok := u.Token.(rxToken)
@@ -278,6 +291,7 @@ func (d *Device) napiPoll(p *sim.Proc) {
 					CsumValid: hdr.Flags&virtio.NetHdrFDataValid != 0,
 				}
 				d.RxPackets++
+				d.rxPkts.Inc()
 				// Delivery errors (stray ports, bad checksums) drop the
 				// packet, as the stack does.
 				_ = d.stack.Input(p, rx)

@@ -14,6 +14,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -38,6 +39,9 @@ type Transport struct {
 	deviceFeatures virtio.Feature
 	features       virtio.Feature // negotiated
 	numQueues      int
+
+	doorbells, kicksElided      *telemetry.Counter
+	descsPosted, descsCompleted *telemetry.Counter
 }
 
 // Probe binds to an enumerated VirtIO function: verify IDs, walk the
@@ -47,7 +51,15 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Transport, erro
 	if info.VendorID != virtio.PCIVendorID {
 		return nil, fmt.Errorf("virtiopci: not a virtio device: vendor %#x", info.VendorID)
 	}
-	t := &Transport{Host: h, EP: info.EP}
+	reg := h.Metrics()
+	t := &Transport{
+		Host:           h,
+		EP:             info.EP,
+		doorbells:      reg.Counter("driver.virtio.doorbells"),
+		kicksElided:    reg.Counter("driver.virtio.kicks.elided"),
+		descsPosted:    reg.Counter("driver.virtio.desc.posted"),
+		descsCompleted: reg.Counter("driver.virtio.desc.completed"),
+	}
 	// Walk the capability list the way pci_find_capability does.
 	status := h.RC.ConfigRead32(p, info.EP, pcie.CfgCommand) >> 16
 	if status&pcie.StatusCapList == 0 {
@@ -282,6 +294,9 @@ func (vq *VQ) RegisterIRQ(handler func(p *sim.Proc)) {
 func (vq *VQ) AddChain(p *sim.Proc, segs []virtio.BufSeg, token any) error {
 	vq.tr.Host.CPUWork(p, addChainBaseCost+sim.Duration(len(segs))*addSegCost)
 	_, err := vq.ring.Add(segs, token)
+	if err == nil {
+		vq.tr.descsPosted.Add(int64(len(segs)))
+	}
 	return err
 }
 
@@ -294,6 +309,7 @@ func (vq *VQ) Harvest(p *sim.Proc) []virtio.Used {
 			return out
 		}
 		vq.tr.Host.CPUWork(p, getUsedCost)
+		vq.tr.descsCompleted.Inc()
 		out = append(out, u)
 	}
 }
@@ -301,6 +317,7 @@ func (vq *VQ) Harvest(p *sim.Proc) []virtio.Used {
 // Kick rings the queue's doorbell: a single posted MMIO write — the
 // entire runtime signalling cost of the VirtIO TX path.
 func (vq *VQ) Kick(p *sim.Proc) {
+	vq.tr.doorbells.Inc()
 	vq.tr.Host.RC.MMIOWrite(p, vq.notifyAddr, 2, uint64(vq.Index))
 	vq.KickDone()
 }
@@ -313,6 +330,7 @@ func (vq *VQ) KickIfNeeded(p *sim.Proc) {
 		vq.Kick(p)
 		return
 	}
+	vq.tr.kicksElided.Inc()
 	vq.ring.KickDone()
 }
 

@@ -18,6 +18,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/xdmaip"
 )
 
@@ -65,6 +66,9 @@ type channelState struct {
 	busy     bool
 
 	Transfers int
+
+	spanName               string
+	transfers, bytes, irqs *telemetry.Counter
 }
 
 // Probe binds the driver to an enumerated XDMA function and registers
@@ -86,17 +90,26 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo, name string) (*Dr
 }
 
 func (d *Driver) newChannel(p *sim.Proc, name string, h2c bool, chanBase, sgdma uint64, vector int, irqBit uint32) *channelState {
+	reg := d.host.Metrics()
+	dir := "c2h"
+	if h2c {
+		dir = "h2c"
+	}
 	ch := &channelState{
-		drv:      d,
-		name:     name,
-		h2c:      h2c,
-		chanBase: chanBase,
-		sgdma:    sgdma,
-		vector:   vector,
-		irqBit:   irqBit,
-		buf:      d.host.Alloc.Alloc(MaxTransfer, 4096),
-		descSlot: d.host.Alloc.Alloc(xdmaip.DescSize, 32),
-		wq:       d.host.NewWaitQueue(name),
+		drv:       d,
+		name:      name,
+		h2c:       h2c,
+		chanBase:  chanBase,
+		sgdma:     sgdma,
+		vector:    vector,
+		irqBit:    irqBit,
+		buf:       d.host.Alloc.Alloc(MaxTransfer, 4096),
+		descSlot:  d.host.Alloc.Alloc(xdmaip.DescSize, 32),
+		wq:        d.host.NewWaitQueue(name),
+		spanName:  "xdma." + dir,
+		transfers: reg.Counter("driver.xdma." + dir + ".transfers"),
+		bytes:     reg.Counter("driver.xdma." + dir + ".bytes"),
+		irqs:      reg.Counter("driver.xdma." + dir + ".irqs"),
 	}
 	d.host.RegisterIRQ(d.ep, vector, ch.isr)
 	return ch
@@ -112,6 +125,7 @@ func (d *Driver) C2HStats() int { return d.c2h.Transfers }
 // wake the blocked file operation.
 func (ch *channelState) isr(p *sim.Proc) {
 	d := ch.drv
+	ch.irqs.Inc()
 	d.host.CPUWork(p, isrBodyCost)
 	st := d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus+4, 4)
 	if st&xdmaip.StatusDescComplete != 0 {
@@ -131,6 +145,8 @@ func (ch *channelState) transfer(p *sim.Proc, n int) error {
 	ch.busy = true
 	defer func() { ch.busy = false }()
 	d := ch.drv
+	sp := d.host.Sim.BeginSpan(telemetry.LayerDriver, ch.spanName)
+	defer sp.End()
 
 	// Build the descriptor in host memory.
 	d.host.CPUWork(p, descBuildCost)
@@ -169,6 +185,8 @@ func (ch *channelState) transfer(p *sim.Proc, n int) error {
 	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4, 0)
 	d.host.CPUWork(p, completionCost)
 	ch.Transfers++
+	ch.transfers.Inc()
+	ch.bytes.Add(int64(n))
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
+)
+
+// nsOf converts a simulated duration to whole nanoseconds for the
+// artifact's integer fields.
+func nsOf(d sim.Duration) int64 { return int64(d / sim.Nanosecond) }
+
+// BuildPoint renders one measurement as a bench-artifact point.
+func BuildPoint(pt *PointResult) telemetry.BenchPoint {
+	s := pt.Total.Summarize()
+	return telemetry.BenchPoint{
+		Driver:     pt.Driver,
+		Payload:    pt.Payload,
+		Count:      s.Count,
+		MeanNs:     nsOf(s.Mean),
+		StdNs:      nsOf(s.Std),
+		MinNs:      nsOf(s.Min),
+		P25Ns:      nsOf(s.P25),
+		P50Ns:      nsOf(s.P50),
+		P75Ns:      nsOf(s.P75),
+		P95Ns:      nsOf(s.P95),
+		P99Ns:      nsOf(s.P99),
+		P999Ns:     nsOf(s.P999),
+		MaxNs:      nsOf(s.Max),
+		SWMeanNs:   nsOf(pt.SW.Mean()),
+		HWMeanNs:   nsOf(pt.HW.Mean()),
+		RGMeanNs:   nsOf(pt.RG.Mean()),
+		Interrupts: pt.Interrupts,
+	}
+}
+
+// BuildArtifact renders a sweep as the machine-readable bench artifact
+// fvbench -json / -csv emit, interleaving VirtIO and XDMA points per
+// payload as the paper's figures pair them.
+func BuildArtifact(experiment string, sw *Sweep) *telemetry.BenchArtifact {
+	a := &telemetry.BenchArtifact{
+		Schema:     telemetry.BenchSchema,
+		Experiment: experiment,
+		Seed:       sw.Params.Seed,
+		Packets:    sw.Params.Packets,
+		Link:       sw.Params.Link.String(),
+	}
+	for i := range sw.VirtIO {
+		a.Points = append(a.Points, BuildPoint(sw.VirtIO[i]))
+		if i < len(sw.XDMA) {
+			a.Points = append(a.Points, BuildPoint(sw.XDMA[i]))
+		}
+	}
+	return a
+}

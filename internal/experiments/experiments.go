@@ -27,6 +27,7 @@ import (
 	"fpgavirtio/internal/netstack"
 	"fpgavirtio/internal/perf"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -67,6 +68,8 @@ type PointResult struct {
 	RG      *perf.Series
 	// Interrupts is the device's total MSI-X count over the run.
 	Interrupts int
+	// Metrics is the session's telemetry snapshot after the run.
+	Metrics []telemetry.MetricSnapshot
 }
 
 func toSim(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) * sim.Nanosecond }
@@ -103,6 +106,7 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 		res.RG.Add(toSim(s.RespGen))
 	}
 	res.Interrupts = ns.BusStats().Interrupts
+	res.Metrics = ns.Registry().Snapshot()
 	return res, nil
 }
 
@@ -139,6 +143,7 @@ func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*P
 		res.RG.Add(0)
 	}
 	res.Interrupts = xs.BusStats().Interrupts
+	res.Metrics = xs.Registry().Snapshot()
 	return res, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // Config holds the host platform cost model. Defaults (DefaultConfig)
@@ -129,9 +130,24 @@ type Host struct {
 
 	cfg Config
 	rng *sim.RNG
+	met hostMetrics
 
+	metrics     *telemetry.Registry
 	irqHandlers map[irqKey]func(p *sim.Proc)
 	chardevs    map[string]CharDev
+}
+
+// hostMetrics caches the OS-noise instruments so hot paths skip the
+// registry lookup.
+type hostMetrics struct {
+	syscalls    *telemetry.Counter
+	preemptions *telemetry.Counter
+	preemptNs   *telemetry.Counter
+	jitterNs    *telemetry.Counter
+	wakeups     *telemetry.Counter
+	wakeTails   *telemetry.Counter
+	irqs        *telemetry.Counter
+	wakeLatNs   *telemetry.Histogram
 }
 
 type irqKey struct {
@@ -154,10 +170,28 @@ func New(s *sim.Sim, memBytes int, cfg Config, seed uint64) *Host {
 		irqHandlers: make(map[irqKey]func(p *sim.Proc)),
 		chardevs:    make(map[string]CharDev),
 	}
+	h.metrics = telemetry.NewRegistry()
+	h.met = hostMetrics{
+		syscalls:    h.metrics.Counter("hostos.syscalls"),
+		preemptions: h.metrics.Counter("hostos.preemptions"),
+		preemptNs:   h.metrics.Counter("hostos.preempt.ns"),
+		jitterNs:    h.metrics.Counter("hostos.jitter.injected.ns"),
+		wakeups:     h.metrics.Counter("hostos.wakeups"),
+		wakeTails:   h.metrics.Counter("hostos.waketail.hits"),
+		irqs:        h.metrics.Counter("hostos.irqs.delivered"),
+		wakeLatNs: h.metrics.Histogram("hostos.wake.latency.ns",
+			[]float64{1000, 2000, 4000, 8000, 16000, 32000, 64000}),
+	}
 	h.RC = pcie.NewRootComplex(s, m, pcie.DefaultCosts())
+	h.RC.SetMetrics(h.metrics)
 	h.RC.SetIRQSink(h.deliverIRQ)
 	return h
 }
+
+// Metrics returns the host's telemetry registry. Every layer booted
+// on this host (PCIe endpoints, drivers, device models, the network
+// stack) registers its instruments here.
+func (h *Host) Metrics() *telemetry.Registry { return h.metrics }
 
 // Config returns the host cost model.
 func (h *Host) Config() Config { return h.cfg }
@@ -176,20 +210,33 @@ func (h *Host) CPUWork(p *sim.Proc, d sim.Duration) {
 		return
 	}
 	jittered := h.rng.Jitter(d, h.cfg.JitterSigma)
+	h.met.jitterNs.Add(int64((jittered - d) / sim.Nanosecond))
 	p.Sleep(jittered)
 	if h.cfg.PreemptMeanGap > 0 {
 		pHit := 1 - math.Exp(-float64(d)/float64(h.cfg.PreemptMeanGap))
 		if h.rng.Bool(pHit) {
-			p.Sleep(h.cfg.PreemptBase + sim.NsF(h.rng.Exp(h.cfg.PreemptExpMean.Nanoseconds())))
+			cost := h.cfg.PreemptBase + sim.NsF(h.rng.Exp(h.cfg.PreemptExpMean.Nanoseconds()))
+			h.met.preemptions.Inc()
+			h.met.preemptNs.Add(int64(cost / sim.Nanosecond))
+			p.Sleep(cost)
 		}
 	}
 }
 
 // SyscallEnter charges the user-to-kernel transition.
-func (h *Host) SyscallEnter(p *sim.Proc) { h.CPUWork(p, h.cfg.SyscallEntry) }
+func (h *Host) SyscallEnter(p *sim.Proc) {
+	h.met.syscalls.Inc()
+	sp := h.Sim.BeginSpan(telemetry.LayerSyscall, "enter")
+	h.CPUWork(p, h.cfg.SyscallEntry)
+	sp.End()
+}
 
 // SyscallExit charges the kernel-to-user return.
-func (h *Host) SyscallExit(p *sim.Proc) { h.CPUWork(p, h.cfg.SyscallExit) }
+func (h *Host) SyscallExit(p *sim.Proc) {
+	sp := h.Sim.BeginSpan(telemetry.LayerSyscall, "exit")
+	h.CPUWork(p, h.cfg.SyscallExit)
+	sp.End()
+}
 
 // CopyCost prices a kernel/user copy of n bytes.
 func (h *Host) CopyCost(n int) sim.Duration {
@@ -218,7 +265,15 @@ func (h *Host) deliverIRQ(ep *pcie.Endpoint, vector int) {
 	if !ok {
 		panic(fmt.Sprintf("hostos: unhandled IRQ %s vector %d", ep.Name(), vector))
 	}
-	h.Sim.GoAfter(h.cfg.IRQEntry, fmt.Sprintf("isr:%s:%d", ep.Name(), vector), handler)
+	h.met.irqs.Inc()
+	name := fmt.Sprintf("isr:%s:%d", ep.Name(), vector)
+	h.Sim.GoAfter(h.cfg.IRQEntry, name, func(p *sim.Proc) {
+		// IRQ-layer span: handler entry to return, including any NAPI
+		// poll the handler runs in its interrupt-context process.
+		sp := h.Sim.BeginSpan(telemetry.LayerIRQ, name)
+		handler(p)
+		sp.End()
+	})
 }
 
 // WaitQueue is a kernel wait queue: sleepers pay the scheduler wake
@@ -269,7 +324,10 @@ func (wq *WaitQueue) Wake() {
 				extra = h.cfg.WakeTailCap
 			}
 			d += extra
+			h.met.wakeTails.Inc()
 		}
+		h.met.wakeups.Inc()
+		h.met.wakeLatNs.Observe(float64(d.Nanoseconds()))
 		fire := w.fire
 		h.Sim.After(d, "wake:"+wq.name, fire)
 	}

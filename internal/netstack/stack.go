@@ -5,6 +5,7 @@ import (
 
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // Costs prices the stack-traversal work per packet. Defaults are
@@ -97,16 +98,34 @@ type Stack struct {
 	routes []route
 	arp    map[IPv4]MAC
 	socks  map[uint16]*UDPSocket
+
+	met stackMetrics
+}
+
+type stackMetrics struct {
+	txPackets, rxPackets *telemetry.Counter
+	rxDropped            *telemetry.Counter
+	arpHits, arpMisses   *telemetry.Counter
+	csumBytes            *telemetry.Counter
 }
 
 // New returns an empty stack bound to the host cost model.
 func New(h *hostos.Host, costs Costs) *Stack {
+	reg := h.Metrics()
 	return &Stack{
 		host:   h,
 		costs:  costs,
 		ifaces: make(map[string]*iface),
 		arp:    make(map[IPv4]MAC),
 		socks:  make(map[uint16]*UDPSocket),
+		met: stackMetrics{
+			txPackets: reg.Counter("netstack.tx.packets"),
+			rxPackets: reg.Counter("netstack.rx.packets"),
+			rxDropped: reg.Counter("netstack.rx.dropped"),
+			arpHits:   reg.Counter("netstack.arp.hits"),
+			arpMisses: reg.Counter("netstack.arp.misses"),
+			csumBytes: reg.Counter("netstack.csum.sw.bytes"),
+		},
 	}
 }
 
@@ -187,9 +206,11 @@ func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte
 	h.CPUWork(p, c.NeighLookup)
 	dstMAC, ok := st.arp[dst]
 	if !ok {
+		st.met.arpMisses.Inc()
 		h.SyscallExit(p)
 		return fmt.Errorf("netstack: no ARP entry for %v", dst)
 	}
+	st.met.arpHits.Inc()
 	h.CPUWork(p, c.SkbAlloc)
 	h.Copy(p, len(payload)) // copy_from_user into the skb
 	h.CPUWork(p, c.UDPLayerTx+c.IPLayerTx)
@@ -203,6 +224,7 @@ func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte
 	}
 	frame := d.EncodeFrame(!off.TxCsum)
 	if !off.TxCsum {
+		st.met.csumBytes.Add(int64(UDPHdrSize + len(payload)))
 		h.CPUWork(p, sim.Duration(UDPHdrSize+len(payload))*c.CsumPerByte)
 	}
 	h.CPUWork(p, c.DevXmit)
@@ -213,6 +235,9 @@ func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte
 		pkt.CsumOffset = 6
 	}
 	err = ifc.nic.Xmit(p, pkt)
+	if err == nil {
+		st.met.txPackets.Inc()
+	}
 	h.SyscallExit(p)
 	return err
 }
@@ -243,24 +268,30 @@ func (st *Stack) Input(p *sim.Proc, rx RxPacket) error {
 	h.CPUWork(p, c.NetifReceive)
 	d, err := DecodeFrame(rx.Frame)
 	if err != nil {
+		st.met.rxDropped.Inc()
 		return err
 	}
 	h.CPUWork(p, c.IPLayerRx)
 	if !VerifyIPChecksum(rx.Frame) {
+		st.met.rxDropped.Inc()
 		return fmt.Errorf("netstack: bad IP checksum")
 	}
 	h.CPUWork(p, c.UDPLayerRx)
 	if !rx.CsumValid {
+		st.met.csumBytes.Add(int64(UDPHdrSize + len(d.Payload)))
 		h.CPUWork(p, sim.Duration(UDPHdrSize+len(d.Payload))*c.CsumPerByte)
 		if !VerifyUDPChecksum(rx.Frame) {
+			st.met.rxDropped.Inc()
 			return fmt.Errorf("netstack: bad UDP checksum")
 		}
 	}
 	sock, ok := st.socks[d.DstPort]
 	if !ok {
+		st.met.rxDropped.Inc()
 		return fmt.Errorf("netstack: no socket on port %d", d.DstPort)
 	}
 	h.CPUWork(p, c.SocketDeliver)
+	st.met.rxPackets.Inc()
 	pl := make([]byte, len(d.Payload))
 	copy(pl, d.Payload)
 	sock.queue = append(sock.queue, recvItem{payload: pl, from: d.SrcIP, port: d.SrcPort})

@@ -5,6 +5,7 @@ import (
 
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // BarHandlers are the device-side register callbacks for one BAR.
@@ -27,6 +28,7 @@ type Endpoint struct {
 	rc    *RootComplex
 	bars  [6]BarHandlers
 	stats *Stats
+	met   *epMetrics
 
 	msixVectors int
 	msixMasked  []bool
@@ -96,13 +98,14 @@ func (ep *Endpoint) DMARead(p *sim.Proc, a mem.Addr, n int) []byte {
 	if n == 0 {
 		return nil
 	}
+	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-read")
 	out := make([]byte, 0, n)
 	cfg := ep.link.Config()
 	addr := a
 	for _, req := range SplitPayload(n, cfg.MRRS) {
 		reqAddr, reqLen := addr, req
 		done := sim.NewTrigger(ep.sim, ep.name+":dmard")
-		ep.stats.countUp(TLPMemRead, 0)
+		ep.countUp(TLPMemRead, 0)
 		ep.link.Up(0, "MRd", func() {
 			// Root-complex side: memory access latency, then stream
 			// completions back down the link.
@@ -114,7 +117,7 @@ func (ep *Endpoint) DMARead(p *sim.Proc, a mem.Addr, n int) []byte {
 					last := i == len(chunks)-1
 					chunk := data[off : off+c]
 					off += c
-					ep.stats.countDown(TLPCompletion, c)
+					ep.countDown(TLPCompletion, c)
 					ep.link.Down(c, "CplD", func() {
 						out = append(out, chunk...)
 						if last {
@@ -127,6 +130,7 @@ func (ep *Endpoint) DMARead(p *sim.Proc, a mem.Addr, n int) []byte {
 		done.Wait(p)
 		addr += mem.Addr(req)
 	}
+	sp.End()
 	return out
 }
 
@@ -139,19 +143,26 @@ func (ep *Endpoint) DMAWrite(p *sim.Proc, a mem.Addr, data []byte) {
 	if len(data) == 0 {
 		return
 	}
+	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-write")
 	cfg := ep.link.Config()
 	addr := a
 	off := 0
 	var lastSer sim.Time
-	for _, c := range SplitPayload(len(data), cfg.MPS) {
+	chunks := SplitPayload(len(data), cfg.MPS)
+	for i, c := range chunks {
 		dst := addr
 		chunk := make([]byte, c)
 		copy(chunk, data[off:off+c])
 		off += c
 		addr += mem.Addr(c)
-		ep.stats.countUp(TLPMemWrite, c)
+		ep.countUp(TLPMemWrite, c)
+		last := i == len(chunks)-1
 		lastSer = ep.link.Up(c, "MWr", func() {
 			ep.rc.Mem.Write(dst, chunk)
+			if last {
+				// Posted: the span closes when the final chunk lands.
+				sp.End()
+			}
 		})
 	}
 	if d := lastSer.Sub(p.Now()); d > 0 {
@@ -169,10 +180,15 @@ func (ep *Endpoint) RaiseMSIX(v int) {
 	if ep.msixMasked[v] {
 		return
 	}
-	ep.stats.countUp(TLPMessage, 4)
+	ep.countUp(TLPMessage, 4)
 	ep.stats.Interrupts++
+	if ep.met != nil {
+		ep.met.interrupts.Inc()
+	}
+	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "msix")
 	ep.link.Up(4, fmt.Sprintf("MSIX:%d", v), func() {
 		ep.sim.After(ep.rc.costs.APICDelay, "rc:apic", func() {
+			sp.End()
 			if ep.rc.irqSink != nil {
 				ep.rc.irqSink(ep, v)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // LinkConfig describes a PCIe link's generation and width plus the
@@ -120,7 +121,12 @@ func (l *Link) transmit(dir *direction, payload int, what string, deliver func()
 	serEnd := start.Add(l.serTime(payload))
 	dir.busyUntil = serEnd
 	arrive := serEnd.Add(l.cfg.Prop)
-	l.sim.At(arrive, "pcie:"+dir.name+":"+what, deliver)
+	// Wire-layer span: queue + serialization + flight of this TLP.
+	sp := l.sim.BeginSpan(telemetry.LayerWire, dir.name+":"+what)
+	l.sim.At(arrive, "pcie:"+dir.name+":"+what, func() {
+		sp.End()
+		deliver()
+	})
 	return serEnd
 }
 

@@ -1,0 +1,71 @@
+package pcie
+
+import "fpgavirtio/internal/telemetry"
+
+// tlpKinds lists every TLPKind for metric pre-registration.
+var tlpKinds = []TLPKind{
+	TLPMemRead, TLPMemWrite, TLPCompletion, TLPConfigRead, TLPConfigWrite, TLPMessage,
+}
+
+// epMetrics caches the endpoint's telemetry instruments so the
+// per-TLP hot path does a slice index, not a registry lookup.
+type epMetrics struct {
+	down, up           []*telemetry.Counter // indexed by TLPKind
+	downBytes, upBytes *telemetry.Counter
+	interrupts         *telemetry.Counter
+}
+
+func newEPMetrics(reg *telemetry.Registry) *epMetrics {
+	m := &epMetrics{
+		down:       make([]*telemetry.Counter, len(tlpKinds)),
+		up:         make([]*telemetry.Counter, len(tlpKinds)),
+		downBytes:  reg.Counter("pcie.down.bytes"),
+		upBytes:    reg.Counter("pcie.up.bytes"),
+		interrupts: reg.Counter("pcie.msix.raised"),
+	}
+	for _, k := range tlpKinds {
+		m.down[k] = reg.Counter("pcie.down.tlp." + k.String())
+		m.up[k] = reg.Counter("pcie.up.tlp." + k.String())
+	}
+	return m
+}
+
+// SetMetrics installs a telemetry registry on the root complex.
+// Endpoints attached afterwards register TLP/byte/interrupt counters;
+// a nil registry (the default for bare-pcie tests) disables metrics.
+func (rc *RootComplex) SetMetrics(reg *telemetry.Registry) { rc.metrics = reg }
+
+// Metrics returns the installed registry (nil when none). Device
+// models attached to this root complex register their instruments
+// here; the telemetry registry is nil-safe, so callers use the result
+// unconditionally.
+func (rc *RootComplex) Metrics() *telemetry.Registry { return rc.metrics }
+
+// Metrics returns the owning root complex's registry (nil when
+// metrics are disabled). Device-side models that only hold an
+// Endpoint use this to register their instruments.
+func (ep *Endpoint) Metrics() *telemetry.Registry {
+	if ep.rc == nil {
+		return nil
+	}
+	return ep.rc.metrics
+}
+
+// countDown records a host->device TLP in both the per-endpoint Stats
+// and, when enabled, the telemetry registry.
+func (ep *Endpoint) countDown(k TLPKind, payload int) {
+	ep.stats.countDown(k, payload)
+	if ep.met != nil {
+		ep.met.down[k].Inc()
+		ep.met.downBytes.Add(int64(payload))
+	}
+}
+
+// countUp records a device->host TLP.
+func (ep *Endpoint) countUp(k TLPKind, payload int) {
+	ep.stats.countUp(k, payload)
+	if ep.met != nil {
+		ep.met.up[k].Inc()
+		ep.met.upBytes.Add(int64(payload))
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // Costs collects the fixed latencies of the root-complex side of the
@@ -48,6 +49,7 @@ type RootComplex struct {
 	costs   Costs
 	eps     []*Endpoint
 	irqSink func(ep *Endpoint, vector int)
+	metrics *telemetry.Registry
 
 	nextBAR uint64
 	routes  []barRoute
@@ -84,6 +86,9 @@ func (rc *RootComplex) Attach(name string, cfg *ConfigSpace, link LinkConfig) *E
 		rc:    rc,
 		stats: NewStats(),
 	}
+	if rc.metrics != nil {
+		ep.met = newEPMetrics(rc.metrics)
+	}
 	rc.eps = append(rc.eps, ep)
 	return ep
 }
@@ -105,15 +110,17 @@ func (rc *RootComplex) route(addr uint64) (ep *Endpoint, bar int, off uint64) {
 func (rc *RootComplex) ConfigRead32(p *sim.Proc, ep *Endpoint, off int) uint32 {
 	var v uint32
 	done := sim.NewTrigger(rc.sim, "cfgrd")
-	ep.stats.countDown(TLPConfigRead, 0)
+	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "cfg-read")
+	ep.countDown(TLPConfigRead, 0)
 	ep.link.Down(0, "CfgRd", func() {
 		rc.sim.After(rc.costs.CfgService, "ep:cfg", func() {
 			v = ep.cfg.Read32(off)
-			ep.stats.countUp(TLPCompletion, 4)
+			ep.countUp(TLPCompletion, 4)
 			ep.link.Up(4, "CplD", done.Fire)
 		})
 	})
 	done.Wait(p)
+	sp.End()
 	return v
 }
 
@@ -121,15 +128,17 @@ func (rc *RootComplex) ConfigRead32(p *sim.Proc, ep *Endpoint, off int) uint32 {
 // host process until the completion for the non-posted write returns.
 func (rc *RootComplex) ConfigWrite32(p *sim.Proc, ep *Endpoint, off int, v uint32) {
 	done := sim.NewTrigger(rc.sim, "cfgwr")
-	ep.stats.countDown(TLPConfigWrite, 4)
+	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "cfg-write")
+	ep.countDown(TLPConfigWrite, 4)
 	ep.link.Down(4, "CfgWr", func() {
 		rc.sim.After(rc.costs.CfgService, "ep:cfg", func() {
 			ep.cfg.Write32(off, v)
-			ep.stats.countUp(TLPCompletion, 0)
+			ep.countUp(TLPCompletion, 0)
 			ep.link.Up(0, "Cpl", done.Fire)
 		})
 	})
 	done.Wait(p)
+	sp.End()
 }
 
 // MMIOWrite posts a write of size bytes (1, 2, 4 or 8) to a BAR
@@ -140,9 +149,12 @@ func (rc *RootComplex) ConfigWrite32(p *sim.Proc, ep *Endpoint, off int, v uint3
 func (rc *RootComplex) MMIOWrite(p *sim.Proc, addr uint64, size int, v uint64) {
 	ep, bar, off := rc.route(addr)
 	p.Sleep(rc.costs.MMIOWriteCPU)
-	ep.stats.countDown(TLPMemWrite, size)
+	// Posted write: the span covers CPU post through device-side decode.
+	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-write")
+	ep.countDown(TLPMemWrite, size)
 	ep.link.Down(size, "MWr", func() {
 		ep.barWrite(bar, off, size, v)
+		sp.End()
 	})
 }
 
@@ -152,15 +164,17 @@ func (rc *RootComplex) MMIORead(p *sim.Proc, addr uint64, size int) uint64 {
 	ep, bar, off := rc.route(addr)
 	var v uint64
 	done := sim.NewTrigger(rc.sim, "mmiord")
-	ep.stats.countDown(TLPMemRead, 0)
+	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-read")
+	ep.countDown(TLPMemRead, 0)
 	ep.link.Down(0, "MRd", func() {
 		rc.sim.After(rc.costs.RegReadLatency, "ep:reg", func() {
 			v = ep.barRead(bar, off, size)
-			ep.stats.countUp(TLPCompletion, size)
+			ep.countUp(TLPCompletion, size)
 			ep.link.Up(size, "CplD", done.Fire)
 		})
 	})
 	done.Wait(p)
+	sp.End()
 	return v
 }
 

@@ -70,6 +70,7 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	tracer  Tracer
+	spans   SpanSink
 	procs   int // live (not yet finished) processes
 	parked  map[*Proc]string
 }

@@ -6,10 +6,15 @@ import (
 )
 
 // RecordingTracer stores every executed event; useful in tests that
-// assert ordering, and for offline latency attribution.
+// assert ordering, and for offline latency attribution. When Max is
+// set and reached, further events are counted as dropped instead of
+// silently vanishing — callers should check Dropped before treating
+// the record slice as complete.
 type RecordingTracer struct {
 	Records []TraceRecord
 	Max     int // 0 = unlimited
+
+	dropped int
 }
 
 // TraceRecord is a single executed event.
@@ -21,10 +26,15 @@ type TraceRecord struct {
 // Event implements Tracer.
 func (t *RecordingTracer) Event(at Time, name string) {
 	if t.Max > 0 && len(t.Records) >= t.Max {
+		t.dropped++
 		return
 	}
 	t.Records = append(t.Records, TraceRecord{at, name})
 }
+
+// Dropped reports how many events were discarded because the Max cap
+// was reached. A non-zero value means Records is an incomplete trace.
+func (t *RecordingTracer) Dropped() int { return t.dropped }
 
 // WriterTracer streams events to an io.Writer as they execute.
 type WriterTracer struct{ W io.Writer }
@@ -32,4 +42,51 @@ type WriterTracer struct{ W io.Writer }
 // Event implements Tracer.
 func (t WriterTracer) Event(at Time, name string) {
 	fmt.Fprintf(t.W, "%12.3fus  %s\n", at.Microseconds(), name)
+}
+
+// SpanSink receives begin/end notifications for layer-attributed
+// spans. Unlike Tracer, which sees every scheduled event by name, a
+// SpanSink sees intervals: model code brackets meaningful work
+// (a syscall, an ISR, a DMA engine run) with BeginSpan/End so a
+// breakdown falls out of a fold over spans rather than string parsing.
+//
+// SpanBegin returns an opaque id that the matching SpanEnd presents.
+// Implementations must tolerate SpanEnd for unknown ids (a sink
+// installed mid-interval sees unmatched ends).
+type SpanSink interface {
+	SpanBegin(at Time, layer, name string, attrs ...string) uint64
+	SpanEnd(at Time, id uint64)
+}
+
+// SetSpanSink installs ss as the span sink (nil disables span
+// tracing). Span emission is a pure recording hook: it never schedules
+// events and cannot perturb simulation timing.
+func (s *Sim) SetSpanSink(ss SpanSink) { s.spans = ss }
+
+// TracingSpans reports whether a span sink is installed; call sites
+// that would allocate to build span attributes should check it first.
+func (s *Sim) TracingSpans() bool { return s.spans != nil }
+
+// SpanRef is a handle to an in-flight span. The zero value (returned
+// when no sink is installed) is valid and End on it is a no-op.
+type SpanRef struct {
+	s  *Sim
+	id uint64
+}
+
+// BeginSpan opens a span at the current simulation time. attrs are
+// alternating key/value pairs.
+func (s *Sim) BeginSpan(layer, name string, attrs ...string) SpanRef {
+	if s.spans == nil {
+		return SpanRef{}
+	}
+	return SpanRef{s: s, id: s.spans.SpanBegin(s.now, layer, name, attrs...)}
+}
+
+// End closes the span at the current simulation time. Safe to call on
+// the zero SpanRef or after the sink was removed.
+func (r SpanRef) End() {
+	if r.s != nil && r.s.spans != nil {
+		r.s.spans.SpanEnd(r.s.now, r.id)
+	}
 }

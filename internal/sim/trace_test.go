@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestRecordingTracerDropped(t *testing.T) {
+	s := New()
+	tr := &RecordingTracer{Max: 2}
+	s.SetTracer(tr)
+	for i := 0; i < 5; i++ {
+		s.After(Duration(i+1)*Nanosecond, "ev", func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (capped)", len(tr.Records))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", tr.Dropped())
+	}
+}
+
+type sinkLog struct {
+	begins []string
+	ends   []uint64
+	next   uint64
+}
+
+func (l *sinkLog) SpanBegin(at Time, layer, name string, attrs ...string) uint64 {
+	l.next++
+	l.begins = append(l.begins, layer+"/"+name)
+	return l.next
+}
+func (l *sinkLog) SpanEnd(at Time, id uint64) { l.ends = append(l.ends, id) }
+
+func TestBeginSpanWithAndWithoutSink(t *testing.T) {
+	s := New()
+	// No sink: zero SpanRef, End is a safe no-op.
+	s.BeginSpan("driver", "noop").End()
+
+	l := &sinkLog{}
+	s.SetSpanSink(l)
+	ref := s.BeginSpan("driver", "xmit", "q", "0")
+	ref.End()
+	s.SetSpanSink(nil)
+	// End after the sink is removed must not panic or reach the sink.
+	ref.End()
+
+	if len(l.begins) != 1 || l.begins[0] != "driver/xmit" {
+		t.Fatalf("begins = %v", l.begins)
+	}
+	if len(l.ends) != 1 || l.ends[0] != 1 {
+		t.Fatalf("ends = %v", l.ends)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON Object Format understood by
+// Perfetto and chrome://tracing. Each layer becomes one process
+// (pid), named via "process_name" metadata; spans are "X" complete
+// events; flat trace events ride along as "i" instants under a
+// dedicated pid 0 "sim-events" process. Timestamps are microseconds.
+
+// Instant is a zero-duration marker exported alongside spans (the
+// legacy flat tracer's events).
+type Instant struct {
+	Name string
+	At   int64 // picoseconds, same base as sim.Time
+}
+
+type chromeComplete struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type chromeInstant struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	S    string  `json:"s"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+const instantPid = 0 // pseudo-process holding flat events
+
+// psToUs converts picoseconds to microseconds.
+func psToUs(ps int64) float64 { return float64(ps) / 1e6 }
+
+// ChromeTraceEvents renders spans (and optional instants) into the
+// ordered traceEvents list. Layers are assigned pids in LayerRank
+// order starting at 1; within a layer, overlapping spans are spread
+// across tids greedily so nothing stacks incorrectly in the viewer.
+func ChromeTraceEvents(spans []Span, instants []Instant) []any {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+
+	// Stable pid assignment: every layer present, ranked.
+	layerSet := make(map[string]bool)
+	for _, sp := range sorted {
+		layerSet[sp.Layer] = true
+	}
+	layers := make([]string, 0, len(layerSet))
+	for l := range layerSet {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool {
+		ri, rj := LayerRank(layers[i]), LayerRank(layers[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return layers[i] < layers[j]
+	})
+	pidOf := make(map[string]int, len(layers))
+	for i, l := range layers {
+		pidOf[l] = i + 1
+	}
+
+	evs := make([]any, 0, 3*len(layers)+len(sorted)+len(instants))
+	for i, l := range layers {
+		evs = append(evs,
+			chromeMeta{Name: "process_name", Ph: "M", Pid: pidOf[l], Args: map[string]any{"name": l}},
+			chromeMeta{Name: "process_sort_index", Ph: "M", Pid: pidOf[l], Args: map[string]any{"sort_index": i}},
+		)
+	}
+	if len(instants) > 0 {
+		evs = append(evs, chromeMeta{Name: "process_name", Ph: "M", Pid: instantPid,
+			Args: map[string]any{"name": "sim-events"}})
+	}
+
+	// Greedy per-layer tid packing: reuse the lowest tid whose last
+	// span ended at or before this span's start.
+	type lane struct{ busyUntil int64 }
+	lanes := make(map[string][]lane)
+	for _, sp := range sorted {
+		tid := -1
+		ls := lanes[sp.Layer]
+		for i := range ls {
+			if ls[i].busyUntil <= int64(sp.Start) {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			ls = append(ls, lane{})
+			tid = len(ls) - 1
+		}
+		ls[tid].busyUntil = int64(sp.End)
+		lanes[sp.Layer] = ls
+		name := sp.Name
+		if len(sp.Attrs) >= 2 {
+			name = fmt.Sprintf("%s [%s=%s]", sp.Name, sp.Attrs[0], sp.Attrs[1])
+		}
+		evs = append(evs, chromeComplete{
+			Name: name,
+			Cat:  sp.Layer,
+			Ph:   "X",
+			Ts:   psToUs(int64(sp.Start)),
+			Dur:  psToUs(int64(sp.End) - int64(sp.Start)),
+			Pid:  pidOf[sp.Layer],
+			Tid:  tid + 1,
+		})
+	}
+
+	for _, in := range instants {
+		evs = append(evs, chromeInstant{
+			Name: in.Name, Ph: "i", S: "t",
+			Ts: psToUs(in.At), Pid: instantPid, Tid: 1,
+		})
+	}
+	return evs
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON object for the
+// given spans and instants.
+func WriteChromeTrace(w io.Writer, spans []Span, instants []Instant) error {
+	doc := struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{
+		TraceEvents:     ChromeTraceEvents(spans, instants),
+		DisplayTimeUnit: "ns",
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteMetricsJSON dumps a metric snapshot as a JSON array.
+func WriteMetricsJSON(w io.Writer, snaps []MetricSnapshot) error {
+	if snaps == nil {
+		snaps = []MetricSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
+}
+
+// WriteMetricsCSV dumps a metric snapshot as CSV. Histograms flatten
+// to one row per bucket plus a summary row.
+func WriteMetricsCSV(w io.Writer, snaps []MetricSnapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "type", "value", "count", "sum", "le"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range snaps {
+		switch s.Type {
+		case "histogram":
+			if err := cw.Write([]string{s.Name, s.Type, "", strconv.FormatInt(s.Count, 10), f(s.Sum), ""}); err != nil {
+				return err
+			}
+			for _, b := range s.Buckets {
+				le := "inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = f(b.UpperBound)
+				}
+				if err := cw.Write([]string{s.Name, "bucket", "", strconv.FormatInt(b.Count, 10), "", le}); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := cw.Write([]string{s.Name, s.Type, f(s.Value), "", "", ""}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BenchSchema identifies the bench-artifact JSON layout. Bump on
+// incompatible changes so downstream readers can dispatch.
+const BenchSchema = "fvbench/v1"
+
+// BenchPoint is one (driver, payload) measurement in a bench
+// artifact: the percentile table of the total-latency series plus the
+// decomposed means, all in nanoseconds.
+type BenchPoint struct {
+	Driver     string `json:"driver"`
+	Payload    int    `json:"payload_bytes"`
+	Count      int    `json:"count"`
+	MeanNs     int64  `json:"mean_ns"`
+	StdNs      int64  `json:"std_ns"`
+	MinNs      int64  `json:"min_ns"`
+	P25Ns      int64  `json:"p25_ns"`
+	P50Ns      int64  `json:"p50_ns"`
+	P75Ns      int64  `json:"p75_ns"`
+	P95Ns      int64  `json:"p95_ns"`
+	P99Ns      int64  `json:"p99_ns"`
+	P999Ns     int64  `json:"p999_ns"`
+	MaxNs      int64  `json:"max_ns"`
+	SWMeanNs   int64  `json:"sw_mean_ns"`
+	HWMeanNs   int64  `json:"hw_mean_ns"`
+	RGMeanNs   int64  `json:"rg_mean_ns"`
+	Interrupts int    `json:"interrupts"`
+}
+
+// BenchArtifact is the machine-readable record of one fvbench run.
+type BenchArtifact struct {
+	Schema     string           `json:"schema"`
+	Experiment string           `json:"experiment"`
+	Seed       uint64           `json:"seed"`
+	Packets    int              `json:"packets"`
+	Link       string           `json:"link"`
+	Points     []BenchPoint     `json:"points"`
+	Metrics    []MetricSnapshot `json:"metrics,omitempty"`
+}
+
+// WriteBenchJSON validates the artifact and writes it as indented JSON.
+func WriteBenchJSON(w io.Writer, a *BenchArtifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteBenchCSV writes the artifact's points as CSV.
+func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"driver", "payload_bytes", "count", "mean_ns", "std_ns", "min_ns",
+		"p25_ns", "p50_ns", "p75_ns", "p95_ns", "p99_ns", "p999_ns", "max_ns",
+		"sw_mean_ns", "hw_mean_ns", "rg_mean_ns", "interrupts",
+	}); err != nil {
+		return err
+	}
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, p := range a.Points {
+		if err := cw.Write([]string{
+			p.Driver, strconv.Itoa(p.Payload), strconv.Itoa(p.Count),
+			d(p.MeanNs), d(p.StdNs), d(p.MinNs),
+			d(p.P25Ns), d(p.P50Ns), d(p.P75Ns), d(p.P95Ns), d(p.P99Ns), d(p.P999Ns), d(p.MaxNs),
+			d(p.SWMeanNs), d(p.HWMeanNs), d(p.RGMeanNs), strconv.Itoa(p.Interrupts),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Validate checks structural invariants of the artifact.
+func (a *BenchArtifact) Validate() error {
+	if a.Schema != BenchSchema {
+		return fmt.Errorf("bench artifact: schema %q, want %q", a.Schema, BenchSchema)
+	}
+	if a.Experiment == "" {
+		return fmt.Errorf("bench artifact: empty experiment name")
+	}
+	if len(a.Points) == 0 {
+		return fmt.Errorf("bench artifact: no points")
+	}
+	for i, p := range a.Points {
+		if p.Driver == "" {
+			return fmt.Errorf("bench artifact: point %d: empty driver", i)
+		}
+		if p.Payload <= 0 {
+			return fmt.Errorf("bench artifact: point %d: payload %d", i, p.Payload)
+		}
+		if p.Count <= 0 {
+			return fmt.Errorf("bench artifact: point %d: count %d", i, p.Count)
+		}
+		if p.MeanNs <= 0 || p.MinNs <= 0 || p.MaxNs <= 0 {
+			return fmt.Errorf("bench artifact: point %d: non-positive latency", i)
+		}
+		if p.MinNs > p.P50Ns || p.P50Ns > p.P95Ns || p.P95Ns > p.P99Ns ||
+			p.P99Ns > p.P999Ns || p.P999Ns > p.MaxNs {
+			return fmt.Errorf("bench artifact: point %d: percentiles not monotone", i)
+		}
+		if p.SWMeanNs < 0 || p.HWMeanNs < 0 || p.RGMeanNs < 0 {
+			return fmt.Errorf("bench artifact: point %d: negative breakdown component", i)
+		}
+	}
+	return nil
+}
+
+// ValidateBenchJSON parses data and checks it against the artifact
+// schema. Used by the CI smoke run on fvbench -json output.
+func ValidateBenchJSON(data []byte) error {
+	var a BenchArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return fmt.Errorf("bench artifact: %w", err)
+	}
+	return a.Validate()
+}

@@ -24,6 +24,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 	"fpgavirtio/internal/xdmaip"
 )
@@ -111,6 +112,10 @@ type queue struct {
 	kicked bool
 	cond   *sim.Cond
 	hw     *fpga.PerfCounter
+
+	// Precomputed span names so the engine hot path does not format.
+	serviceSpan string
+	deliverSpan string
 }
 
 // Controller is the FPGA-side VirtIO endpoint.
@@ -136,6 +141,15 @@ type Controller struct {
 	deviceCfg   []byte
 	cfgGen      byte
 	notifyCount int
+	met         ctrlMetrics
+}
+
+// ctrlMetrics caches the controller's telemetry instruments.
+type ctrlMetrics struct {
+	notifies      *telemetry.Counter
+	chains        *telemetry.Counter
+	irqRaised     *telemetry.Counter
+	irqSuppressed *telemetry.Counter
 }
 
 // NewController attaches a VirtIO controller with the given personality
@@ -184,6 +198,7 @@ func NewController(s *sim.Sim, rc *pcie.RootComplex, name string, pers Personali
 	if opt.OfferPacked {
 		feats |= virtio.FRingPacked
 	}
+	reg := rc.Metrics()
 	c := &Controller{
 		sim:            s,
 		clk:            clk,
@@ -193,16 +208,24 @@ func NewController(s *sim.Sim, rc *pcie.RootComplex, name string, pers Personali
 		deviceFeatures: feats,
 		statusCond:     sim.NewCond(s, name+".status"),
 		deviceCfg:      deviceCfg,
+		met: ctrlMetrics{
+			notifies:      reg.Counter("virtio-device.notifies"),
+			chains:        reg.Counter("virtio-device.chains.serviced"),
+			irqRaised:     reg.Counter("virtio-device.interrupts.raised"),
+			irqSuppressed: reg.Counter("virtio-device.interrupts.suppressed"),
+		},
 	}
 	for i := 0; i < nq; i++ {
 		q := &queue{
-			idx:     i,
-			dir:     pers.QueueDir(i),
-			sizeMax: opt.QueueSizeMax,
-			size:    opt.QueueSizeMax,
-			msixVec: uint16(i + 1),
-			cond:    sim.NewCond(s, fmt.Sprintf("%s.q%d", name, i)),
-			hw:      fpga.NewPerfCounter(clk, fmt.Sprintf("%s.q%d.hw", name, i)),
+			idx:         i,
+			dir:         pers.QueueDir(i),
+			sizeMax:     opt.QueueSizeMax,
+			size:        opt.QueueSizeMax,
+			msixVec:     uint16(i + 1),
+			cond:        sim.NewCond(s, fmt.Sprintf("%s.q%d", name, i)),
+			hw:          fpga.NewPerfCounter(clk, fmt.Sprintf("%s.q%d.hw", name, i)),
+			serviceSpan: fmt.Sprintf("q%d.service", i),
+			deliverSpan: fmt.Sprintf("q%d.deliver", i),
 		}
 		c.queues = append(c.queues, q)
 		if q.dir == DriverToDevice {
@@ -456,6 +479,7 @@ func (c *Controller) notify(qi int) {
 	}
 	q := c.queues[qi]
 	c.notifyCount++
+	c.met.notifies.Inc()
 	q.kicked = true
 	q.cond.Broadcast()
 }
@@ -476,6 +500,7 @@ func (c *Controller) waitReady(p *sim.Proc, q *queue) {
 // interrupt raises the queue's MSI-X vector and latches the ISR bit.
 func (c *Controller) interrupt(q *queue) {
 	c.isr |= virtio.ISRQueue
+	c.met.irqRaised.Inc()
 	c.ep.RaiseMSIX(int(q.msixVec))
 }
 
@@ -488,6 +513,8 @@ func (c *Controller) interrupt(q *queue) {
 func (c *Controller) maybeInterrupt(p *sim.Proc, q *queue) {
 	if q.dq.ShouldInterrupt(p) {
 		c.interrupt(q)
+	} else {
+		c.met.irqSuppressed.Inc()
 	}
 }
 
@@ -513,19 +540,24 @@ func (c *Controller) engineLoop(p *sim.Proc, q *queue) {
 		q.kicked = false
 		// The hardware counter spans notification pickup to ring-idle —
 		// "the time taken by the hardware to perform the DMA operation
-		// once a notification is received" (paper §IV-B).
+		// once a notification is received" (paper §IV-B). The telemetry
+		// span brackets the identical interval so span-derived hardware
+		// attribution agrees with the counter-based RTTSample.
 		q.hw.Begin(p.Now())
+		sp := c.sim.BeginSpan(telemetry.LayerVirtIODevice, q.serviceSpan)
 		p.Sleep(c.clk.Cycles(notifyDecodeCycles))
 		for c.ready(q) && q.dq.HasPending(p) {
 			c.serviceChain(p, q)
 		}
 		q.hw.End(p.Now())
+		sp.End()
 	}
 }
 
 // serviceChain processes exactly one pending chain on a DriverToDevice
 // queue.
 func (c *Controller) serviceChain(p *sim.Proc, q *queue) {
+	c.met.chains.Inc()
 	p.Sleep(c.clk.Cycles(chainSetupCycles))
 	chain, tok, err := q.dq.NextChain(p)
 	if err != nil {
@@ -575,6 +607,7 @@ func (c *Controller) Deliver(p *sim.Proc, qi int, data []byte) error {
 	}
 	q.kicked = false
 	q.hw.Begin(p.Now())
+	sp := c.sim.BeginSpan(telemetry.LayerVirtIODevice, q.deliverSpan)
 	p.Sleep(c.clk.Cycles(chainSetupCycles))
 	chain, tok, err := q.dq.NextChain(p)
 	if err != nil {
@@ -583,12 +616,14 @@ func (c *Controller) Deliver(p *sim.Proc, qi int, data []byte) error {
 	written := q.dq.WriteChain(p, chain, data)
 	if written < len(data) {
 		q.hw.End(p.Now())
+		sp.End()
 		return fmt.Errorf("vdev: queue %d buffer too small: %d < %d", qi, written, len(data))
 	}
 	p.Sleep(c.clk.Cycles(usedPublishCycles))
 	q.dq.Complete(p, tok, written)
 	c.maybeInterrupt(p, q)
 	q.hw.End(p.Now())
+	sp.End()
 	return nil
 }
 

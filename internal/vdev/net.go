@@ -7,6 +7,7 @@ import (
 	"fpgavirtio/internal/netstack"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/virtio"
 )
 
@@ -201,9 +202,13 @@ func (d *NetDevice) userLoop(p *sim.Proc) {
 		frame := d.frames[0]
 		d.frames = d.frames[1:]
 
+		// Span and counter bracket the same instants: respgen time is
+		// deducted from hardware in both attribution schemes.
 		d.respGen.Begin(p.Now())
+		sp := p.Sim().BeginSpan(telemetry.LayerVirtIODevice, "respgen")
 		resps := d.opt.Handler.HandleFrame(p, frame)
 		d.respGen.End(p.Now())
+		sp.End()
 
 		for _, resp := range resps {
 			if err := d.Send(p, resp); err != nil {

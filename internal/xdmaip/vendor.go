@@ -7,6 +7,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // Vendor/device IDs of the modeled Xilinx function.
@@ -65,6 +66,11 @@ type channel struct {
 	irqBit  uint32
 	kick    *sim.Cond
 	counter *fpga.PerfCounter
+
+	spanName  string
+	runs      *telemetry.Counter
+	descs     *telemetry.Counter
+	dataBytes *telemetry.Counter
 }
 
 // NewVendor attaches a vendor XDMA device to the root complex and
@@ -134,16 +140,21 @@ func (d *VendorDevice) RaiseUserIRQ(i int) {
 }
 
 func (d *VendorDevice) newChannel(name string, h2c bool, base, sgdma uint64, vector int, irqBit uint32) *channel {
+	reg := d.ep.Metrics()
 	ch := &channel{
-		dev:     d,
-		name:    name,
-		h2c:     h2c,
-		base:    base,
-		sgdma:   sgdma,
-		vector:  vector,
-		irqBit:  irqBit,
-		kick:    sim.NewCond(d.sim, name+".kick"),
-		counter: fpga.NewPerfCounter(d.clk, name+".hw"),
+		dev:       d,
+		name:      name,
+		h2c:       h2c,
+		base:      base,
+		sgdma:     sgdma,
+		vector:    vector,
+		irqBit:    irqBit,
+		kick:      sim.NewCond(d.sim, name+".kick"),
+		counter:   fpga.NewPerfCounter(d.clk, name+".hw"),
+		spanName:  name + ".run",
+		runs:      reg.Counter("dma-engine." + name + ".runs"),
+		descs:     reg.Counter("dma-engine." + name + ".descriptors"),
+		dataBytes: reg.Counter("dma-engine." + name + ".bytes"),
 	}
 	// A control-register write may start or stop the engine.
 	d.regs.OnWrite(base+RegChanControl, func(v uint32) { ch.kick.Broadcast() })
@@ -175,7 +186,11 @@ func (ch *channel) run(p *sim.Proc) {
 		for ch.ctrl()&CtrlRun == 0 {
 			ch.kick.Wait(p)
 		}
+		// Counter and span bracket the same engine-run interval so
+		// span-derived hardware attribution matches the RTTSample math.
 		ch.counter.Begin(p.Now())
+		sp := d.sim.BeginSpan(telemetry.LayerDMAEngine, ch.spanName)
+		ch.runs.Inc()
 		ch.setStatus(StatusBusy)
 		p.Sleep(d.clk.Cycles(engineStartCycles))
 		descAddr := mem.Addr(uint64(d.regs.Get(ch.sgdma+RegDescLo)) | uint64(d.regs.Get(ch.sgdma+RegDescHi))<<32)
@@ -188,6 +203,8 @@ func (ch *channel) run(p *sim.Proc) {
 				panic(fmt.Sprintf("xdmaip: %s: %v", ch.name, err))
 			}
 			n := int(desc.Len)
+			ch.descs.Inc()
+			ch.dataBytes.Add(int64(n))
 			p.Sleep(d.clk.Cycles(programCycles))
 			if ch.h2c {
 				data := chunkedRead(p, d.ep, d.clk, mem.Addr(desc.Src), n)
@@ -208,6 +225,7 @@ func (ch *channel) run(p *sim.Proc) {
 		p.Sleep(d.clk.Cycles(writebackCycles))
 		ch.setStatus(StatusDescStopped | StatusDescComplete)
 		ch.counter.End(p.Now())
+		sp.End()
 		if ch.ctrl()&CtrlIEDescComplete != 0 &&
 			d.regs.Get(IRQBlockBase+RegIRQChanEnable)&ch.irqBit != 0 {
 			d.ep.RaiseMSIX(ch.vector)

@@ -18,6 +18,7 @@ import (
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 )
 
 // Register-map bases within the DMA BAR.
@@ -168,26 +169,44 @@ type Port struct {
 	sim *sim.Sim
 	ep  *pcie.Endpoint
 	clk *fpga.Clock
+
+	reads, writes, readBytes, writeBytes *telemetry.Counter
 }
 
 // NewPort returns a direct port on the endpoint's DMA machinery.
 func NewPort(s *sim.Sim, ep *pcie.Endpoint, clk *fpga.Clock) *Port {
-	return &Port{sim: s, ep: ep, clk: clk}
+	reg := ep.Metrics()
+	return &Port{
+		sim: s, ep: ep, clk: clk,
+		reads:      reg.Counter("dma-engine.port.reads"),
+		writes:     reg.Counter("dma-engine.port.writes"),
+		readBytes:  reg.Counter("dma-engine.port.read.bytes"),
+		writeBytes: reg.Counter("dma-engine.port.write.bytes"),
+	}
 }
 
 // HostRead fetches n bytes from host memory (H2C direction), blocking
 // the calling fabric process for engine programming plus one bus round
 // trip per MPS-sized chunk (single outstanding request).
 func (pt *Port) HostRead(p *sim.Proc, addr mem.Addr, n int) []byte {
+	pt.reads.Inc()
+	pt.readBytes.Add(int64(n))
+	sp := pt.sim.BeginSpan(telemetry.LayerDMAEngine, "port.read")
 	p.Sleep(pt.clk.Cycles(programCycles))
-	return chunkedRead(p, pt.ep, pt.clk, addr, n)
+	out := chunkedRead(p, pt.ep, pt.clk, addr, n)
+	sp.End()
+	return out
 }
 
 // HostWrite pushes data to host memory (C2H direction) with per-chunk
 // engine overhead on top of wire serialization.
 func (pt *Port) HostWrite(p *sim.Proc, addr mem.Addr, data []byte) {
+	pt.writes.Inc()
+	pt.writeBytes.Add(int64(len(data)))
+	sp := pt.sim.BeginSpan(telemetry.LayerDMAEngine, "port.write")
 	p.Sleep(pt.clk.Cycles(programCycles))
 	chunkedWrite(p, pt.ep, pt.clk, addr, data)
+	sp.End()
 }
 
 // Clock returns the port's fabric clock.

@@ -8,6 +8,7 @@ import (
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/netstack"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/vdev"
 	"fpgavirtio/internal/virtio"
 )
@@ -168,6 +169,9 @@ func (ns *NetSession) pingDetailed(payload []byte) ([]byte, RTTSample, error) {
 	var sample RTTSample
 	err := ns.run(func(p *sim.Proc) error {
 		t0 := ns.host.ClockGettime(p)
+		// The app span brackets the same instants as the RTT timer, so
+		// span-derived totals agree with RTTSample.Total.
+		sp := ns.s.BeginSpan(telemetry.LayerApp, "ping")
 		if err := ns.sock.SendTo(p, fpgaIP, echoPort, payload); err != nil {
 			return err
 		}
@@ -176,6 +180,7 @@ func (ns *NetSession) pingDetailed(payload []byte) ([]byte, RTTSample, error) {
 			return err
 		}
 		t1 := ns.host.ClockGettime(p)
+		sp.End()
 		echo = got
 
 		total := t1.Sub(t0)
@@ -256,6 +261,10 @@ func (ns *NetSession) NegotiatedFeatures() string {
 func (ns *NetSession) ChecksumOffloaded() bool {
 	return ns.dev.Controller().Negotiated().Has(virtio.NetFCsum)
 }
+
+// Registry returns the session's telemetry metrics registry, holding
+// the per-layer instruments every subsystem registered at boot.
+func (ns *NetSession) Registry() *telemetry.Registry { return ns.host.Metrics() }
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (ns *NetSession) BusStats() BusStats {

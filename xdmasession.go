@@ -8,6 +8,7 @@ import (
 	"fpgavirtio/internal/drivers/xdmadrv"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
 	"fpgavirtio/internal/xdmaip"
 )
 
@@ -129,6 +130,9 @@ func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
 	var sample RTTSample
 	err := xs.run(func(p *sim.Proc) error {
 		t0 := xs.host.ClockGettime(p)
+		// The app span brackets the same instants as the RTT timer, so
+		// span-derived totals agree with RTTSample.Total.
+		sp := xs.s.BeginSpan(telemetry.LayerApp, "roundtrip")
 		if xs.waitReady {
 			xs.dataReady = false
 		}
@@ -148,6 +152,7 @@ func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
 			return err
 		}
 		t1 := xs.host.ClockGettime(p)
+		sp.End()
 		if !bytes.Equal(back, data) {
 			return fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
 		}
@@ -168,6 +173,10 @@ func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
 	})
 	return sample, err
 }
+
+// Registry returns the session's telemetry metrics registry, holding
+// the per-layer instruments every subsystem registered at boot.
+func (xs *XDMASession) Registry() *telemetry.Registry { return xs.host.Metrics() }
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (xs *XDMASession) BusStats() BusStats {
