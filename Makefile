@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci smoke clean
+.PHONY: all build test race vet fmt fuzzseed flake ci smoke clean
 
 all: build
 
@@ -23,14 +23,29 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# fuzzseed replays every fuzz target's committed seed corpus (and any
+# saved crashers under testdata/fuzz) as ordinary tests — no -fuzz time
+# budget needed, so it is cheap enough for every CI run.
+fuzzseed:
+	$(GO) test -run '^Fuzz' -v ./internal/virtio ./internal/pcie
+
+# flake runs vet plus the race detector with -count=2: the second pass
+# reruns everything with warm caches and different goroutine timings,
+# the cheapest way to catch order-dependent or racy tests.
+flake:
+	$(GO) vet ./...
+	$(GO) test -race -count=2 ./...
+
 # smoke runs a tiny fvbench sweep and writes the JSON bench artifact;
 # fvbench re-reads and validates the file against the exporter schema,
 # so a passing run proves the end-to-end export path.
 smoke:
 	$(GO) run ./cmd/fvbench -n 200 -payloads 64,256 -json $${TMPDIR:-/tmp}/fvbench-smoke.json fig3 > /dev/null
+	$(GO) run ./cmd/fvbench -mode=throughput -packets 200 -sizes 64 -window 8 \
+		-json $${TMPDIR:-/tmp}/fvbench-tp-smoke.json -csv $${TMPDIR:-/tmp}/fvbench-tp-smoke.csv > /dev/null
 	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
 
-ci: vet build fmt race smoke
+ci: build fmt fuzzseed flake smoke
 	@echo "ci: all checks passed"
 
 clean:

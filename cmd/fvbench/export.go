@@ -50,6 +50,55 @@ func exportSweep(sw *experiments.Sweep, experiment, jsonPath, csvPath string, me
 		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d points)\n", csvPath, len(art.Points))
 	}
 	if metrics {
+		writeMetrics(sw, fail)
+	}
+}
+
+// exportThroughput writes the throughput run's artifacts. Like
+// exportSweep, the JSON file is re-read and schema-validated after
+// writing.
+func exportThroughput(m *experiments.ThroughputMode, jsonPath, csvPath string, fail func(error)) {
+	art := experiments.BuildThroughputArtifact(m)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteBenchJSON(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.ValidateBenchJSON(data); err != nil {
+			fail(fmt.Errorf("artifact %s failed schema validation: %w", jsonPath, err))
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d throughput points, %d latency points, schema %s)\n",
+			jsonPath, len(art.Throughput), len(art.Points), art.Schema)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteThroughputCSV(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d throughput points)\n", csvPath, len(art.Throughput))
+	}
+}
+
+func writeMetrics(sw *experiments.Sweep, fail func(error)) {
+	{
 		dump := func(pt *experiments.PointResult) {
 			fmt.Printf("== metrics: %s/%dB ==\n", pt.Driver, pt.Payload)
 			if err := telemetry.WriteMetricsCSV(os.Stdout, pt.Metrics); err != nil {

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	fvbench [flags] <experiment>
+//	fvbench [flags] <experiment>          (default -mode=latency)
+//	fvbench -mode=throughput [flags]
 //
-// Experiments:
+// Experiments (latency mode):
 //
 //	fig3      round-trip latency distribution (VirtIO vs XDMA)
 //	fig4      VirtIO latency breakdown (software vs hardware)
@@ -22,24 +23,35 @@
 //	throughput E11: pipelined (VirtIO) vs serial (XDMA) throughput
 //	ringformat E12: split vs packed virtqueue format
 //
+// Throughput mode streams a fixed packet count through a window of
+// in-flight requests per driver: the VirtIO path with and without kick
+// suppression (EVENT_IDX + batched TX kicks + coalesced interrupts vs
+// per-packet doorbells) and the XDMA path with chained descriptor
+// lists, plus the window=1 degenerate runs that reproduce the latency
+// experiment through the same engine.
+//
 // Flags:
 //
-//	-n       packets per point (default 50000, the paper's count)
-//	-seed    RNG seed (default 1)
-//	-gen3    use a Gen3 x4 link instead of the testbed's Gen2 x2
-//	-hist    print per-point latency histograms with fig3
+//	-n        packets per point (default 50000, the paper's count)
+//	-packets  alias of -n
+//	-seed     RNG seed (default 1)
+//	-gen3     use a Gen3 x4 link instead of the testbed's Gen2 x2
+//	-hist     print per-point latency histograms with fig3
 //	-payloads comma-separated payload sizes (default: the paper's sweep)
-//	-json    write the sweep as a validated bench artifact (sweep experiments)
-//	-csv     write the sweep as CSV (sweep experiments)
-//	-metrics dump each point's telemetry metric snapshot to stdout
+//	-sizes    alias of -payloads
+//	-mode     latency (default) or throughput
+//	-window   throughput mode: in-flight request window (default 16)
+//	-qpairs   throughput mode: virtio-net queue pairs (default 1)
+//	-rate     throughput mode: offered rate in packets/s (0 = closed loop)
+//	-json     write the run as a validated bench artifact
+//	-csv      write the run as CSV
+//	-metrics  dump each point's telemetry metric snapshot to stdout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	fpgavirtio "fpgavirtio"
 	"fpgavirtio/internal/experiments"
@@ -47,36 +59,55 @@ import (
 
 func main() {
 	n := flag.Int("n", 50000, "packets per measurement point")
+	packets := flag.Int("packets", 0, "alias of -n")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	gen3 := flag.Bool("gen3", false, "use a Gen3 x4 link")
 	hist := flag.Bool("hist", false, "print latency histograms (fig3)")
 	payloads := flag.String("payloads", "", "comma-separated payload sizes overriding the paper's 64..1024 sweep (e.g. 64,512,1458)")
-	jsonPath := flag.String("json", "", "write the sweep's bench artifact as JSON to this file")
-	csvPath := flag.String("csv", "", "write the sweep's bench artifact as CSV to this file")
+	sizes := flag.String("sizes", "", "alias of -payloads")
+	mode := flag.String("mode", "latency", "latency (paper experiments) or throughput (windowed streaming)")
+	window := flag.Int("window", 16, "throughput mode: in-flight request window")
+	qpairs := flag.Int("qpairs", 1, "throughput mode: virtio-net queue pairs")
+	rate := flag.Float64("rate", 0, "throughput mode: offered rate in packets/s (0 = closed loop)")
+	jsonPath := flag.String("json", "", "write the run's bench artifact as JSON to this file")
+	csvPath := flag.String("csv", "", "write the run's bench artifact as CSV to this file")
 	metrics := flag.Bool("metrics", false, "dump per-point telemetry metric snapshots to stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat\n")
+		fmt.Fprintf(os.Stderr, "       fvbench -mode=throughput [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fvbench: "+format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["packets"] {
+		*n = *packets
+	}
+	if err := validatePackets(*n); err != nil {
+		usageErr("%v", err)
 	}
 
 	p := experiments.Params{Seed: *seed, Packets: *n}
 	if *gen3 {
 		p.Link = fpgavirtio.Gen3x4
 	}
-	if *payloads != "" {
-		for _, f := range strings.Split(*payloads, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || v <= 0 || v > 1458 {
-				fmt.Fprintf(os.Stderr, "fvbench: bad payload %q (1..1458)\n", f)
-				os.Exit(2)
-			}
-			p.Payloads = append(p.Payloads, v)
+	sizesArg := *payloads
+	if set["sizes"] {
+		sizesArg = *sizes
+	}
+	if sizesArg != "" || set["sizes"] || set["payloads"] {
+		v, err := parseSizes(sizesArg)
+		if err != nil {
+			usageErr("%v", err)
 		}
+		p.Payloads = v
 	}
 
 	fail := func(err error) {
@@ -84,25 +115,64 @@ func main() {
 		os.Exit(1)
 	}
 
+	switch *mode {
+	case "latency":
+		if set["window"] || set["qpairs"] || set["rate"] {
+			usageErr("-window/-qpairs/-rate apply to -mode=throughput")
+		}
+		runLatency(p, *hist, *jsonPath, *csvPath, *metrics, usageErr, fail)
+	case "throughput":
+		if flag.NArg() != 0 {
+			usageErr("-mode=throughput takes no experiment argument (got %q)", flag.Arg(0))
+		}
+		if *hist || *metrics {
+			usageErr("-hist/-metrics apply to -mode=latency")
+		}
+		if err := validateStreamFlags(*window, *qpairs, *rate); err != nil {
+			usageErr("%v", err)
+		}
+		tp := experiments.ThroughputParams{Params: p, Window: *window, QueuePairs: *qpairs, RatePPS: *rate}
+		fmt.Fprintf(os.Stderr, "fvbench: streaming %d packets x %d payloads, window %d...\n",
+			tp.Packets, payloadCount(p), *window)
+		m, err := experiments.RunThroughputMode(tp)
+		if err != nil {
+			fail(err)
+		}
+		exportThroughput(m, *jsonPath, *csvPath, fail)
+		fmt.Print(m.Render())
+	default:
+		usageErr("unknown mode %q (latency|throughput)", *mode)
+	}
+}
+
+func payloadCount(p experiments.Params) int {
+	if len(p.Payloads) > 0 {
+		return len(p.Payloads)
+	}
+	return len(experiments.DefaultPayloads)
+}
+
+// runLatency dispatches the default-mode experiments.
+func runLatency(p experiments.Params, hist bool, jsonPath, csvPath string, metrics bool,
+	usageErr func(string, ...any), fail func(error)) {
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
 	experiment := flag.Arg(0)
 	isSweep := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table1": true, "all": true}[experiment]
-	if (*jsonPath != "" || *csvPath != "" || *metrics) && !isSweep {
-		fmt.Fprintf(os.Stderr, "fvbench: -json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q\n", experiment)
-		os.Exit(2)
+	if (jsonPath != "" || csvPath != "" || metrics) && !isSweep {
+		usageErr("-json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
 	}
 
 	needSweep := func() *experiments.Sweep {
-		npayloads := len(p.Payloads)
-		if npayloads == 0 {
-			npayloads = len(experiments.DefaultPayloads)
-		}
 		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers...\n",
-			p.Packets, npayloads)
+			p.Packets, payloadCount(p))
 		sw, err := experiments.RunSweep(p)
 		if err != nil {
 			fail(err)
 		}
-		exportSweep(sw, experiment, *jsonPath, *csvPath, *metrics, fail)
+		exportSweep(sw, experiment, jsonPath, csvPath, metrics, fail)
 		return sw
 	}
 
@@ -110,8 +180,8 @@ func main() {
 	case "fig3":
 		sw := needSweep()
 		f := experiments.RunFig3(sw)
-		fmt.Print(f.Render(*hist))
-		if *hist {
+		fmt.Print(f.Render(hist))
+		if hist {
 			for i := range sw.VirtIO {
 				fmt.Printf("\n%d B VirtIO:\n%s", sw.VirtIO[i].Payload, sw.VirtIO[i].Total.Histogram(16, 50))
 				fmt.Printf("\n%d B XDMA:\n%s", sw.XDMA[i].Payload, sw.XDMA[i].Total.Histogram(16, 50))

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSizesAccepts(t *testing.T) {
+	cases := []struct {
+		arg  string
+		want []int
+	}{
+		{"64", []int{64}},
+		{"64,256,1024", []int{64, 256, 1024}},
+		{" 64 , 1458 ", []int{64, 1458}}, // whitespace and the MTU cap itself
+		{"1", []int{1}},
+	}
+	for _, tc := range cases {
+		got, err := parseSizes(tc.arg)
+		if err != nil {
+			t.Errorf("parseSizes(%q) = error %v", tc.arg, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseSizes(%q) = %v, want %v", tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestParseSizesRejects(t *testing.T) {
+	cases := []struct {
+		name, arg, want string
+	}{
+		{"empty", "", "empty"},
+		{"blank", "   ", "empty"},
+		{"zero", "0", "out of range"},
+		{"negative", "-64", "out of range"},
+		{"over 64KB", "65537", "out of range"},
+		{"over MTU", "1459", "UDP payload cap"},
+		{"non-integer", "64,abc", "not an integer"},
+		{"float", "64.5", "not an integer"},
+		{"empty field", "64,,256", "not an integer"},
+		{"good then bad", "64,0", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseSizes(tc.arg)
+			if err == nil {
+				t.Fatalf("parseSizes(%q) accepted nonsense", tc.arg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("parseSizes(%q) error %q, want mention of %q", tc.arg, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidatePackets(t *testing.T) {
+	for _, n := range []int{1, 50, 50000} {
+		if err := validatePackets(n); err != nil {
+			t.Errorf("validatePackets(%d) = %v", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -50000} {
+		if err := validatePackets(n); err == nil {
+			t.Errorf("validatePackets(%d) accepted nonsense", n)
+		}
+	}
+}
+
+func TestValidateStreamFlags(t *testing.T) {
+	if err := validateStreamFlags(16, 2, 0); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	if err := validateStreamFlags(1, 1, 5000); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	if err := validateStreamFlags(maxWindow, maxQueuePairs, 0); err != nil {
+		t.Errorf("boundary flags rejected: %v", err)
+	}
+	cases := []struct {
+		name           string
+		window, qpairs int
+		rate           float64
+		want           string
+	}{
+		{"zero window", 0, 1, 0, "window"},
+		{"negative window", -4, 1, 0, "window"},
+		{"window over list limit", maxWindow + 1, 1, 0, "window"},
+		{"zero qpairs", 16, 0, 0, "qpairs"},
+		{"qpairs over MSI-X budget", 16, maxQueuePairs + 1, 0, "qpairs"},
+		{"negative rate", 16, 1, -1, "rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateStreamFlags(tc.window, tc.qpairs, tc.rate)
+			if err == nil {
+				t.Fatal("nonsense flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

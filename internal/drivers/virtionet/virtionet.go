@@ -20,7 +20,9 @@ import (
 	"fpgavirtio/internal/virtio"
 )
 
-// Queue indices of a single-queue-pair virtio-net device.
+// Queue indices of a single-queue-pair virtio-net device. With
+// VIRTIO_NET_F_MQ the pairs interleave (receiveqN = 2(N-1),
+// transmitqN = 2N-1) and the control queue follows the last pair.
 const (
 	queueRX   = 0
 	queueTX   = 1
@@ -54,11 +56,36 @@ type Options struct {
 	WantEventIdx bool
 	// WantPacked negotiates VIRTIO_F_RING_PACKED when offered.
 	WantPacked bool
+	// QueuePairs requests that many RX/TX queue pairs (default 1),
+	// capped by the device's max_virtqueue_pairs; more than one pair
+	// requires the control queue for VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET.
+	// Transmits spread round-robin across the active pairs.
+	QueuePairs int
+	// TxKickBatch defers the TX doorbell until that many packets have
+	// been queued since the last kick (FlushTx forces the pending one)
+	// — the driver-side descriptor batching used by windowed streaming.
+	// 0 or 1 keeps the kick-per-packet policy.
+	TxKickBatch int
+	// ForceKicks disables every doorbell elision (device hints, event
+	// thresholds, batching): one doorbell per ring update. This is the
+	// suppression-off arm of the throughput comparison.
+	ForceKicks bool
 }
 
 // DefaultOptions matches the paper's test configuration.
 func DefaultOptions(name string) Options {
 	return Options{Name: name, WantCsum: true, WantCtrlVQ: true, RXBuffers: 64, SuppressTxInterrupts: true}
+}
+
+// pairQueues is the driver state of one RX/TX queue pair.
+type pairQueues struct {
+	rx, tx *virtiopci.VQ
+	txBufs []mem.Addr
+	txFree []int
+	txWQ   *hostos.WaitQueue
+	// unkicked counts packets queued since the last TX doorbell under
+	// the TxKickBatch policy.
+	unkicked int
 }
 
 // Device is a bound virtio-net interface; it implements netstack.NIC.
@@ -72,14 +99,12 @@ type Device struct {
 	mtu      uint16
 	offloads netstack.Offloads
 
-	rxq, txq, ctrlq *virtiopci.VQ
+	pairs  []*pairQueues
+	txNext int
+	ctrlq  *virtiopci.VQ
 
 	rxBufSize int
-	txBufs    []mem.Addr
-	txFree    []int
-	txWQ      *hostos.WaitQueue
-
-	ctrlWQ *hostos.WaitQueue
+	ctrlWQ    *hostos.WaitQueue
 
 	// stats
 	TxPackets, RxPackets, RxIRQs int
@@ -98,7 +123,7 @@ type txToken struct{ idx int }
 
 // Probe binds the driver to an enumerated device and brings the
 // interface up: feature negotiation, ring setup, RX buffer posting,
-// IRQ registration, DRIVER_OK.
+// IRQ registration, DRIVER_OK, and (with MQ) pair activation.
 func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.DeviceInfo, opt Options) (*Device, error) {
 	if opt.RXBuffers == 0 {
 		opt.RXBuffers = 64
@@ -119,14 +144,16 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 		host:   h,
 		stack:  stack,
 		opt:    opt,
-		txWQ:   h.NewWaitQueue(opt.Name + ".tx"),
 		ctrlWQ: h.NewWaitQueue(opt.Name + ".ctrl"),
 		txPkts: reg.Counter("driver.virtionet.tx.packets"),
 		rxPkts: reg.Counter("driver.virtionet.rx.packets"),
 		rxIRQs: reg.Counter("driver.virtionet.rx.irqs"),
 	}
 
-	want := virtio.NetFMAC | virtio.NetFMTU | virtio.NetFStatus
+	// MQ is always requested; Negotiate intersects with the device
+	// offer, so the bit survives only on multi-pair devices — which is
+	// also how the driver learns the control queue moved past the pairs.
+	want := virtio.NetFMAC | virtio.NetFMTU | virtio.NetFStatus | virtio.NetFMQ
 	if opt.WantCsum {
 		want |= virtio.NetFCsum | virtio.NetFGuestCsum
 	}
@@ -153,44 +180,85 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	d.mtu = uint16(cfg[virtio.NetCfgMTU]) | uint16(cfg[virtio.NetCfgMTU+1])<<8
 	d.rxBufSize = virtio.NetHdrSize + netstack.EthHdrSize + int(d.mtu) + 64
 
+	maxPairs := 1
+	if feats.Has(virtio.NetFMQ) {
+		maxPairs = int(cfg[virtio.NetCfgMaxVQP]) | int(cfg[virtio.NetCfgMaxVQP+1])<<8
+		if maxPairs < 1 {
+			maxPairs = 1
+		}
+	}
+	pairs := opt.QueuePairs
+	if pairs <= 0 {
+		pairs = 1
+	}
+	if pairs > maxPairs {
+		pairs = maxPairs
+	}
+	if pairs > 1 && !feats.Has(virtio.NetFCtrlVQ) {
+		return nil, fmt.Errorf("virtionet: %d queue pairs need the control queue", pairs)
+	}
+
 	qsize := opt.QueueSize
 	if qsize == 0 {
 		qsize = 256
 	}
-	if d.rxq, err = tr.SetupQueue(p, queueRX, qsize); err != nil {
-		return nil, err
-	}
-	if d.txq, err = tr.SetupQueue(p, queueTX, qsize); err != nil {
-		return nil, err
+	for i := 0; i < pairs; i++ {
+		pq := &pairQueues{txWQ: h.NewWaitQueue(fmt.Sprintf("%s.tx%d", opt.Name, i))}
+		if pq.rx, err = tr.SetupQueue(p, virtio.NetRXQueue(i), qsize); err != nil {
+			return nil, err
+		}
+		if pq.tx, err = tr.SetupQueue(p, virtio.NetTXQueue(i), qsize); err != nil {
+			return nil, err
+		}
+		d.pairs = append(d.pairs, pq)
 	}
 	if feats.Has(virtio.NetFCtrlVQ) {
-		if d.ctrlq, err = tr.SetupQueue(p, queueCtrl, 16); err != nil {
+		ctrlIdx := queueCtrl
+		if feats.Has(virtio.NetFMQ) {
+			// The control queue sits after the device's full pair set,
+			// not after the subset this driver activates.
+			ctrlIdx = virtio.NetCtrlQueue(maxPairs)
+		}
+		if d.ctrlq, err = tr.SetupQueue(p, ctrlIdx, 16); err != nil {
 			return nil, err
 		}
 		d.ctrlq.RegisterIRQ(d.onCtrlIRQ)
 	}
-	d.rxq.RegisterIRQ(d.onRxIRQ)
-	d.txq.RegisterIRQ(d.onTxIRQ)
-	if opt.SuppressTxInterrupts {
-		d.txq.SetNoInterrupt(true)
+	for _, pq := range d.pairs {
+		pq := pq
+		pq.rx.RegisterIRQ(func(p *sim.Proc) { d.onRxIRQ(p, pq) })
+		pq.tx.RegisterIRQ(func(p *sim.Proc) { d.onTxIRQ(p, pq) })
+		if opt.SuppressTxInterrupts {
+			pq.tx.SetNoInterrupt(true)
+		}
 	}
 
 	// Pre-post receive buffers and kick once so the device knows.
-	for i := 0; i < opt.RXBuffers; i++ {
-		addr := tr.AllocBuffer(d.rxBufSize)
-		if err := d.rxq.AddChain(p, []virtio.BufSeg{{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}}, rxToken{addr: addr, idx: i}); err != nil {
-			return nil, err
+	for _, pq := range d.pairs {
+		for i := 0; i < opt.RXBuffers; i++ {
+			addr := tr.AllocBuffer(d.rxBufSize)
+			if err := pq.rx.AddChain(p, []virtio.BufSeg{{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}}, rxToken{addr: addr, idx: i}); err != nil {
+				return nil, err
+			}
 		}
+		pq.rx.Kick(p)
 	}
-	d.rxq.Kick(p)
 
-	// Transmit buffer pool sized to the ring.
-	for i := 0; i < qsize; i++ {
-		d.txBufs = append(d.txBufs, tr.AllocBuffer(virtio.NetHdrSize+netstack.EthHdrSize+int(d.mtu)+64))
-		d.txFree = append(d.txFree, i)
+	// Per-pair transmit buffer pools sized to the ring.
+	for _, pq := range d.pairs {
+		for i := 0; i < qsize; i++ {
+			pq.txBufs = append(pq.txBufs, tr.AllocBuffer(virtio.NetHdrSize+netstack.EthHdrSize+int(d.mtu)+64))
+			pq.txFree = append(pq.txFree, i)
+		}
 	}
 
 	tr.DriverOK(p)
+	if feats.Has(virtio.NetFMQ) {
+		if err := d.ctrlCommand(p, virtio.NetCtrlMQ, virtio.NetCtrlMQPairs,
+			[]byte{byte(pairs), byte(pairs >> 8)}); err != nil {
+			return nil, fmt.Errorf("virtionet: VQ_PAIRS_SET: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -209,6 +277,17 @@ func (d *Device) Offloads() netstack.Offloads { return d.offloads }
 // Transport exposes the underlying transport (examples and tests).
 func (d *Device) Transport() *virtiopci.Transport { return d.tr }
 
+// QueuePairs reports the number of active RX/TX queue pairs.
+func (d *Device) QueuePairs() int { return len(d.pairs) }
+
+// txQueue picks the transmit pair for the next packet (round-robin,
+// the stand-in for the kernel's XPS mapping).
+func (d *Device) txQueue() *pairQueues {
+	pq := d.pairs[d.txNext%len(d.pairs)]
+	d.txNext++
+	return pq
+}
+
 // Xmit implements netstack.NIC: virtio-net's start_xmit. Completed
 // transmissions are reclaimed here rather than by interrupt, matching
 // the suppressed-TX-interrupt configuration.
@@ -216,20 +295,21 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.xmit")
 	defer sp.End()
 	d.host.CPUWork(p, xmitPathCost)
+	pq := d.txQueue()
 
 	// Reclaim finished TX chains (free_old_xmit_skbs).
-	for _, u := range d.txq.Harvest(p) {
-		d.txFree = append(d.txFree, u.Token.(txToken).idx)
+	for _, u := range pq.tx.Harvest(p) {
+		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
 	}
-	for len(d.txFree) == 0 {
-		d.txWQ.Wait(p) // ring full: netif_stop_queue
-		for _, u := range d.txq.Harvest(p) {
-			d.txFree = append(d.txFree, u.Token.(txToken).idx)
+	for len(pq.txFree) == 0 {
+		pq.txWQ.Wait(p) // ring full: netif_stop_queue
+		for _, u := range pq.tx.Harvest(p) {
+			pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
 		}
 	}
-	idx := d.txFree[len(d.txFree)-1]
-	d.txFree = d.txFree[:len(d.txFree)-1]
-	buf := d.txBufs[idx]
+	idx := pq.txFree[len(pq.txFree)-1]
+	pq.txFree = pq.txFree[:len(pq.txFree)-1]
+	buf := pq.txBufs[idx]
 
 	hdr := virtio.NetHdr{NumBuffers: 1}
 	if pkt.NeedsCsum {
@@ -242,44 +322,66 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	d.host.Mem.Write(buf, hdr.Encode())
 	d.host.Mem.Write(buf+virtio.NetHdrSize, pkt.Frame)
 
-	if err := d.txq.AddChain(p, []virtio.BufSeg{{Addr: buf, Len: n}}, txToken{idx: idx}); err != nil {
+	if err := pq.tx.AddChain(p, []virtio.BufSeg{{Addr: buf, Len: n}}, txToken{idx: idx}); err != nil {
 		return err
 	}
-	d.txq.KickIfNeeded(p)
+	switch {
+	case d.opt.ForceKicks:
+		pq.tx.Kick(p)
+	case d.opt.TxKickBatch > 1:
+		pq.unkicked++
+		if pq.unkicked >= d.opt.TxKickBatch {
+			pq.tx.KickIfNeeded(p)
+			pq.unkicked = 0
+		}
+	default:
+		pq.tx.KickIfNeeded(p)
+	}
 	d.TxPackets++
 	d.txPkts.Inc()
 	return nil
 }
 
+// FlushTx forces the doorbell for any packets still batched under
+// TxKickBatch — the end-of-window drain of the streaming engine.
+func (d *Device) FlushTx(p *sim.Proc) {
+	for _, pq := range d.pairs {
+		if pq.unkicked > 0 {
+			pq.tx.KickIfNeeded(p)
+			pq.unkicked = 0
+		}
+	}
+}
+
 // onTxIRQ handles (rare) TX completion interrupts when suppression is
 // off: reclaim and wake any stalled transmitter.
-func (d *Device) onTxIRQ(p *sim.Proc) {
+func (d *Device) onTxIRQ(p *sim.Proc, pq *pairQueues) {
 	d.host.CPUWork(p, irqBodyCost)
-	for _, u := range d.txq.Harvest(p) {
-		d.txFree = append(d.txFree, u.Token.(txToken).idx)
+	for _, u := range pq.tx.Harvest(p) {
+		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
 	}
-	d.txWQ.Wake()
+	pq.txWQ.Wake()
 }
 
 // onRxIRQ is the receive interrupt: disable further RX interrupts and
 // hand off to NAPI poll, per the kernel's structure.
-func (d *Device) onRxIRQ(p *sim.Proc) {
+func (d *Device) onRxIRQ(p *sim.Proc, pq *pairQueues) {
 	d.RxIRQs++
 	d.rxIRQs.Inc()
 	d.host.CPUWork(p, irqBodyCost)
-	d.rxq.SetNoInterrupt(true)
+	pq.rx.SetNoInterrupt(true)
 	p.Sleep(d.host.Config().SoftIRQLatency)
-	d.napiPoll(p)
+	d.napiPoll(p, pq)
 }
 
 // napiPoll drains the RX used ring, delivers frames to the stack,
 // reposts buffers, then re-enables interrupts (with the standard
 // re-check to close the race).
-func (d *Device) napiPoll(p *sim.Proc) {
+func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.napi")
 	defer sp.End()
 	for {
-		for _, u := range d.rxq.Harvest(p) {
+		for _, u := range pq.rx.Harvest(p) {
 			tok := u.Token.(rxToken)
 			d.host.CPUWork(p, napiPerPktCost)
 			raw := d.host.Mem.Read(tok.addr, u.Written)
@@ -298,17 +400,21 @@ func (d *Device) napiPoll(p *sim.Proc) {
 			}
 			// Repost the buffer.
 			d.host.CPUWork(p, refillCost)
-			if err := d.rxq.AddChain(p, []virtio.BufSeg{{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}}, tok); err != nil {
+			if err := pq.rx.AddChain(p, []virtio.BufSeg{{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}}, tok); err != nil {
 				panic("virtionet: repost: " + err.Error())
 			}
 		}
-		d.rxq.KickIfNeeded(p) // tell the device buffers were returned
-		d.rxq.SetNoInterrupt(false)
-		if !d.rxq.HasUsed() {
+		if d.opt.ForceKicks {
+			pq.rx.Kick(p)
+		} else {
+			pq.rx.KickIfNeeded(p) // tell the device buffers were returned
+		}
+		pq.rx.SetNoInterrupt(false)
+		if !pq.rx.HasUsed() {
 			return
 		}
 		// More arrived between drain and re-enable: poll again.
-		d.rxq.SetNoInterrupt(true)
+		pq.rx.SetNoInterrupt(true)
 	}
 }
 
@@ -318,22 +424,19 @@ func (d *Device) onCtrlIRQ(p *sim.Proc) {
 	d.ctrlWQ.Wake()
 }
 
-// SetPromiscuous issues VIRTIO_NET_CTRL_RX_PROMISC over the control
-// queue and blocks for the device's ack.
-func (d *Device) SetPromiscuous(p *sim.Proc, on bool) error {
+// ctrlCommand issues one control-queue command (class, command,
+// payload) and blocks for the device's ack byte.
+func (d *Device) ctrlCommand(p *sim.Proc, class, cmd byte, payload []byte) error {
 	if d.ctrlq == nil {
 		return fmt.Errorf("virtionet: no control queue negotiated")
 	}
-	cmd := d.tr.AllocBuffer(3)
+	n := 2 + len(payload)
+	cmdBuf := d.tr.AllocBuffer(n)
 	ack := d.tr.AllocBuffer(1)
-	v := byte(0)
-	if on {
-		v = 1
-	}
-	d.host.Mem.Write(cmd, []byte{virtio.NetCtrlRx, virtio.NetCtrlRxPromisc, v})
+	d.host.Mem.Write(cmdBuf, append([]byte{class, cmd}, payload...))
 	d.host.Mem.PutU8(ack, 0xff)
 	if err := d.ctrlq.AddChain(p, []virtio.BufSeg{
-		{Addr: cmd, Len: 3},
+		{Addr: cmdBuf, Len: n},
 		{Addr: ack, Len: 1, DeviceWritten: true},
 	}, "ctrl"); err != nil {
 		return err
@@ -344,7 +447,17 @@ func (d *Device) SetPromiscuous(p *sim.Proc, on bool) error {
 	}
 	d.ctrlq.Harvest(p)
 	if st := d.host.Mem.U8(ack); st != virtio.NetCtrlAckOK {
-		return fmt.Errorf("virtionet: ctrl command failed: status %d", st)
+		return fmt.Errorf("virtionet: ctrl command %d/%d failed: status %d", class, cmd, st)
 	}
 	return nil
+}
+
+// SetPromiscuous issues VIRTIO_NET_CTRL_RX_PROMISC over the control
+// queue and blocks for the device's ack.
+func (d *Device) SetPromiscuous(p *sim.Proc, on bool) error {
+	v := byte(0)
+	if on {
+		v = 1
+	}
+	return d.ctrlCommand(p, virtio.NetCtrlRx, virtio.NetCtrlRxPromisc, []byte{v})
 }

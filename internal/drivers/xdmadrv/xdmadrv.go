@@ -29,6 +29,7 @@ import (
 // service, and transfer teardown with unmap.
 const (
 	descBuildCost  = sim.Duration(2000) * sim.Nanosecond // transfer init + dma_map + desc build
+	descChainCost  = sim.Duration(300) * sim.Nanosecond  // each additional descriptor in a list
 	submitCost     = sim.Duration(1000) * sim.Nanosecond // engine_start bookkeeping
 	isrBodyCost    = sim.Duration(1000) * sim.Nanosecond // xdma_isr + engine service
 	completionCost = sim.Duration(2800) * sim.Nanosecond // teardown, unmap, wait-list processing
@@ -36,6 +37,10 @@ const (
 
 // MaxTransfer is the per-call transfer limit of the bounce buffers.
 const MaxTransfer = 1 << 20
+
+// MaxBatchDescs bounds one chained descriptor list (the size of the
+// driver's descriptor-ring allocation per channel).
+const MaxBatchDescs = 256
 
 // Driver is a bound XDMA function exposing H2C and C2H device nodes.
 type Driver struct {
@@ -60,7 +65,8 @@ type channelState struct {
 	irqBit   uint32
 
 	buf      mem.Addr // bounce buffer
-	descSlot mem.Addr // descriptor in host memory
+	descSlot mem.Addr // single descriptor in host memory
+	descList mem.Addr // chained descriptor ring for batch submissions
 	wq       *hostos.WaitQueue
 	complete bool
 	busy     bool
@@ -105,6 +111,7 @@ func (d *Driver) newChannel(p *sim.Proc, name string, h2c bool, chanBase, sgdma 
 		irqBit:    irqBit,
 		buf:       d.host.Alloc.Alloc(MaxTransfer, 4096),
 		descSlot:  d.host.Alloc.Alloc(xdmaip.DescSize, 32),
+		descList:  d.host.Alloc.Alloc(MaxBatchDescs*xdmaip.DescSize, 32),
 		wq:        d.host.NewWaitQueue(name),
 		spanName:  "xdma." + dir,
 		transfers: reg.Counter("driver.xdma." + dir + ".transfers"),
@@ -190,6 +197,88 @@ func (ch *channelState) transfer(p *sim.Proc, n int) error {
 	return nil
 }
 
+// xferSeg is one entry of a chained descriptor list: n bytes between
+// bounce-buffer offset off and card address card.
+type xferSeg struct {
+	card uint64
+	off  int
+	n    int
+}
+
+// transferList runs one blocking DMA over a chained descriptor list:
+// one engine start, one completion interrupt, and one teardown for the
+// whole batch, against descBuildCost + (len-1)·descChainCost of CPU
+// work. This is the descriptor-list submission mode the streaming
+// benchmark uses to pipeline transfers through the engine.
+func (ch *channelState) transferList(p *sim.Proc, segs []xferSeg) error {
+	if len(segs) == 0 || len(segs) > MaxBatchDescs {
+		return fmt.Errorf("xdmadrv: %s: invalid descriptor list length %d", ch.name, len(segs))
+	}
+	total := 0
+	for _, s := range segs {
+		if s.n <= 0 || s.off < 0 || s.off+s.n > MaxTransfer {
+			return fmt.Errorf("xdmadrv: %s: invalid segment off=%d len=%d", ch.name, s.off, s.n)
+		}
+		total += s.n
+	}
+	if ch.busy {
+		return fmt.Errorf("xdmadrv: %s: channel busy", ch.name)
+	}
+	ch.busy = true
+	defer func() { ch.busy = false }()
+	d := ch.drv
+	sp := d.host.Sim.BeginSpan(telemetry.LayerDriver, ch.spanName)
+	defer sp.End()
+
+	// Build the chained list in host memory; extra descriptors amortize
+	// against the first one's full transfer-init cost.
+	d.host.CPUWork(p, descBuildCost)
+	if len(segs) > 1 {
+		d.host.CPUWork(p, sim.Duration(len(segs)-1)*descChainCost)
+	}
+	for i, s := range segs {
+		slot := ch.descList + mem.Addr(i*xdmaip.DescSize)
+		desc := xdmaip.Descriptor{
+			Control: xdmaip.DescCompleted | xdmaip.DescEOP,
+			Len:     uint32(s.n),
+		}
+		if i == len(segs)-1 {
+			desc.Control |= xdmaip.DescStop
+		} else {
+			desc.Next = uint64(slot) + xdmaip.DescSize
+		}
+		if ch.h2c {
+			desc.Src = uint64(ch.buf) + uint64(s.off)
+			desc.Dst = s.card
+		} else {
+			desc.Src = s.card
+			desc.Dst = uint64(ch.buf) + uint64(s.off)
+		}
+		desc.Encode(d.host.Mem, slot)
+	}
+
+	// Program the engine once for the whole list.
+	d.host.CPUWork(p, submitCost)
+	d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus, 4)
+	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescLo, 4, uint64(uint32(ch.descList)))
+	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescHi, 4, uint64(ch.descList)>>32)
+	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescAdj, 4, 0)
+	ch.complete = false
+	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
+		xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
+
+	for !ch.complete {
+		ch.wq.Wait(p)
+	}
+
+	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4, 0)
+	d.host.CPUWork(p, completionCost)
+	ch.Transfers++
+	ch.transfers.Inc()
+	ch.bytes.Add(int64(total))
+	return nil
+}
+
 // Write implements hostos.CharDev for the H2C node: copy_from_user
 // into the bounce buffer, then DMA host-to-card.
 func (ch *channelState) Write(p *sim.Proc, data []byte) (int, error) {
@@ -219,4 +308,53 @@ func (ch *channelState) Read(p *sim.Proc, buf []byte) (int, error) {
 	ch.drv.host.Copy(p, len(buf))
 	ch.drv.host.Mem.ReadInto(ch.buf, buf)
 	return len(buf), nil
+}
+
+// WriteBatch writes every payload host-to-card through one chained
+// descriptor list, landing payload i at card address cardBase+i·stride.
+// The whole batch shares a single copy_from_user, engine start, and
+// completion interrupt.
+func (d *Driver) WriteBatch(p *sim.Proc, cardBase uint64, stride int, payloads [][]byte) error {
+	ch := d.h2c
+	segs := make([]xferSeg, 0, len(payloads))
+	off := 0
+	for i, b := range payloads {
+		if off+len(b) > MaxTransfer {
+			return fmt.Errorf("xdmadrv: batch exceeds bounce buffer: %d bytes", off+len(b))
+		}
+		segs = append(segs, xferSeg{card: cardBase + uint64(i*stride), off: off, n: len(b)})
+		off += len(b)
+	}
+	d.host.Copy(p, off)
+	off = 0
+	for _, b := range payloads {
+		d.host.Mem.Write(ch.buf+mem.Addr(off), b)
+		off += len(b)
+	}
+	return ch.transferList(p, segs)
+}
+
+// ReadBatch fills every buffer card-to-host from cardBase+i·stride
+// through one chained descriptor list, then a single copy_to_user.
+func (d *Driver) ReadBatch(p *sim.Proc, cardBase uint64, stride int, bufs [][]byte) error {
+	ch := d.c2h
+	segs := make([]xferSeg, 0, len(bufs))
+	off := 0
+	for i, b := range bufs {
+		if off+len(b) > MaxTransfer {
+			return fmt.Errorf("xdmadrv: batch exceeds bounce buffer: %d bytes", off+len(b))
+		}
+		segs = append(segs, xferSeg{card: cardBase + uint64(i*stride), off: off, n: len(b)})
+		off += len(b)
+	}
+	if err := ch.transferList(p, segs); err != nil {
+		return err
+	}
+	d.host.Copy(p, off)
+	off = 0
+	for _, b := range bufs {
+		d.host.Mem.ReadInto(ch.buf+mem.Addr(off), b)
+		off += len(b)
+	}
+	return nil
 }

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	fpgavirtio "fpgavirtio"
+	"fpgavirtio/internal/perf"
+	"fpgavirtio/internal/telemetry"
+)
+
+// ThroughputParams controls the fvbench -mode=throughput experiment.
+type ThroughputParams struct {
+	Params
+	// Window is the number of requests each stream keeps in flight
+	// (default 16). Window 1 degenerates to the latency experiment.
+	Window int
+	// QueuePairs is the virtio-net multi-queue width (default 1).
+	QueuePairs int
+	// RatePPS is the offered rate; 0 streams closed-loop.
+	RatePPS float64
+}
+
+func (tp ThroughputParams) withDefaults() ThroughputParams {
+	tp.Params = tp.Params.withDefaults()
+	if tp.Window == 0 {
+		tp.Window = 16
+	}
+	if tp.QueuePairs == 0 {
+		tp.QueuePairs = 1
+	}
+	return tp
+}
+
+// ThroughputArm is one streaming measurement: a driver under one
+// notification configuration at one payload size.
+type ThroughputArm struct {
+	Driver     string
+	Suppressed bool
+	Payload    int
+	Result     fpgavirtio.StreamResult
+}
+
+// ThroughputMode holds the full -mode=throughput grid: per payload, the
+// VirtIO stream with and without kick suppression plus the XDMA
+// descriptor-list stream, and the window=1 degenerate runs that
+// reproduce the paper's latency shape through the same engine.
+type ThroughputMode struct {
+	Params  ThroughputParams
+	Arms    []ThroughputArm
+	Latency []*PointResult
+}
+
+// suppressionFor sizes the batching knobs of the suppressed arm to the
+// window: kicks defer across the whole window (capped at the driver's
+// sweet spot) and interrupts coalesce over half of it.
+func suppressionFor(window int) (kickBatch, coalesce int) {
+	kickBatch = window
+	if kickBatch > 16 {
+		kickBatch = 16
+	}
+	coalesce = window / 2
+	if coalesce > 8 {
+		coalesce = 8
+	}
+	if coalesce < 1 {
+		coalesce = 1
+	}
+	return kickBatch, coalesce
+}
+
+// streamVirtIO opens a fresh VirtIO session and runs one stream.
+func streamVirtIO(cfg fpgavirtio.NetConfig, sc fpgavirtio.StreamConfig) (fpgavirtio.StreamResult, error) {
+	ns, err := fpgavirtio.OpenNet(cfg)
+	if err != nil {
+		return fpgavirtio.StreamResult{}, err
+	}
+	return ns.Stream(sc)
+}
+
+// streamXDMA opens a fresh vendor session and runs one stream.
+func streamXDMA(cfg fpgavirtio.XDMAConfig, sc fpgavirtio.StreamConfig) (fpgavirtio.StreamResult, error) {
+	xs, err := fpgavirtio.OpenXDMA(cfg)
+	if err != nil {
+		return fpgavirtio.StreamResult{}, err
+	}
+	return xs.Stream(sc)
+}
+
+// latencyPoint converts a window=1 stream (whose RTT samples come from
+// the exact latency-mode sequence) into the sweep's point shape.
+func latencyPoint(driver string, payload int, res fpgavirtio.StreamResult) *PointResult {
+	pt := &PointResult{
+		Driver:  driver,
+		Payload: payload,
+		Total:   perf.NewSeries(fmt.Sprintf("%s/%d/total", driver, payload)),
+		SW:      perf.NewSeries("sw"),
+		HW:      perf.NewSeries("hw"),
+		RG:      perf.NewSeries("rg"),
+	}
+	for _, s := range res.RTT {
+		pt.Total.Add(toSim(s.Total))
+		pt.SW.Add(toSim(s.Software))
+		pt.HW.Add(toSim(s.Hardware))
+		pt.RG.Add(toSim(s.RespGen))
+	}
+	pt.Interrupts = res.Interrupts
+	return pt
+}
+
+// RunThroughputMode measures the whole grid. Per payload it runs four
+// streams: the VirtIO suppressed arm (EVENT_IDX doorbells, batched TX
+// kicks, coalesced completion interrupts), the VirtIO per-packet-kick
+// arm, the XDMA descriptor-list arm, and — sharing the same engine —
+// the window=1 VirtIO and XDMA runs whose per-packet samples reproduce
+// the paper's latency distributions.
+func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
+	tp = tp.withDefaults()
+	m := &ThroughputMode{Params: tp}
+	kickBatch, coalesce := suppressionFor(tp.Window)
+	base := fpgavirtio.Config{Seed: tp.Seed, Link: tp.Link}
+	for _, payload := range tp.Payloads {
+		sc := fpgavirtio.StreamConfig{
+			Packets:     tp.Packets,
+			PayloadSize: payload,
+			Window:      tp.Window,
+			RatePPS:     tp.RatePPS,
+		}
+
+		supp, err := streamVirtIO(fpgavirtio.NetConfig{
+			Config:          base,
+			UseEventIdx:     true,
+			QueuePairs:      tp.QueuePairs,
+			TxKickBatch:     kickBatch,
+			IRQCoalescePkts: coalesce,
+		}, sc)
+		if err != nil {
+			return nil, fmt.Errorf("virtio suppressed %dB: %w", payload, err)
+		}
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Suppressed: true, Payload: payload, Result: supp})
+
+		unsupp, err := streamVirtIO(fpgavirtio.NetConfig{
+			Config:     base,
+			QueuePairs: tp.QueuePairs,
+			ForceKicks: true,
+		}, sc)
+		if err != nil {
+			return nil, fmt.Errorf("virtio unsuppressed %dB: %w", payload, err)
+		}
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Payload: payload, Result: unsupp})
+
+		// The XDMA stream moves payload+headers bytes so the link carries
+		// the same traffic as the VirtIO test (the sweep's pairing rule).
+		xsc := sc
+		xsc.PayloadSize = payload + HeaderOverhead
+		xres, err := streamXDMA(fpgavirtio.XDMAConfig{Config: base}, xsc)
+		if err != nil {
+			return nil, fmt.Errorf("xdma %dB: %w", payload, err)
+		}
+		xres.PayloadBytes = payload // report the VirtIO-equivalent size
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "xdma", Payload: payload, Result: xres})
+
+		// Degenerate window=1 runs through the same stream engine: their
+		// RTT samples are the paper's latency experiment.
+		one := fpgavirtio.StreamConfig{Packets: tp.Packets, PayloadSize: payload, Window: 1}
+		vlat, err := streamVirtIO(fpgavirtio.NetConfig{Config: base}, one)
+		if err != nil {
+			return nil, fmt.Errorf("virtio window=1 %dB: %w", payload, err)
+		}
+		m.Latency = append(m.Latency, latencyPoint("virtio", payload, vlat))
+		xone := one
+		xone.PayloadSize = payload + HeaderOverhead
+		xlat, err := streamXDMA(fpgavirtio.XDMAConfig{Config: base}, xone)
+		if err != nil {
+			return nil, fmt.Errorf("xdma window=1 %dB: %w", payload, err)
+		}
+		m.Latency = append(m.Latency, latencyPoint("xdma", payload, xlat))
+	}
+	return m, nil
+}
+
+// BuildThroughputArtifact renders the run as the fvbench/v1-compatible
+// bench artifact: the streaming grid in Throughput, the window=1
+// degenerate runs in Points (so latency-only readers still work).
+func BuildThroughputArtifact(m *ThroughputMode) *telemetry.BenchArtifact {
+	a := &telemetry.BenchArtifact{
+		Schema:     telemetry.BenchSchema,
+		Experiment: "throughput",
+		Mode:       "throughput",
+		Seed:       m.Params.Seed,
+		Packets:    m.Params.Packets,
+		Link:       m.Params.Link.String(),
+	}
+	for _, pt := range m.Latency {
+		a.Points = append(a.Points, BuildPoint(pt))
+	}
+	for _, arm := range m.Arms {
+		r := arm.Result
+		a.Throughput = append(a.Throughput, telemetry.ThroughputPoint{
+			Driver:        arm.Driver,
+			Payload:       arm.Payload,
+			Packets:       r.Packets,
+			Window:        r.Window,
+			Suppressed:    arm.Suppressed,
+			ElapsedNs:     r.Elapsed.Nanoseconds(),
+			PPS:           r.PPS,
+			GoodputBps:    r.GoodputBps,
+			OccupancyMax:  r.OccupancyMax,
+			OccupancyMean: r.OccupancyMean,
+			Drops:         r.Drops,
+			Backpressure:  r.Backpressure,
+			Doorbells:     r.Doorbells,
+			Interrupts:    r.Interrupts,
+		})
+	}
+	return a
+}
+
+// Render prints the streaming grid plus the window=1 latency summary.
+func (m *ThroughputMode) Render() string {
+	kickBatch, coalesce := suppressionFor(m.Params.Window)
+	t := perf.Table{
+		Title: fmt.Sprintf("Throughput mode — window %d, %d queue pair(s), %d packets/arm",
+			m.Params.Window, m.Params.QueuePairs, m.Params.Packets),
+		Headers: []string{"payload", "arm", "kPPS", "goodput Mb/s", "occ mean/max",
+			"doorbells/pkt", "irqs/pkt", "backpr", "drops"},
+	}
+	for _, arm := range m.Arms {
+		r := arm.Result
+		name := arm.Driver
+		switch {
+		case arm.Driver == "virtio" && arm.Suppressed:
+			name = fmt.Sprintf("virtio suppressed (evidx,kick/%d,coal %d)", kickBatch, coalesce)
+		case arm.Driver == "virtio":
+			name = "virtio per-packet kicks"
+		case arm.Driver == "xdma":
+			name = "xdma descriptor lists"
+		}
+		per := func(n int) string { return fmt.Sprintf("%.2f", float64(n)/float64(r.Packets)) }
+		t.AddRow(fmt.Sprint(arm.Payload), name,
+			fmt.Sprintf("%.1f", r.PPS/1000),
+			fmt.Sprintf("%.2f", r.GoodputBps/1e6),
+			fmt.Sprintf("%.1f/%d", r.OccupancyMean, r.OccupancyMax),
+			per(r.Doorbells), per(r.Interrupts),
+			fmt.Sprint(r.Backpressure), fmt.Sprint(r.Drops))
+	}
+	lat := perf.Table{
+		Title:   "Window=1 degenerate case (us) — same engine, latency-mode sequence",
+		Headers: []string{"series", "n", "mean", "p50", "p95", "p99", "p99.9", "max"},
+	}
+	for _, pt := range m.Latency {
+		s := pt.Total.Summarize()
+		lat.AddRow(s.Name, fmt.Sprint(s.Count), perf.Us(s.Mean), perf.Us(s.P50),
+			perf.Us(s.P95), perf.Us(s.P99), perf.Us(s.P999), perf.Us(s.Max))
+	}
+	return t.String() + "\n" + lat.String()
+}

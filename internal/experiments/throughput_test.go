@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fpgavirtio/internal/telemetry"
+)
+
+func smallThroughput(t *testing.T) *ThroughputMode {
+	t.Helper()
+	m, err := RunThroughputMode(ThroughputParams{
+		Params: Params{Seed: 7, Packets: 300, Payloads: []int{64, 256}},
+		Window: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// cachedThroughput shares one grid run across the tests below — the
+// run is deterministic, so re-running it per test only costs time.
+var cachedThroughput *ThroughputMode
+
+func getThroughput(t *testing.T) *ThroughputMode {
+	t.Helper()
+	if cachedThroughput == nil {
+		cachedThroughput = smallThroughput(t)
+	}
+	return cachedThroughput
+}
+
+// The acceptance inequality at the library level: for every payload,
+// the suppressed VirtIO arm must match or beat the per-packet-kick arm
+// on PPS while issuing strictly fewer doorbells.
+func TestThroughputSuppressionBeatsForceKicks(t *testing.T) {
+	m := getThroughput(t)
+	byPayload := map[int]map[bool]ThroughputArm{}
+	for _, a := range m.Arms {
+		if a.Driver != "virtio" {
+			continue
+		}
+		if byPayload[a.Payload] == nil {
+			byPayload[a.Payload] = map[bool]ThroughputArm{}
+		}
+		byPayload[a.Payload][a.Suppressed] = a
+	}
+	if len(byPayload) != 2 {
+		t.Fatalf("got virtio arms for %d payloads, want 2", len(byPayload))
+	}
+	for payload, arms := range byPayload {
+		sup, ok1 := arms[true]
+		uns, ok2 := arms[false]
+		if !ok1 || !ok2 {
+			t.Fatalf("payload %d: missing a virtio arm (suppressed=%v unsuppressed=%v)", payload, ok1, ok2)
+		}
+		if sup.Result.PPS < uns.Result.PPS {
+			t.Errorf("payload %d: suppressed %.0f PPS < unsuppressed %.0f", payload, sup.Result.PPS, uns.Result.PPS)
+		}
+		if sup.Result.Doorbells >= uns.Result.Doorbells {
+			t.Errorf("payload %d: suppression left doorbells at %d >= %d", payload, sup.Result.Doorbells, uns.Result.Doorbells)
+		}
+	}
+}
+
+// The grid's artifact must pass the exporter's own schema validation
+// and carry both the throughput arms and the window=1 latency points.
+func TestThroughputArtifactValidates(t *testing.T) {
+	m := getThroughput(t)
+	a := BuildThroughputArtifact(m)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("artifact failed validation: %v", err)
+	}
+	if a.Mode != "throughput" {
+		t.Errorf("artifact mode = %q, want throughput", a.Mode)
+	}
+	// 2 payloads x (virtio suppressed + virtio kicks + xdma) arms.
+	if len(a.Throughput) != 6 {
+		t.Errorf("artifact has %d throughput points, want 6", len(a.Throughput))
+	}
+	// 2 payloads x (virtio + xdma) window=1 latency points.
+	if len(a.Points) != 4 {
+		t.Errorf("artifact has %d latency points, want 4", len(a.Points))
+	}
+	for _, p := range a.Throughput {
+		if p.Suppressed && p.Driver == "virtio" && p.Window != 16 {
+			t.Errorf("suppressed arm window = %d, want 16", p.Window)
+		}
+	}
+
+	// Round-trip the artifact through the JSON writer and the validating
+	// reader, then the CSV writer — the full fvbench export path.
+	var jsonBuf bytes.Buffer
+	if err := telemetry.WriteBenchJSON(&jsonBuf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateBenchJSON(jsonBuf.Bytes()); err != nil {
+		t.Fatalf("written artifact failed re-validation: %v", err)
+	}
+	var csvBuf bytes.Buffer
+	if err := telemetry.WriteThroughputCSV(&csvBuf, a); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 1+len(a.Throughput) {
+		t.Errorf("CSV has %d lines, want header + %d rows", len(lines), len(a.Throughput))
+	}
+	if !strings.HasPrefix(lines[0], "driver,payload_bytes,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// The window=1 degenerate case must produce per-packet latency samples
+// with the latency mode's statistical shape: nonzero percentiles and
+// the VirtIO <= XDMA mean ordering.
+func TestThroughputWindowOneLatencyShape(t *testing.T) {
+	m := getThroughput(t)
+	if len(m.Latency) != 4 {
+		t.Fatalf("got %d latency points, want 4", len(m.Latency))
+	}
+	byDriver := map[string][]*PointResult{}
+	for _, pt := range m.Latency {
+		if pt.Total.Count() == 0 {
+			t.Fatalf("%s/%d: no samples", pt.Driver, pt.Payload)
+		}
+		if pt.Total.Percentile(99) <= 0 {
+			t.Errorf("%s/%d: p99 = %v", pt.Driver, pt.Payload, pt.Total.Percentile(99))
+		}
+		byDriver[pt.Driver] = append(byDriver[pt.Driver], pt)
+	}
+	for i, v := range byDriver["virtio"] {
+		x := byDriver["xdma"][i]
+		if v.Total.Mean() > x.Total.Mean() {
+			t.Errorf("payload %d: window=1 VirtIO mean %v > XDMA %v", v.Payload, v.Total.Mean(), x.Total.Mean())
+		}
+	}
+}
+
+func TestThroughputRenderMentionsArms(t *testing.T) {
+	out := getThroughput(t).Render()
+	for _, want := range []string{"virtio", "xdma", "pps", "window"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

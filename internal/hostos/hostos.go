@@ -238,6 +238,19 @@ func (h *Host) SyscallExit(p *sim.Proc) {
 	sp.End()
 }
 
+// Nanosleep models clock_nanosleep: syscall entry, a timer sleep of at
+// least d, the scheduler wake-up to get the task running again, and the
+// return to user space. Used by the streaming benchmark's offered-rate
+// pacing.
+func (h *Host) Nanosleep(p *sim.Proc, d sim.Duration) {
+	h.SyscallEnter(p)
+	if d > 0 {
+		p.Sleep(d)
+		h.CPUWork(p, h.cfg.WakeLatency)
+	}
+	h.SyscallExit(p)
+}
+
 // CopyCost prices a kernel/user copy of n bytes.
 func (h *Host) CopyCost(n int) sim.Duration {
 	return h.cfg.CopyBase + sim.Duration(n)*h.cfg.CopyPerByte

@@ -1,0 +1,340 @@
+package pcie
+
+import "fmt"
+
+// This file carries the wire format under the cost model above: a
+// byte-exact encoder/decoder for the TLP header variants the testbed
+// exchanges (memory read/write, completion, type-0 config, message).
+// Headers follow PCIe 3.0 §2.2: big-endian dwords, fmt/type in byte 0,
+// the 10-bit length field counting payload dwords.
+
+// TLP format-field values (bits 7:5 of header byte 0).
+const (
+	fmt3DW     = 0x0 // 3-DW header, no data
+	fmt4DW     = 0x1 // 4-DW header, no data
+	fmt3DWData = 0x2 // 3-DW header, with data
+	fmt4DWData = 0x3 // 4-DW header, with data
+)
+
+// TLP type-field values (bits 4:0 of header byte 0).
+const (
+	typeMem    = 0x00
+	typeCfg0   = 0x04
+	typeCpl    = 0x0A
+	typeMsgRC  = 0x10 // Msg, routed to root complex
+	maxLenDW   = 1024 // the 10-bit length field's 0 encoding
+	maxByteCnt = 4096 // the 12-bit byte-count field's 0 encoding
+)
+
+// TLPHeader is one decoded transaction-layer packet header. Fields
+// beyond Kind are populated per kind: memory requests carry Addr and
+// byte enables, completions carry the completer/status/byte-count
+// tuple, config requests carry the target BDF and register, messages
+// carry the message code.
+type TLPHeader struct {
+	Kind TLPKind
+	// LengthDW is the data payload length in dwords; 0 for TLPs
+	// without a data payload.
+	LengthDW  int
+	Requester uint16
+	Tag       uint8
+
+	// Memory requests.
+	Addr    uint64
+	FirstBE uint8
+	LastBE  uint8
+
+	// Completions.
+	Completer uint16
+	Status    uint8
+	ByteCount int
+	LowerAddr uint8
+
+	// Config requests.
+	BDF      uint16
+	Register uint16
+
+	// Messages.
+	MsgCode uint8
+}
+
+func (h TLPHeader) hasData() bool {
+	switch h.Kind {
+	case TLPMemWrite, TLPConfigWrite:
+		return true
+	case TLPCompletion:
+		return h.LengthDW > 0
+	default:
+		return false
+	}
+}
+
+func (h TLPHeader) is4DW() bool {
+	switch h.Kind {
+	case TLPMemRead, TLPMemWrite:
+		return h.Addr >= 1<<32
+	case TLPMessage:
+		return true
+	default:
+		return false
+	}
+}
+
+func put16(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+func get16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func get32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// EncodeTLP serializes a header and its payload into wire bytes. The
+// payload length must match the header's dword count exactly (writes
+// and data completions), or be empty (everything else).
+func EncodeTLP(h TLPHeader, payload []byte) ([]byte, error) {
+	if h.hasData() {
+		if h.LengthDW < 1 || h.LengthDW > maxLenDW {
+			return nil, fmt.Errorf("pcie: tlp length %d dwords out of range 1..%d", h.LengthDW, maxLenDW)
+		}
+		if len(payload) != h.LengthDW*4 {
+			return nil, fmt.Errorf("pcie: tlp payload %d bytes, header says %d dwords", len(payload), h.LengthDW)
+		}
+	} else {
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("pcie: %s tlp carries no data, got %d payload bytes", h.Kind, len(payload))
+		}
+		if h.Kind == TLPMemRead && (h.LengthDW < 1 || h.LengthDW > maxLenDW) {
+			return nil, fmt.Errorf("pcie: read request for %d dwords out of range 1..%d", h.LengthDW, maxLenDW)
+		}
+	}
+
+	headerLen := 12
+	if h.is4DW() {
+		headerLen = 16
+	}
+	b := make([]byte, headerLen, headerLen+len(payload))
+
+	var f, typ byte
+	switch h.Kind {
+	case TLPMemRead:
+		f, typ = fmt3DW, typeMem
+	case TLPMemWrite:
+		f, typ = fmt3DWData, typeMem
+	case TLPCompletion:
+		f, typ = fmt3DW, typeCpl
+		if h.LengthDW > 0 {
+			f = fmt3DWData
+		}
+	case TLPConfigRead:
+		f, typ = fmt3DW, typeCfg0
+	case TLPConfigWrite:
+		f, typ = fmt3DWData, typeCfg0
+	case TLPMessage:
+		f, typ = fmt4DW, typeMsgRC
+	default:
+		return nil, fmt.Errorf("pcie: cannot encode tlp kind %v", h.Kind)
+	}
+	if h.is4DW() && h.Kind != TLPMessage {
+		f |= 0x1 // 3-DW formats + 1 = the matching 4-DW format
+	}
+	b[0] = f<<5 | typ
+
+	lenField := h.LengthDW
+	if h.Kind == TLPMemRead || h.Kind == TLPConfigRead || h.hasData() {
+		if lenField == maxLenDW {
+			lenField = 0
+		}
+		b[2] = byte(lenField >> 8 & 0x3)
+		b[3] = byte(lenField)
+	}
+
+	switch h.Kind {
+	case TLPMemRead, TLPMemWrite:
+		if h.Addr&0x3 != 0 {
+			return nil, fmt.Errorf("pcie: memory tlp address %#x not dword-aligned", h.Addr)
+		}
+		if h.FirstBE > 0xF || h.LastBE > 0xF {
+			return nil, fmt.Errorf("pcie: byte enables %#x/%#x out of range", h.FirstBE, h.LastBE)
+		}
+		if h.LengthDW == 1 && h.LastBE != 0 {
+			return nil, fmt.Errorf("pcie: single-dword tlp must clear last-BE")
+		}
+		put16(b[4:], h.Requester)
+		b[6] = h.Tag
+		b[7] = h.LastBE<<4 | h.FirstBE
+		if h.is4DW() {
+			put32(b[8:], uint32(h.Addr>>32))
+			put32(b[12:], uint32(h.Addr))
+		} else {
+			put32(b[8:], uint32(h.Addr))
+		}
+	case TLPCompletion:
+		if h.Status > 0x7 {
+			return nil, fmt.Errorf("pcie: completion status %#x out of range", h.Status)
+		}
+		if h.ByteCount < 1 || h.ByteCount > maxByteCnt {
+			return nil, fmt.Errorf("pcie: completion byte count %d out of range 1..%d", h.ByteCount, maxByteCnt)
+		}
+		if h.LowerAddr > 0x7F {
+			return nil, fmt.Errorf("pcie: completion lower address %#x out of range", h.LowerAddr)
+		}
+		bc := h.ByteCount
+		if bc == maxByteCnt {
+			bc = 0
+		}
+		put16(b[4:], h.Completer)
+		b[6] = h.Status<<5 | byte(bc>>8&0xF)
+		b[7] = byte(bc)
+		put16(b[8:], h.Requester)
+		b[10] = h.Tag
+		b[11] = h.LowerAddr
+	case TLPConfigRead, TLPConfigWrite:
+		if h.LengthDW != 1 {
+			return nil, fmt.Errorf("pcie: config tlp length must be 1 dword, got %d", h.LengthDW)
+		}
+		if h.Register > 0x3FF {
+			return nil, fmt.Errorf("pcie: config register %#x out of range", h.Register)
+		}
+		put16(b[4:], h.Requester)
+		b[6] = h.Tag
+		b[7] = h.LastBE<<4 | h.FirstBE
+		put16(b[8:], h.BDF)
+		b[10] = byte(h.Register >> 6 & 0xF) // extended register number
+		b[11] = byte(h.Register&0x3F) << 2
+	case TLPMessage:
+		put16(b[4:], h.Requester)
+		b[6] = h.Tag
+		b[7] = h.MsgCode
+	}
+	return append(b, payload...), nil
+}
+
+// DecodeTLP parses wire bytes into a header and payload, validating
+// every structural invariant EncodeTLP enforces. Malformed input
+// returns an error; decode never panics regardless of input.
+func DecodeTLP(b []byte) (TLPHeader, []byte, error) {
+	var h TLPHeader
+	if len(b) < 12 {
+		return h, nil, fmt.Errorf("pcie: tlp of %d bytes shorter than a 3-DW header", len(b))
+	}
+	f := b[0] >> 5
+	typ := b[0] & 0x1F
+	if f > fmt4DWData {
+		return h, nil, fmt.Errorf("pcie: reserved tlp fmt %#x (prefix?)", f)
+	}
+	if b[1] != 0 {
+		return h, nil, fmt.Errorf("pcie: reserved TC/attr byte %#x not zero", b[1])
+	}
+	if b[2]&^0x3 != 0 {
+		return h, nil, fmt.Errorf("pcie: reserved length bits %#x not zero", b[2])
+	}
+	is4DW := f == fmt4DW || f == fmt4DWData
+	hasData := f == fmt3DWData || f == fmt4DWData
+	headerLen := 12
+	if is4DW {
+		headerLen = 16
+	}
+	if len(b) < headerLen {
+		return h, nil, fmt.Errorf("pcie: tlp of %d bytes shorter than its %d-byte header", len(b), headerLen)
+	}
+	lenField := int(b[2]&0x3)<<8 | int(b[3])
+
+	switch {
+	case typ == typeMem && !hasData:
+		h.Kind = TLPMemRead
+	case typ == typeMem:
+		h.Kind = TLPMemWrite
+	case typ == typeCpl && !is4DW:
+		h.Kind = TLPCompletion
+	case typ == typeCfg0 && !is4DW:
+		if hasData {
+			h.Kind = TLPConfigWrite
+		} else {
+			h.Kind = TLPConfigRead
+		}
+	case typ == typeMsgRC && f == fmt4DW:
+		h.Kind = TLPMessage
+	default:
+		return h, nil, fmt.Errorf("pcie: unknown tlp fmt/type %#02x", b[0])
+	}
+
+	if hasData || h.Kind == TLPMemRead || h.Kind == TLPConfigRead {
+		h.LengthDW = lenField
+		if h.LengthDW == 0 {
+			h.LengthDW = maxLenDW
+		}
+	} else if lenField != 0 {
+		return h, nil, fmt.Errorf("pcie: %s tlp with nonzero length field %d", h.Kind, lenField)
+	}
+
+	payload := b[headerLen:]
+	if hasData {
+		if len(payload) != h.LengthDW*4 {
+			return h, nil, fmt.Errorf("pcie: %s tlp payload %d bytes, header says %d dwords",
+				h.Kind, len(payload), h.LengthDW)
+		}
+	} else if len(payload) != 0 {
+		return h, nil, fmt.Errorf("pcie: %s tlp carries no data, got %d trailing bytes", h.Kind, len(payload))
+	}
+
+	switch h.Kind {
+	case TLPMemRead, TLPMemWrite:
+		h.Requester = get16(b[4:])
+		h.Tag = b[6]
+		h.LastBE, h.FirstBE = b[7]>>4, b[7]&0xF
+		if is4DW {
+			h.Addr = uint64(get32(b[8:]))<<32 | uint64(get32(b[12:]))
+			if h.Addr < 1<<32 {
+				return h, nil, fmt.Errorf("pcie: 4-DW memory tlp with 32-bit address %#x", h.Addr)
+			}
+		} else {
+			h.Addr = uint64(get32(b[8:]))
+		}
+		if h.Addr&0x3 != 0 {
+			return h, nil, fmt.Errorf("pcie: memory tlp address %#x not dword-aligned", h.Addr)
+		}
+		if h.LengthDW == 1 && h.LastBE != 0 {
+			return h, nil, fmt.Errorf("pcie: single-dword tlp must clear last-BE")
+		}
+	case TLPCompletion:
+		h.Completer = get16(b[4:])
+		h.Status = b[6] >> 5
+		if b[6]&0x10 != 0 {
+			return h, nil, fmt.Errorf("pcie: completion BCM bit set (PCI-X only)")
+		}
+		h.ByteCount = int(b[6]&0xF)<<8 | int(b[7])
+		if h.ByteCount == 0 {
+			h.ByteCount = maxByteCnt
+		}
+		h.Requester = get16(b[8:])
+		h.Tag = b[10]
+		if b[11]&0x80 != 0 {
+			return h, nil, fmt.Errorf("pcie: reserved completion bit set")
+		}
+		h.LowerAddr = b[11]
+	case TLPConfigRead, TLPConfigWrite:
+		if lenField != 1 {
+			return h, nil, fmt.Errorf("pcie: config tlp length must be 1 dword, got %d", lenField)
+		}
+		h.Requester = get16(b[4:])
+		h.Tag = b[6]
+		h.LastBE, h.FirstBE = b[7]>>4, b[7]&0xF
+		if h.LastBE != 0 {
+			return h, nil, fmt.Errorf("pcie: config tlp must clear last-BE")
+		}
+		h.BDF = get16(b[8:])
+		if b[10]&^0xF != 0 || b[11]&0x3 != 0 {
+			return h, nil, fmt.Errorf("pcie: reserved config-request bits set")
+		}
+		h.Register = uint16(b[10]&0xF)<<6 | uint16(b[11]>>2)
+	case TLPMessage:
+		h.Requester = get16(b[4:])
+		h.Tag = b[6]
+		h.MsgCode = b[7]
+		if get32(b[8:]) != 0 || get32(b[12:]) != 0 {
+			return h, nil, fmt.Errorf("pcie: reserved message dwords not zero")
+		}
+	}
+	return h, payload, nil
+}

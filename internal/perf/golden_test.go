@@ -1,0 +1,112 @@
+package perf
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/sim"
+)
+
+// The golden tables below pin the exact nearest-rank percentile and
+// population-variance arithmetic the paper's tables depend on. Each
+// case lists a constructed sample series and the values every summary
+// field must evaluate to — bit-exact, no tolerance. If Percentile or
+// Std drift (interpolation, sample variance, off-by-one ranks), the
+// Table I / Figure 3 reproductions silently change shape; these rows
+// fail loudly instead.
+
+func seriesOf(vals ...int64) *Series {
+	s := NewSeries("golden")
+	for _, v := range vals {
+		s.Add(sim.Duration(v))
+	}
+	return s
+}
+
+// ramp returns 1..n as a series, where nearest-rank percentiles have
+// closed-form answers: P(p) = ceil(p/100*n).
+func ramp(n int) *Series {
+	s := NewSeries("ramp")
+	for i := 1; i <= n; i++ {
+		s.Add(sim.Duration(i))
+	}
+	return s
+}
+
+func TestGoldenPercentiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		s      *Series
+		p      float64
+		expect sim.Duration
+	}{
+		// Nearest-rank on a 1..1000 ramp: the paper's tail levels.
+		{"ramp1000 p50", ramp(1000), 50, 500},
+		{"ramp1000 p95", ramp(1000), 95, 950},
+		{"ramp1000 p99", ramp(1000), 99, 990},
+		{"ramp1000 p99.9", ramp(1000), 99.9, 999},
+		{"ramp1000 p100", ramp(1000), 100, 1000},
+		// 99.9% of 1000 samples must rank 999, not round up to 1000 —
+		// the float-epsilon boundary the implementation guards.
+		{"ramp10 p99.9", ramp(10), 99.9, 10},
+		{"ramp10 p25", ramp(10), 25, 3},
+		{"ramp10 p95", ramp(10), 95, 10},
+		// Tiny series: every level collapses onto a real sample.
+		{"single p50", seriesOf(42), 50, 42},
+		{"single p99.9", seriesOf(42), 99.9, 42},
+		{"pair p50", seriesOf(10, 20), 50, 10},
+		{"pair p51", seriesOf(10, 20), 51, 20},
+		// Unsorted insertion order must not matter.
+		{"shuffled p75", seriesOf(5, 1, 4, 2, 3), 75, 4},
+		{"duplicates p50", seriesOf(7, 7, 7, 9), 50, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Percentile(tc.p); got != tc.expect {
+				t.Errorf("Percentile(%v) = %d, want %d", tc.p, got, tc.expect)
+			}
+		})
+	}
+}
+
+func TestGoldenMeanAndVariance(t *testing.T) {
+	cases := []struct {
+		name      string
+		s         *Series
+		mean, std sim.Duration
+	}{
+		// Population stddev (divide by n, not n-1): {2,4,4,4,5,5,7,9}
+		// is the canonical example with sd exactly 2.
+		{"canonical", seriesOf(2, 4, 4, 4, 5, 5, 7, 9), 5, 2},
+		{"constant", seriesOf(6, 6, 6, 6), 6, 0},
+		{"pair", seriesOf(0, 10), 5, 5},
+		{"single", seriesOf(3), 3, 0},
+		// 1..5: mean 3, population variance 2, sd = sqrt(2) -> 1 after
+		// the integer picosecond truncation.
+		{"ramp5", ramp(5), 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Mean(); got != tc.mean {
+				t.Errorf("Mean() = %d, want %d", got, tc.mean)
+			}
+			if got := tc.s.Std(); got != tc.std {
+				t.Errorf("Std() = %d, want %d", got, tc.std)
+			}
+		})
+	}
+}
+
+// TestGoldenSummary pins every field of one Summarize call at once, so
+// a drift in any quantile shows up as a single readable diff.
+func TestGoldenSummary(t *testing.T) {
+	got := ramp(100).Summarize()
+	want := Summary{
+		Name: "ramp", Count: 100,
+		Mean: 50, Std: 28, // mean 50.5 and sd 28.86 truncate to ps ints
+		Min: 1, P25: 25, P50: 50, P75: 75,
+		P95: 95, P99: 99, P999: 100, Max: 100,
+	}
+	if got != want {
+		t.Errorf("Summarize() =\n %+v\nwant\n %+v", got, want)
+	}
+}

@@ -79,15 +79,45 @@ type BenchPoint struct {
 	Interrupts int    `json:"interrupts"`
 }
 
+// ThroughputPoint is one (driver, payload, configuration) streaming
+// measurement in a bench artifact: rates, queue behaviour, and the
+// signalling totals of the run.
+type ThroughputPoint struct {
+	Driver  string `json:"driver"`
+	Payload int    `json:"payload_bytes"`
+	Packets int    `json:"packets"`
+	Window  int    `json:"window"`
+	// Suppressed marks the kick-suppression arm of a comparison pair
+	// (event-index doorbells plus batched TX kicks).
+	Suppressed bool    `json:"suppressed"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	PPS        float64 `json:"pps"`
+	GoodputBps float64 `json:"goodput_bps"`
+	// OccupancyMax/OccupancyMean describe the in-flight request window
+	// the stream actually sustained.
+	OccupancyMax  int     `json:"occupancy_max"`
+	OccupancyMean float64 `json:"occupancy_mean"`
+	Drops         int     `json:"drops"`
+	Backpressure  int     `json:"backpressure"`
+	Doorbells     int     `json:"doorbells"`
+	Interrupts    int     `json:"interrupts"`
+}
+
 // BenchArtifact is the machine-readable record of one fvbench run.
+// Latency experiments fill Points; the throughput mode fills Throughput
+// (and, via its window=1 arm, may fill Points too). Both extensions
+// stay within the fvbench/v1 schema: readers that only know Points
+// still parse throughput artifacts.
 type BenchArtifact struct {
-	Schema     string           `json:"schema"`
-	Experiment string           `json:"experiment"`
-	Seed       uint64           `json:"seed"`
-	Packets    int              `json:"packets"`
-	Link       string           `json:"link"`
-	Points     []BenchPoint     `json:"points"`
-	Metrics    []MetricSnapshot `json:"metrics,omitempty"`
+	Schema     string            `json:"schema"`
+	Experiment string            `json:"experiment"`
+	Seed       uint64            `json:"seed"`
+	Packets    int               `json:"packets"`
+	Link       string            `json:"link"`
+	Mode       string            `json:"mode,omitempty"`
+	Points     []BenchPoint      `json:"points,omitempty"`
+	Throughput []ThroughputPoint `json:"throughput,omitempty"`
+	Metrics    []MetricSnapshot  `json:"metrics,omitempty"`
 }
 
 // WriteBenchJSON validates the artifact and writes it as indented JSON.
@@ -128,6 +158,36 @@ func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
 	return cw.Error()
 }
 
+// WriteThroughputCSV writes the artifact's throughput points as CSV.
+func WriteThroughputCSV(w io.Writer, a *BenchArtifact) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"driver", "payload_bytes", "packets", "window", "suppressed",
+		"elapsed_ns", "pps", "goodput_bps", "occupancy_max", "occupancy_mean",
+		"drops", "backpressure", "doorbells", "interrupts",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range a.Throughput {
+		if err := cw.Write([]string{
+			p.Driver, strconv.Itoa(p.Payload), strconv.Itoa(p.Packets),
+			strconv.Itoa(p.Window), strconv.FormatBool(p.Suppressed),
+			strconv.FormatInt(p.ElapsedNs, 10), f(p.PPS), f(p.GoodputBps),
+			strconv.Itoa(p.OccupancyMax), f(p.OccupancyMean),
+			strconv.Itoa(p.Drops), strconv.Itoa(p.Backpressure),
+			strconv.Itoa(p.Doorbells), strconv.Itoa(p.Interrupts),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // Validate checks structural invariants of the artifact.
 func (a *BenchArtifact) Validate() error {
 	if a.Schema != BenchSchema {
@@ -136,8 +196,34 @@ func (a *BenchArtifact) Validate() error {
 	if a.Experiment == "" {
 		return fmt.Errorf("bench artifact: empty experiment name")
 	}
-	if len(a.Points) == 0 {
+	if len(a.Points) == 0 && len(a.Throughput) == 0 {
 		return fmt.Errorf("bench artifact: no points")
+	}
+	for i, p := range a.Throughput {
+		if p.Driver == "" {
+			return fmt.Errorf("bench artifact: throughput point %d: empty driver", i)
+		}
+		if p.Payload <= 0 {
+			return fmt.Errorf("bench artifact: throughput point %d: payload %d", i, p.Payload)
+		}
+		if p.Packets <= 0 {
+			return fmt.Errorf("bench artifact: throughput point %d: packets %d", i, p.Packets)
+		}
+		if p.Window <= 0 {
+			return fmt.Errorf("bench artifact: throughput point %d: window %d", i, p.Window)
+		}
+		if p.ElapsedNs <= 0 || p.PPS <= 0 || p.GoodputBps <= 0 {
+			return fmt.Errorf("bench artifact: throughput point %d: non-positive rate", i)
+		}
+		// Pipelined paths (double-buffered XDMA batches) can hold up to
+		// two windows in flight, so the cap is 2*Window, not Window.
+		if p.OccupancyMax < 1 || p.OccupancyMax > 2*p.Window ||
+			p.OccupancyMean <= 0 || p.OccupancyMean > float64(p.OccupancyMax) {
+			return fmt.Errorf("bench artifact: throughput point %d: occupancy out of range", i)
+		}
+		if p.Drops < 0 || p.Backpressure < 0 || p.Doorbells < 0 || p.Interrupts < 0 {
+			return fmt.Errorf("bench artifact: throughput point %d: negative counter", i)
+		}
 	}
 	for i, p := range a.Points {
 		if p.Driver == "" {

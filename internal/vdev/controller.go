@@ -94,6 +94,14 @@ type Options struct {
 	// descriptor format that lets the device discover a chain with one
 	// bus read (spec §2.8).
 	OfferPacked bool
+	// IRQCoalescePkts holds each queue's interrupt until that many
+	// completions have accumulated (or the coalesce timer expires) —
+	// the NIC-style mitigation for batch load. 0 or 1 disables
+	// coalescing and keeps the per-completion interrupt decision.
+	IRQCoalescePkts int
+	// IRQCoalesceTimer bounds how long a held completion may wait for
+	// the packet threshold (default 15 us when coalescing is on).
+	IRQCoalesceTimer sim.Duration
 }
 
 // queue is the controller-side state of one virtqueue.
@@ -112,6 +120,11 @@ type queue struct {
 	kicked bool
 	cond   *sim.Cond
 	hw     *fpga.PerfCounter
+
+	// Interrupt-coalescing state: completions held since the last
+	// interrupt, and whether a flush timer is pending.
+	coalesced  int
+	flushArmed bool
 
 	// Precomputed span names so the engine hot path does not format.
 	serviceSpan string
@@ -141,6 +154,7 @@ type Controller struct {
 	deviceCfg   []byte
 	cfgGen      byte
 	notifyCount int
+	opt         Options
 	met         ctrlMetrics
 }
 
@@ -150,6 +164,7 @@ type ctrlMetrics struct {
 	chains        *telemetry.Counter
 	irqRaised     *telemetry.Counter
 	irqSuppressed *telemetry.Counter
+	irqCoalesced  *telemetry.Counter
 }
 
 // NewController attaches a VirtIO controller with the given personality
@@ -161,6 +176,9 @@ func NewController(s *sim.Sim, rc *pcie.RootComplex, name string, pers Personali
 	}
 	if opt.Link.Lanes == 0 {
 		opt.Link = pcie.DefaultGen2x2() // the paper's testbed link
+	}
+	if opt.IRQCoalescePkts > 1 && opt.IRQCoalesceTimer == 0 {
+		opt.IRQCoalesceTimer = 15 * sim.Microsecond
 	}
 	clk := fpga.Default125MHz()
 
@@ -208,11 +226,13 @@ func NewController(s *sim.Sim, rc *pcie.RootComplex, name string, pers Personali
 		deviceFeatures: feats,
 		statusCond:     sim.NewCond(s, name+".status"),
 		deviceCfg:      deviceCfg,
+		opt:            opt,
 		met: ctrlMetrics{
 			notifies:      reg.Counter("virtio-device.notifies"),
 			chains:        reg.Counter("virtio-device.chains.serviced"),
 			irqRaised:     reg.Counter("virtio-device.interrupts.raised"),
 			irqSuppressed: reg.Counter("virtio-device.interrupts.suppressed"),
+			irqCoalesced:  reg.Counter("virtio-device.interrupts.coalesced"),
 		},
 	}
 	for i := 0; i < nq; i++ {
@@ -455,6 +475,7 @@ func (c *Controller) reset() {
 		q.enabled = false
 		q.dq = nil
 		q.kicked = false
+		q.coalesced = 0
 		q.desc, q.driver, q.device = 0, 0, 0
 		q.size = q.sizeMax
 	}
@@ -511,7 +532,55 @@ func (c *Controller) interrupt(q *queue) {
 // used-index write would race the driver's re-enable-then-recheck
 // sequence in NAPI and lose completions.
 func (c *Controller) maybeInterrupt(p *sim.Proc, q *queue) {
+	if c.opt.IRQCoalescePkts > 1 {
+		q.coalesced++
+		if q.coalesced < c.opt.IRQCoalescePkts {
+			c.met.irqCoalesced.Inc()
+			c.armFlush(q)
+			return
+		}
+		n := q.coalesced
+		q.coalesced = 0
+		// The whole coalesced span counts: an event-index threshold
+		// crossed by any held completion must still interrupt.
+		if q.dq.ShouldInterruptSince(p, n) {
+			c.interrupt(q)
+		} else {
+			c.met.irqSuppressed.Inc()
+		}
+		return
+	}
 	if q.dq.ShouldInterrupt(p) {
+		c.interrupt(q)
+	} else {
+		c.met.irqSuppressed.Inc()
+	}
+}
+
+// armFlush schedules the coalesce-timer flush for a queue holding
+// completions, so the last packets of a burst are never stranded past
+// the configured latency bound.
+func (c *Controller) armFlush(q *queue) {
+	if q.flushArmed {
+		return
+	}
+	q.flushArmed = true
+	c.sim.GoAfter(c.opt.IRQCoalesceTimer, fmt.Sprintf("%s.q%d.coalesce", c.ep.Name(), q.idx),
+		func(p *sim.Proc) {
+			q.flushArmed = false
+			c.flushCoalesced(p, q)
+		})
+}
+
+// flushCoalesced raises the interrupt for any completions a queue is
+// still holding back, honouring the driver's suppression state.
+func (c *Controller) flushCoalesced(p *sim.Proc, q *queue) {
+	if q.coalesced == 0 || q.dq == nil {
+		return
+	}
+	n := q.coalesced
+	q.coalesced = 0
+	if q.dq.ShouldInterruptSince(p, n) {
 		c.interrupt(q)
 	} else {
 		c.met.irqSuppressed.Inc()
@@ -549,6 +618,9 @@ func (c *Controller) engineLoop(p *sim.Proc, q *queue) {
 		for c.ready(q) && q.dq.HasPending(p) {
 			c.serviceChain(p, q)
 		}
+		// The ring drained: flush any coalesced completions now rather
+		// than waiting out the timer.
+		c.flushCoalesced(p, q)
 		q.hw.End(p.Now())
 		sp.End()
 	}

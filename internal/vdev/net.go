@@ -42,7 +42,24 @@ type NetOptions struct {
 	OfferEventIdx bool
 	// OfferPacked exposes VIRTIO_F_RING_PACKED.
 	OfferPacked bool
-	Handler     FrameHandler
+	// QueuePairs is the number of RX/TX queue pairs the device exposes
+	// (default 1). More than one pair offers VIRTIO_NET_F_MQ and lays
+	// the queues out as receiveq1, transmitq1, receiveq2, transmitq2,
+	// ..., controlq per the spec.
+	QueuePairs int
+	// IRQCoalescePkts/IRQCoalesceTimer configure the controller's
+	// per-queue interrupt coalescing under batch load (see Options).
+	IRQCoalescePkts  int
+	IRQCoalesceTimer sim.Duration
+	Handler          FrameHandler
+}
+
+// txFrame is one transmitted frame queued for user logic, tagged with
+// the queue pair it arrived on so the echo reply returns on the same
+// pair (receive-side steering).
+type txFrame struct {
+	pair  int
+	frame []byte
 }
 
 // NetDevice is the VirtIO network-device personality plus its user
@@ -51,10 +68,11 @@ type NetDevice struct {
 	ctrl *Controller
 	opt  NetOptions
 
-	frames   [][]byte
+	frames   []txFrame
 	frameC   *sim.Cond
 	respGen  *fpga.PerfCounter
 	promisc  bool
+	curPairs int
 	rxFrames int
 	txFrames int
 }
@@ -64,11 +82,16 @@ func NewNet(s *sim.Sim, rc *pcie.RootComplex, name string, opt NetOptions) *NetD
 	if opt.MTU == 0 {
 		opt.MTU = 1500
 	}
-	d := &NetDevice{opt: opt, frameC: sim.NewCond(s, name+".frames")}
+	if opt.QueuePairs == 0 {
+		opt.QueuePairs = 1
+	}
+	d := &NetDevice{opt: opt, curPairs: opt.QueuePairs, frameC: sim.NewCond(s, name+".frames")}
 	d.ctrl = NewController(s, rc, name, d, Options{
-		Link:          opt.Link,
-		OfferEventIdx: opt.OfferEventIdx,
-		OfferPacked:   opt.OfferPacked,
+		Link:             opt.Link,
+		OfferEventIdx:    opt.OfferEventIdx,
+		OfferPacked:      opt.OfferPacked,
+		IRQCoalescePkts:  opt.IRQCoalescePkts,
+		IRQCoalesceTimer: opt.IRQCoalesceTimer,
 	})
 	if d.opt.Handler == nil {
 		// Default user logic: the paper's same-size UDP echo.
@@ -101,23 +124,33 @@ func (d *NetDevice) DeviceFeatures() virtio.Feature {
 	if d.opt.OfferCtrlVQ {
 		f |= virtio.NetFCtrlVQ
 	}
+	if d.opt.QueuePairs > 1 {
+		f |= virtio.NetFMQ
+	}
 	return f
 }
 
 // NumQueues implements Personality.
 func (d *NetDevice) NumQueues() int {
+	n := 2 * d.opt.QueuePairs
 	if d.opt.OfferCtrlVQ {
-		return 3
+		n++
 	}
-	return 2
+	return n
 }
+
+// ctrlQueue is the control-queue index (after the last transmit queue).
+func (d *NetDevice) ctrlQueue() int { return virtio.NetCtrlQueue(d.opt.QueuePairs) }
 
 // QueueDir implements Personality.
 func (d *NetDevice) QueueDir(q int) Dir {
-	if q == NetQueueRX {
-		return DeviceToDriver
+	if d.opt.OfferCtrlVQ && q == d.ctrlQueue() {
+		return DriverToDevice
 	}
-	return DriverToDevice
+	if q%2 == 0 {
+		return DeviceToDriver // receiveqN
+	}
+	return DriverToDevice // transmitqN
 }
 
 // ConfigBytes implements Personality: the virtio-net config window
@@ -126,7 +159,8 @@ func (d *NetDevice) ConfigBytes() []byte {
 	b := make([]byte, virtio.NetCfgLen)
 	copy(b[virtio.NetCfgMAC:], d.opt.MAC[:])
 	b[virtio.NetCfgStatus] = virtio.NetStatusLinkUp
-	b[virtio.NetCfgMaxVQP] = 1
+	b[virtio.NetCfgMaxVQP] = byte(d.opt.QueuePairs)
+	b[virtio.NetCfgMaxVQP+1] = byte(d.opt.QueuePairs >> 8)
 	b[virtio.NetCfgMTU] = byte(d.opt.MTU)
 	b[virtio.NetCfgMTU+1] = byte(d.opt.MTU >> 8)
 	return b
@@ -135,21 +169,20 @@ func (d *NetDevice) ConfigBytes() []byte {
 // HandleDriverChain implements Personality for the TX and control
 // queues.
 func (d *NetDevice) HandleDriverChain(p *sim.Proc, q int, data []byte, writable int) []byte {
-	switch q {
-	case NetQueueTX:
-		d.handleTx(p, data)
-		return nil
-	case NetQueueCtrl:
+	if d.opt.OfferCtrlVQ && q == d.ctrlQueue() {
 		return d.handleCtrl(p, data)
-	default:
-		panic(fmt.Sprintf("vdev: net: unexpected driver chain on queue %d", q))
 	}
+	if q%2 == 1 && q < 2*d.opt.QueuePairs {
+		d.handleTx(p, q/2, data)
+		return nil
+	}
+	panic(fmt.Sprintf("vdev: net: unexpected driver chain on queue %d", q))
 }
 
 // handleTx processes one transmitted packet: strip the virtio-net
 // header, perform checksum offload if requested, queue the frame for
 // user logic.
-func (d *NetDevice) handleTx(p *sim.Proc, data []byte) {
+func (d *NetDevice) handleTx(p *sim.Proc, pair int, data []byte) {
 	hdr, err := virtio.DecodeNetHdr(data)
 	if err != nil {
 		panic("vdev: net: " + err.Error())
@@ -167,7 +200,7 @@ func (d *NetDevice) handleTx(p *sim.Proc, data []byte) {
 		}
 	}
 	d.txFrames++
-	d.frames = append(d.frames, frame)
+	d.frames = append(d.frames, txFrame{pair: pair, frame: frame})
 	d.frameC.Broadcast()
 }
 
@@ -184,8 +217,21 @@ func (d *NetDevice) handleCtrl(p *sim.Proc, data []byte) []byte {
 			return []byte{virtio.NetCtrlAckOK}
 		}
 	}
+	if class == virtio.NetCtrlMQ && cmd == virtio.NetCtrlMQPairs {
+		if len(data) >= 4 && d.ctrl.Negotiated().Has(virtio.NetFMQ) {
+			pairs := int(data[2]) | int(data[3])<<8
+			if pairs >= virtio.NetMQPairsMin && pairs <= d.opt.QueuePairs {
+				d.curPairs = pairs
+				return []byte{virtio.NetCtrlAckOK}
+			}
+		}
+	}
 	return []byte{virtio.NetCtrlAckErr}
 }
+
+// ActiveQueuePairs reports the pair count the driver activated through
+// VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET (all offered pairs until then).
+func (d *NetDevice) ActiveQueuePairs() int { return d.curPairs }
 
 // Promiscuous reports the control-queue promiscuous setting.
 func (d *NetDevice) Promiscuous() bool { return d.promisc }
@@ -199,34 +245,43 @@ func (d *NetDevice) userLoop(p *sim.Proc) {
 		for len(d.frames) == 0 {
 			d.frameC.Wait(p)
 		}
-		frame := d.frames[0]
+		f := d.frames[0]
 		d.frames = d.frames[1:]
 
 		// Span and counter bracket the same instants: respgen time is
 		// deducted from hardware in both attribution schemes.
 		d.respGen.Begin(p.Now())
 		sp := p.Sim().BeginSpan(telemetry.LayerVirtIODevice, "respgen")
-		resps := d.opt.Handler.HandleFrame(p, frame)
+		resps := d.opt.Handler.HandleFrame(p, f.frame)
 		d.respGen.End(p.Now())
 		sp.End()
 
 		for _, resp := range resps {
-			if err := d.Send(p, resp); err != nil {
+			if err := d.SendOn(p, f.pair, resp); err != nil {
 				panic("vdev: net: " + err.Error())
 			}
 		}
 	}
 }
 
-// Send delivers one frame to the host through the RX queue, prefixed
-// with a virtio-net header. When the driver negotiated GUEST_CSUM the
-// device marks the frame's checksum as already validated.
+// Send delivers one frame to the host through the first receive queue,
+// prefixed with a virtio-net header. When the driver negotiated
+// GUEST_CSUM the device marks the frame's checksum as already validated.
 func (d *NetDevice) Send(p *sim.Proc, frame []byte) error {
+	return d.SendOn(p, 0, frame)
+}
+
+// SendOn delivers one frame through the receive queue of the given
+// queue pair — the device's receive-side steering.
+func (d *NetDevice) SendOn(p *sim.Proc, pair int, frame []byte) error {
+	if pair < 0 || pair >= d.curPairs {
+		return fmt.Errorf("vdev: net: queue pair %d not active (%d pairs)", pair, d.curPairs)
+	}
 	hdr := virtio.NetHdr{NumBuffers: 1}
 	if d.ctrl.Negotiated().Has(virtio.NetFGuestCsum) {
 		hdr.Flags = virtio.NetHdrFDataValid
 	}
 	buf := append(hdr.Encode(), frame...)
 	d.rxFrames++
-	return d.ctrl.Deliver(p, NetQueueRX, buf)
+	return d.ctrl.Deliver(p, virtio.NetRXQueue(pair), buf)
 }

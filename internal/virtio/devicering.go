@@ -71,6 +71,9 @@ func (q *DeviceQueue) FetchChain(p *sim.Proc, head uint16) ([]Desc, error) {
 	var out []Desc
 	idx := head
 	for {
+		if int(idx) >= q.lay.QueueSize {
+			return nil, fmt.Errorf("virtio: descriptor index %d outside queue of %d", idx, q.lay.QueueSize)
+		}
 		if len(out) > q.lay.QueueSize {
 			return nil, fmt.Errorf("virtio: descriptor chain longer than queue (loop?)")
 		}
@@ -107,6 +110,12 @@ func (q *DeviceQueue) fetchIndirect(p *sim.Proc, ind Desc) ([]Desc, error) {
 		return nil, fmt.Errorf("virtio: indirect table length %d not a descriptor multiple", n)
 	}
 	count := n / descEntrySize
+	// Bound the table before fetching it: the spec caps an indirect
+	// chain at the queue size, and an unchecked 32-bit length would let
+	// a corrupt descriptor demand a gigabyte bus read.
+	if count > q.lay.QueueSize {
+		return nil, fmt.Errorf("virtio: indirect table of %d entries exceeds queue size %d", count, q.lay.QueueSize)
+	}
 	raw := q.dma.Read(p, ind.Addr, n)
 	out := make([]Desc, 0, count)
 	idx := 0

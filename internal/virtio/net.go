@@ -72,6 +72,25 @@ const NetStatusLinkUp = 1
 const (
 	NetCtrlRx        = 0 // class
 	NetCtrlRxPromisc = 0 // command: promiscuous on/off
+	NetCtrlMQ        = 4 // class: multiqueue
+	NetCtrlMQPairs   = 0 // command: VQ_PAIRS_SET (u16 active pair count)
 	NetCtrlAckOK     = 0
 	NetCtrlAckErr    = 1
 )
+
+// MQ pair-count limits of VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET (spec §5.1.6.5.5).
+const (
+	NetMQPairsMin = 1
+	NetMQPairsMax = 0x8000
+)
+
+// NetRXQueue and NetTXQueue map a queue-pair index to the virtio-net
+// queue numbering (receiveq1, transmitq1, receiveq2, transmitq2, ...).
+func NetRXQueue(pair int) int { return 2 * pair }
+
+// NetTXQueue is the transmit queue of the given pair.
+func NetTXQueue(pair int) int { return 2*pair + 1 }
+
+// NetCtrlQueue is the control-queue index for a device with the given
+// number of queue pairs (it follows the last transmit queue).
+func NetCtrlQueue(pairs int) int { return 2 * pairs }

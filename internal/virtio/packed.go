@@ -388,6 +388,12 @@ func (q *PackedDeviceQueue) ShouldInterrupt(p *sim.Proc) bool {
 	return u32le(q.dma.Read(p, q.lay.DriverEvent, 4)) == PackedEventFlagEnable
 }
 
+// ShouldInterruptSince implements DeviceRing: the packed driver-event
+// flag is a level, not an index threshold, so batch size is irrelevant.
+func (q *PackedDeviceQueue) ShouldInterruptSince(p *sim.Proc, n int) bool {
+	return q.ShouldInterrupt(p)
+}
+
 // PublishIdleHint implements DeviceRing: (re-)enable doorbells in the
 // device event structure before the engine parks.
 func (q *PackedDeviceQueue) PublishIdleHint(p *sim.Proc) {

@@ -32,6 +32,11 @@ type DeviceRing interface {
 	// ShouldInterrupt decides, after Complete, whether to raise the
 	// queue's interrupt (reads the driver's suppression state fresh).
 	ShouldInterrupt(p *sim.Proc) bool
+	// ShouldInterruptSince is ShouldInterrupt for a batch: it considers
+	// the n most recent completions rather than only the last one, so an
+	// event-index threshold crossed mid-batch still raises the
+	// interrupt. Interrupt coalescing must use this when flushing.
+	ShouldInterruptSince(p *sim.Proc, n int) bool
 	// PublishIdleHint tells the driver how to wake the device when it
 	// is about to go idle (avail_event / event suppression write);
 	// a no-op where the format has nothing to publish.
@@ -75,6 +80,16 @@ func (q *DeviceQueue) Complete(p *sim.Proc, tok ChainToken, written int) {
 // internal used-index bookkeeping.
 func (q *DeviceQueue) ShouldInterrupt(p *sim.Proc) bool {
 	return q.ShouldInterruptAt(p, q.usedIdx-1, q.usedIdx)
+}
+
+// ShouldInterruptSince implements DeviceRing for the split format: the
+// event threshold is checked against the whole [usedIdx-n, usedIdx)
+// span of a coalesced batch.
+func (q *DeviceQueue) ShouldInterruptSince(p *sim.Proc, n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	return q.ShouldInterruptAt(p, q.usedIdx-uint16(n), q.usedIdx)
 }
 
 // PublishIdleHint implements DeviceRing: in event-index mode the device

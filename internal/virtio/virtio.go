@@ -69,6 +69,7 @@ const (
 	NetFMAC       Feature = 1 << 5
 	NetFStatus    Feature = 1 << 16
 	NetFCtrlVQ    Feature = 1 << 17
+	NetFMQ        Feature = 1 << 22
 )
 
 // Has reports whether f contains all bits of want.
@@ -82,6 +83,7 @@ func (f Feature) String() string {
 	}{
 		{NetFCsum, "CSUM"}, {NetFGuestCsum, "GUEST_CSUM"}, {NetFMTU, "MTU"},
 		{NetFMAC, "MAC"}, {NetFStatus, "STATUS"}, {NetFCtrlVQ, "CTRL_VQ"},
+		{NetFMQ, "MQ"},
 		{FRingIndirectDesc, "RING_INDIRECT"}, {FRingEventIdx, "EVENT_IDX"},
 		{FVersion1, "VERSION_1"},
 	}

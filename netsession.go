@@ -39,6 +39,25 @@ type NetConfig struct {
 	// single-ring descriptor format that halves the device's per-chain
 	// bus reads relative to the split format.
 	UsePackedRing bool
+	// QueuePairs exposes and activates that many RX/TX queue pairs
+	// (default 1) via VIRTIO_NET_F_MQ; the throughput mode's multi-queue
+	// configuration. More than one pair requires the control queue.
+	QueuePairs int
+	// TxKickBatch defers TX doorbells until that many packets have been
+	// queued since the last kick — driver-side descriptor batching for
+	// windowed streaming. 0 or 1 kicks per packet.
+	TxKickBatch int
+	// ForceKicks disables every doorbell elision (device hints, event
+	// thresholds, batching): the suppression-off arm of the throughput
+	// comparison.
+	ForceKicks bool
+	// IRQCoalescePkts holds device interrupts until that many
+	// completions accumulate on a queue (or the coalesce timer fires).
+	// 0 or 1 interrupts per the ring's usual suppression rules.
+	IRQCoalescePkts int
+	// IRQCoalesceTimer bounds how long a coalesced interrupt is held
+	// (default 15µs when IRQCoalescePkts > 1).
+	IRQCoalesceTimer time.Duration
 }
 
 // Well-known addresses of the session's two-node network.
@@ -73,12 +92,15 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 	s := sim.New()
 	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
 	dev := vdev.NewNet(s, h.RC, "fpga-vnet", vdev.NetOptions{
-		Link:          cfg.Link.config(),
-		MAC:           fpgaMAC,
-		OfferCsum:     !cfg.DisableCsumOffload,
-		OfferCtrlVQ:   !cfg.DisableCtrlVQ,
-		OfferEventIdx: cfg.UseEventIdx,
-		OfferPacked:   cfg.UsePackedRing,
+		Link:             cfg.Link.config(),
+		MAC:              fpgaMAC,
+		OfferCsum:        !cfg.DisableCsumOffload,
+		OfferCtrlVQ:      !cfg.DisableCtrlVQ,
+		OfferEventIdx:    cfg.UseEventIdx,
+		OfferPacked:      cfg.UsePackedRing,
+		QueuePairs:       cfg.QueuePairs,
+		IRQCoalescePkts:  cfg.IRQCoalescePkts,
+		IRQCoalesceTimer: sim.Ns(cfg.IRQCoalesceTimer.Nanoseconds()),
 	})
 	st := netstack.New(h, netstack.DefaultCosts())
 	ns := &NetSession{s: s, host: h, stack: st, dev: dev}
@@ -100,6 +122,9 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 		opt.SuppressTxInterrupts = !cfg.TxInterrupts
 		opt.WantEventIdx = cfg.UseEventIdx
 		opt.WantPacked = cfg.UsePackedRing
+		opt.QueuePairs = cfg.QueuePairs
+		opt.TxKickBatch = cfg.TxKickBatch
+		opt.ForceKicks = cfg.ForceKicks
 		drv, err := virtionet.Probe(p, h, st, infos[0], opt)
 		if err != nil {
 			bootErr = err
@@ -168,39 +193,54 @@ func (ns *NetSession) pingDetailed(payload []byte) ([]byte, RTTSample, error) {
 	var echo []byte
 	var sample RTTSample
 	err := ns.run(func(p *sim.Proc) error {
-		t0 := ns.host.ClockGettime(p)
-		// The app span brackets the same instants as the RTT timer, so
-		// span-derived totals agree with RTTSample.Total.
-		sp := ns.s.BeginSpan(telemetry.LayerApp, "ping")
-		if err := ns.sock.SendTo(p, fpgaIP, echoPort, payload); err != nil {
-			return err
-		}
-		got, _, _, err := ns.sock.RecvFrom(p)
-		if err != nil {
-			return err
-		}
-		t1 := ns.host.ClockGettime(p)
-		sp.End()
-		echo = got
-
-		total := t1.Sub(t0)
-		var hw sim.Duration
-		if d, ok := ns.dev.Controller().QueueCounter(vdev.NetQueueTX).TakeLast(); ok {
-			hw += d
-		}
-		if d, ok := ns.dev.Controller().QueueCounter(vdev.NetQueueRX).TakeLast(); ok {
-			hw += d
-		}
-		respGen, _ := ns.dev.RespGenCounter().TakeLast()
-		sample = RTTSample{
-			Total:    toStd(total),
-			Hardware: toStd(hw),
-			RespGen:  toStd(respGen),
-			Software: toStd(total - hw - respGen),
-		}
-		return nil
+		var err error
+		echo, sample, err = ns.pingOnce(p, payload)
+		return err
 	})
 	return echo, sample, err
+}
+
+// pingOnce runs one timed echo exchange inside an application process.
+// Both the latency mode and the window=1 streaming mode execute exactly
+// this sequence, which is what makes their per-packet results agree.
+func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, error) {
+	t0 := ns.host.ClockGettime(p)
+	// The app span brackets the same instants as the RTT timer, so
+	// span-derived totals agree with RTTSample.Total.
+	sp := ns.s.BeginSpan(telemetry.LayerApp, "ping")
+	if err := ns.sock.SendTo(p, fpgaIP, echoPort, payload); err != nil {
+		return nil, RTTSample{}, err
+	}
+	if ns.sock.Pending() == 0 {
+		// A TxKickBatch driver defers the doorbell; force it before the
+		// blocking receive or this lone packet would never reach the
+		// device. With batching off FlushTx is a timing no-op, so the
+		// latency-mode sequence is unchanged.
+		ns.drv.FlushTx(p)
+	}
+	got, _, _, err := ns.sock.RecvFrom(p)
+	if err != nil {
+		return nil, RTTSample{}, err
+	}
+	t1 := ns.host.ClockGettime(p)
+	sp.End()
+
+	total := t1.Sub(t0)
+	var hw sim.Duration
+	if d, ok := ns.dev.Controller().QueueCounter(vdev.NetQueueTX).TakeLast(); ok {
+		hw += d
+	}
+	if d, ok := ns.dev.Controller().QueueCounter(vdev.NetQueueRX).TakeLast(); ok {
+		hw += d
+	}
+	respGen, _ := ns.dev.RespGenCounter().TakeLast()
+	sample := RTTSample{
+		Total:    toStd(total),
+		Hardware: toStd(hw),
+		RespGen:  toStd(respGen),
+		Software: toStd(total - hw - respGen),
+	}
+	return got, sample, nil
 }
 
 // BurstResult summarizes one Burst call's signalling costs.
@@ -261,6 +301,10 @@ func (ns *NetSession) NegotiatedFeatures() string {
 func (ns *NetSession) ChecksumOffloaded() bool {
 	return ns.dev.Controller().Negotiated().Has(virtio.NetFCsum)
 }
+
+// QueuePairs reports how many virtio-net queue pairs the driver
+// negotiated and activated.
+func (ns *NetSession) QueuePairs() int { return ns.drv.QueuePairs() }
 
 // Registry returns the session's telemetry metrics registry, holding
 // the per-layer instruments every subsystem registered at boot.

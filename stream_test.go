@@ -1,0 +1,267 @@
+package fpgavirtio
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// counterQuantum is the FPGA performance counters' 8 ns resolution —
+// the tolerance the window=1 parity contract allows.
+const counterQuantum = 8 * time.Nanosecond
+
+func absDiff(a, b time.Duration) time.Duration {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Window=1 streaming must execute the exact latency-mode sequence:
+// per-packet RTT samples from Stream agree with PingDetailed within the
+// counter quantization, sample by sample.
+func TestStreamWindowOneMatchesLatencyVirtIO(t *testing.T) {
+	const n = 100
+	lat, err := OpenNet(NetConfig{Config: Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	latSamples := make([]RTTSample, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := lat.PingDetailed(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latSamples = append(latSamples, s)
+	}
+
+	str, err := OpenNet(NetConfig{Config: Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := str.Stream(StreamConfig{Packets: n, PayloadSize: 64, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RTT) != n {
+		t.Fatalf("stream returned %d RTT samples, want %d", len(r.RTT), n)
+	}
+	for i := range latSamples {
+		if d := absDiff(latSamples[i].Total, r.RTT[i].Total); d > counterQuantum {
+			t.Errorf("packet %d: latency %v vs stream %v (diff %v > %v)",
+				i, latSamples[i].Total, r.RTT[i].Total, d, counterQuantum)
+		}
+		if d := absDiff(latSamples[i].Hardware, r.RTT[i].Hardware); d > counterQuantum {
+			t.Errorf("packet %d: hardware share diverged by %v", i, d)
+		}
+	}
+	if r.OccupancyMax != 1 || r.OccupancyMean != 1 {
+		t.Errorf("window=1 occupancy = %d/%.2f, want 1/1", r.OccupancyMax, r.OccupancyMean)
+	}
+}
+
+func TestStreamWindowOneMatchesLatencyXDMA(t *testing.T) {
+	const n = 100
+	lat, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 118)
+	latSamples := make([]RTTSample, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := lat.RoundTripDetailed(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latSamples = append(latSamples, s)
+	}
+
+	str, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := str.Stream(StreamConfig{Packets: n, PayloadSize: 118, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range latSamples {
+		if d := absDiff(latSamples[i].Total, r.RTT[i].Total); d > counterQuantum {
+			t.Errorf("packet %d: latency %v vs stream %v (diff %v > %v)",
+				i, latSamples[i].Total, r.RTT[i].Total, d, counterQuantum)
+		}
+	}
+}
+
+// The tentpole inequality: kick suppression (EVENT_IDX doorbells,
+// batched TX kicks, coalesced interrupts) must not lose throughput
+// against per-packet signalling, and must slash the doorbell count.
+func TestStreamKickSuppressionThroughput(t *testing.T) {
+	run := func(cfg NetConfig) StreamResult {
+		t.Helper()
+		ns, err := OpenNet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ns.Stream(StreamConfig{Packets: 2000, PayloadSize: 64, Window: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sup := run(NetConfig{Config: Config{Seed: 3}, UseEventIdx: true, TxKickBatch: 16, IRQCoalescePkts: 8})
+	uns := run(NetConfig{Config: Config{Seed: 3}, ForceKicks: true})
+	t.Logf("suppressed:   pps=%.0f doorbells=%d irqs=%d", sup.PPS, sup.Doorbells, sup.Interrupts)
+	t.Logf("unsuppressed: pps=%.0f doorbells=%d irqs=%d", uns.PPS, uns.Doorbells, uns.Interrupts)
+	if sup.PPS < uns.PPS {
+		t.Errorf("suppression lost throughput: %.0f < %.0f PPS", sup.PPS, uns.PPS)
+	}
+	if sup.Doorbells >= uns.Doorbells {
+		t.Errorf("suppression did not reduce doorbells: %d >= %d", sup.Doorbells, uns.Doorbells)
+	}
+	if sup.Interrupts >= uns.Interrupts {
+		t.Errorf("coalescing did not reduce interrupts: %d >= %d", sup.Interrupts, uns.Interrupts)
+	}
+}
+
+// Multi-queue streaming spreads packets across pairs and still
+// completes every packet.
+func TestStreamMultiQueue(t *testing.T) {
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: 5}, UseEventIdx: true, QueuePairs: 2, TxKickBatch: 8, IRQCoalescePkts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ns.QueuePairs(); got != 2 {
+		t.Fatalf("driver activated %d queue pairs, want 2", got)
+	}
+	r, err := ns.Stream(StreamConfig{Packets: 1000, PayloadSize: 128, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drops != 0 {
+		t.Errorf("multi-queue stream dropped %d packets", r.Drops)
+	}
+	if r.OccupancyMax < 2 {
+		t.Errorf("windowed stream never overlapped requests (occ max %d)", r.OccupancyMax)
+	}
+}
+
+// The XDMA descriptor-list pipeline must beat serial window=1 streaming
+// and actually overlap batches through the double-buffered regions.
+func TestStreamXDMAPipelining(t *testing.T) {
+	run := func(window int) StreamResult {
+		t.Helper()
+		xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := xs.Stream(StreamConfig{Packets: 800, PayloadSize: 64, Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial := run(1)
+	piped := run(16)
+	t.Logf("window=1: %.0f PPS; window=16: %.0f PPS", serial.PPS, piped.PPS)
+	if piped.PPS <= serial.PPS {
+		t.Errorf("descriptor-list batching did not help: %.0f <= %.0f PPS", piped.PPS, serial.PPS)
+	}
+	if piped.OccupancyMax <= 16 {
+		t.Errorf("double buffering never overlapped batches (occ max %d)", piped.OccupancyMax)
+	}
+	if piped.Doorbells >= serial.Doorbells {
+		t.Errorf("batching did not reduce engine starts: %d >= %d", piped.Doorbells, serial.Doorbells)
+	}
+}
+
+// An offered rate far below capacity paces the stream to that rate; an
+// unreachable rate shows up as backpressure.
+func TestStreamRatePacing(t *testing.T) {
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ns.Stream(StreamConfig{Packets: 100, PayloadSize: 64, Window: 1, RatePPS: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PPS > 5500 || r.PPS < 4000 {
+		t.Errorf("paced stream ran at %.0f PPS, want about 5000", r.PPS)
+	}
+	if r.Backpressure != 0 {
+		t.Errorf("stream below capacity reported %d backpressure events", r.Backpressure)
+	}
+
+	ns2, err := OpenNet(NetConfig{Config: Config{Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ns2.Stream(StreamConfig{Packets: 100, PayloadSize: 64, Window: 1, RatePPS: 10e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Backpressure == 0 {
+		t.Error("stream offered 10M PPS reported no backpressure")
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		cfg  StreamConfig
+		want string
+	}{
+		{"negative packets", StreamConfig{Packets: -1}, "packets"},
+		{"negative payload", StreamConfig{PayloadSize: -4}, "payload"},
+		{"negative window", StreamConfig{Window: -2}, "window"},
+		{"negative rate", StreamConfig{RatePPS: -1}, "rate"},
+	}
+	for _, tc := range bad {
+		if _, err := ns.Stream(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("net %s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		if _, err := xs.Stream(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("xdma %s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// XDMA-specific resource limits.
+	if _, err := xs.Stream(StreamConfig{Packets: 10, PayloadSize: 64, Window: 500}); err == nil {
+		t.Error("window beyond the descriptor list limit not rejected")
+	}
+	if _, err := xs.Stream(StreamConfig{Packets: 300, PayloadSize: 1400, Window: 256}); err == nil {
+		t.Error("stream larger than the card memory not rejected")
+	}
+}
+
+// Stream results land in the telemetry registry alongside the layer
+// instruments, so exporters see throughput runs too.
+func TestStreamPublishesTelemetry(t *testing.T) {
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Stream(StreamConfig{Packets: 200, PayloadSize: 64, Window: 8}); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, s := range ns.Registry().Snapshot() {
+		found[s.Name] = true
+		if s.Name == "stream.pps" && s.Value <= 0 {
+			t.Errorf("stream.pps = %v, want > 0", s.Value)
+		}
+	}
+	for _, name := range []string{"stream.packets", "stream.pps", "stream.goodput_bps", "stream.occupancy.max", "stream.doorbells"} {
+		if !found[name] {
+			t.Errorf("metric %q missing from registry snapshot", name)
+		}
+	}
+}

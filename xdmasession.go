@@ -37,6 +37,7 @@ type XDMASession struct {
 	waitReady bool
 	readyWQ   *hostos.WaitQueue
 	dataReady bool
+	bramBytes int
 }
 
 // OpenXDMA boots the vendor baseline: attach the XDMA example design,
@@ -48,7 +49,7 @@ func OpenXDMA(cfg XDMAConfig) (*XDMASession, error) {
 	devCfg.Link = cfg.Link.config()
 	devCfg.NotifyOnH2CComplete = cfg.WaitC2HReady
 	dev := xdmaip.NewVendor(s, h.RC, "xdma0", devCfg)
-	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady}
+	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady, bramBytes: devCfg.BRAMBytes}
 
 	var bootErr error
 	booted := false
@@ -129,49 +130,58 @@ func (xs *XDMASession) RoundTrip(data []byte) (time.Duration, error) {
 func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
 	var sample RTTSample
 	err := xs.run(func(p *sim.Proc) error {
-		t0 := xs.host.ClockGettime(p)
-		// The app span brackets the same instants as the RTT timer, so
-		// span-derived totals agree with RTTSample.Total.
-		sp := xs.s.BeginSpan(telemetry.LayerApp, "roundtrip")
-		if xs.waitReady {
-			xs.dataReady = false
-		}
-		if _, err := xs.h2c.Write(p, data); err != nil {
-			return err
-		}
-		if xs.waitReady {
-			// poll(2) on the user-interrupt eventfd, then re-arm.
-			xs.host.SyscallEnter(p)
-			for !xs.dataReady {
-				xs.readyWQ.Wait(p)
-			}
-			xs.host.SyscallExit(p)
-		}
-		back := make([]byte, len(data))
-		if _, err := xs.c2h.Read(p, back); err != nil {
-			return err
-		}
-		t1 := xs.host.ClockGettime(p)
-		sp.End()
-		if !bytes.Equal(back, data) {
-			return fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
-		}
-		total := t1.Sub(t0)
-		var hw sim.Duration
-		if d, ok := xs.dev.H2CCounter().TakeLast(); ok {
-			hw += d
-		}
-		if d, ok := xs.dev.C2HCounter().TakeLast(); ok {
-			hw += d
-		}
-		sample = RTTSample{
-			Total:    toStd(total),
-			Hardware: toStd(hw),
-			Software: toStd(total - hw),
-		}
-		return nil
+		var err error
+		sample, err = xs.roundTripOnce(p, data)
+		return err
 	})
 	return sample, err
+}
+
+// roundTripOnce runs one timed write/read exchange inside an
+// application process. Both the latency mode and the window=1 streaming
+// mode execute exactly this sequence, which is what makes their
+// per-packet results agree.
+func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error) {
+	t0 := xs.host.ClockGettime(p)
+	// The app span brackets the same instants as the RTT timer, so
+	// span-derived totals agree with RTTSample.Total.
+	sp := xs.s.BeginSpan(telemetry.LayerApp, "roundtrip")
+	if xs.waitReady {
+		xs.dataReady = false
+	}
+	if _, err := xs.h2c.Write(p, data); err != nil {
+		return RTTSample{}, err
+	}
+	if xs.waitReady {
+		// poll(2) on the user-interrupt eventfd, then re-arm.
+		xs.host.SyscallEnter(p)
+		for !xs.dataReady {
+			xs.readyWQ.Wait(p)
+		}
+		xs.host.SyscallExit(p)
+	}
+	back := make([]byte, len(data))
+	if _, err := xs.c2h.Read(p, back); err != nil {
+		return RTTSample{}, err
+	}
+	t1 := xs.host.ClockGettime(p)
+	sp.End()
+	if !bytes.Equal(back, data) {
+		return RTTSample{}, fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
+	}
+	total := t1.Sub(t0)
+	var hw sim.Duration
+	if d, ok := xs.dev.H2CCounter().TakeLast(); ok {
+		hw += d
+	}
+	if d, ok := xs.dev.C2HCounter().TakeLast(); ok {
+		hw += d
+	}
+	return RTTSample{
+		Total:    toStd(total),
+		Hardware: toStd(hw),
+		Software: toStd(total - hw),
+	}, nil
 }
 
 // Registry returns the session's telemetry metrics registry, holding
