@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fuzzseed flake ci smoke clean
+.PHONY: all build test race vet fmt lint vuln fuzzseed flake ci smoke clean
 
 all: build
 
@@ -23,6 +23,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# lint runs the project's static-analysis suite (ringorder, kickflush,
+# metricname, lockorder); it fails on any diagnostic that lacks an
+# auditable `//fvlint:ignore <analyzer> <reason>` directive.
+lint:
+	$(GO) run ./cmd/fvlint -suppressed -root .
+
+# vuln runs govulncheck when the toolchain ships it; absence is not a
+# failure so offline/minimal containers still pass ci.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping"; \
+	fi
+
 # fuzzseed replays every fuzz target's committed seed corpus (and any
 # saved crashers under testdata/fuzz) as ordinary tests — no -fuzz time
 # budget needed, so it is cheap enough for every CI run.
@@ -31,10 +46,13 @@ fuzzseed:
 
 # flake runs vet plus the race detector with -count=2: the second pass
 # reruns everything with warm caches and different goroutine timings,
-# the cheapest way to catch order-dependent or racy tests.
+# the cheapest way to catch order-dependent or racy tests. The second
+# race pass builds with -tags fvinvariants so the runtime ring/doorbell
+# assertions (internal/fvassert) are exercised under contention.
 flake:
 	$(GO) vet ./...
 	$(GO) test -race -count=2 ./...
+	$(GO) test -race -tags fvinvariants ./...
 
 # smoke runs a tiny fvbench sweep and writes the JSON bench artifact;
 # fvbench re-reads and validates the file against the exporter schema,
@@ -45,7 +63,7 @@ smoke:
 		-json $${TMPDIR:-/tmp}/fvbench-tp-smoke.json -csv $${TMPDIR:-/tmp}/fvbench-tp-smoke.csv > /dev/null
 	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
 
-ci: build fmt fuzzseed flake smoke
+ci: build fmt lint vuln fuzzseed flake smoke
 	@echo "ci: all checks passed"
 
 clean:

@@ -1,0 +1,129 @@
+// Command fvlint runs the project's static-analysis suite — ringorder,
+// kickflush, metricname, lockorder — over every package of the module.
+//
+// Usage:
+//
+//	fvlint [-suppressed] [-root dir]
+//
+// Diagnostics print as file:line:col: [analyzer] message. The exit
+// status is 1 when any unsuppressed diagnostic remains, so `make lint`
+// fails until the finding is fixed or carries an auditable
+// `//fvlint:ignore <analyzer> <reason>` directive. -suppressed also
+// prints suppressed findings with their justification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fpgavirtio/internal/analysis"
+	"fpgavirtio/internal/analysis/kickflush"
+	"fpgavirtio/internal/analysis/lockorder"
+	"fpgavirtio/internal/analysis/metricname"
+	"fpgavirtio/internal/analysis/ringorder"
+)
+
+var analyzers = []*analysis.Analyzer{
+	ringorder.Analyzer,
+	kickflush.Analyzer,
+	metricname.Analyzer,
+	lockorder.Analyzer,
+}
+
+func main() {
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed diagnostics with their reasons")
+	rootFlag := flag.String("root", ".", "directory inside the module to lint")
+	flag.Parse()
+	os.Exit(runLint(*rootFlag, *showSuppressed, os.Stdout, os.Stderr))
+}
+
+// runLint lints the module containing rootDir and returns the process
+// exit status: 0 clean, 1 with unsuppressed findings, 2 on load errors.
+func runLint(rootDir string, showSuppressed bool, out, errw io.Writer) int {
+	root, modPath, err := analysis.FindModule(rootDir)
+	if err != nil {
+		fmt.Fprintln(errw, "fvlint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(modPath, root)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintln(errw, "fvlint:", err)
+		return 2
+	}
+
+	failed := false
+	var diags []analysis.Diagnostic
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fmt.Fprintf(errw, "fvlint: %v\n", err)
+			failed = true
+			continue
+		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, analyzers)...)
+	}
+
+	bad := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if showSuppressed {
+				fmt.Fprintf(out, "%s [suppressed: %s]\n", d, d.Reason)
+			}
+			continue
+		}
+		bad++
+		fmt.Fprintln(out, d)
+	}
+	if bad > 0 {
+		fmt.Fprintf(errw, "fvlint: %d finding(s)\n", bad)
+		return 1
+	}
+	if failed {
+		return 2
+	}
+	return 0
+}
+
+// packageDirs lists every directory under root holding non-test Go
+// files, skipping testdata, hidden and underscore-prefixed trees.
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this test file's position, so
+// the smoke test works regardless of the test working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))) // cmd/fvlint/main_test.go -> repo root
+}
+
+// TestLintRepoIsClean is the lint gate in test form: the repository
+// itself must produce zero unsuppressed diagnostics.
+func TestLintRepoIsClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runLint(repoRoot(t), false, &out, &errw); code != 0 {
+		t.Fatalf("fvlint on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+}
+
+// TestLintFlagsKnownBadModule smoke-tests the whole pipeline — module
+// discovery, source loading, analyzer run, diagnostic printing, exit
+// status — against the known-bad fixture module under testdata.
+func TestLintFlagsKnownBadModule(t *testing.T) {
+	bad := filepath.Join(repoRoot(t), "cmd", "fvlint", "testdata", "lintbad")
+	var out, errw bytes.Buffer
+	if code := runLint(bad, false, &out, &errw); code != 1 {
+		t.Fatalf("fvlint on lintbad exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "[kickflush]") {
+		t.Errorf("diagnostics missing [kickflush] tag:\n%s", got)
+	}
+	if !strings.Contains(got, "RecvFrom") || !strings.Contains(got, "SendTo") {
+		t.Errorf("diagnostic does not name the enqueue/block pair:\n%s", got)
+	}
+	if strings.Contains(got, "GoodPing") {
+		t.Errorf("fixed shape GoodPing was flagged:\n%s", got)
+	}
+	if n := strings.Count(got, "bad.go"); n != 1 {
+		t.Errorf("want exactly 1 finding in bad.go, got %d:\n%s", n, got)
+	}
+}

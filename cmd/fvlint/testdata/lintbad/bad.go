@@ -1,0 +1,37 @@
+// Package lintbad is a known-bad module for the fvlint smoke test: it
+// carries exactly one kickflush violation (the PR 2 deferred-kick
+// shape) so the test can assert that a real run exits 1 and names the
+// finding. It lives under testdata so the go tool never builds it.
+package lintbad
+
+// Proc stands in for a simulator process handle.
+type Proc struct{}
+
+// Driver mimes the transmit surface of the virtio-net driver.
+type Driver struct{}
+
+// SendTo queues a frame under a batched-doorbell policy.
+func (Driver) SendTo(p *Proc, b []byte) {}
+
+// FlushTx forces the pending doorbell.
+func (Driver) FlushTx(p *Proc) {}
+
+// Socket mimes the blocking datagram receive.
+type Socket struct{}
+
+// RecvFrom parks until a datagram arrives.
+func (Socket) RecvFrom(p *Proc) []byte { return nil }
+
+// BadPing enqueues and then blocks without flushing — the finding the
+// smoke test expects fvlint to report.
+func BadPing(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	return s.RecvFrom(p)
+}
+
+// GoodPing is the fixed shape; it must not be flagged.
+func GoodPing(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	d.FlushTx(p)
+	return s.RecvFrom(p)
+}

@@ -1,0 +1,216 @@
+// Package analysis is the project's static-analysis framework: a
+// self-contained reimplementation of the golang.org/x/tools go/analysis
+// API shape (Analyzer, Pass, Diagnostic) built only on the standard
+// library's go/ast, go/parser and go/types, so the lint suite carries
+// no external dependencies.
+//
+// The suite turns the VirtIO driver/device contract the paper relies on
+// — descriptor bodies published before the avail index or packed head
+// flags, doorbells flushed before blocking waits, canonical telemetry
+// names, a fixed mutex hierarchy — into compile-time project law.
+// cmd/fvlint runs every analyzer over the module; analysistest-style
+// fixtures under each analyzer's testdata pin the flagged and clean
+// shapes.
+//
+// False positives are suppressed with an auditable directive on the
+// flagged line or the line above it:
+//
+//	//fvlint:ignore <analyzer> <reason>
+//
+// A directive without a reason does not suppress anything: the point is
+// that every exception is reviewable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path
+	// equals an entry or sits below it. Empty means every package.
+	Packages []string
+	// Skip lists import-path prefixes the analyzer never runs on even
+	// when Packages matches (e.g. the package defining the checked API,
+	// whose own tests legitimately violate the call-site rule).
+	Skip []string
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// AppliesTo reports whether the analyzer runs on the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	match := func(prefix string) bool {
+		return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+	}
+	for _, s := range a.Skip {
+		if match(s) {
+			return false
+		}
+	}
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if match(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path of the package under analysis.
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported finding, after directive filtering.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks findings matched by an //fvlint:ignore
+	// directive; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (nil when unknown).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// ignoreDirective is one parsed //fvlint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	used   bool
+}
+
+const directivePrefix = "//fvlint:ignore"
+
+// parseDirectives collects every ignore directive in the package.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, &ignoreDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rule:   rule,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives marks diagnostics suppressed when an ignore directive
+// for the same rule sits on the same line or the line directly above.
+// Directives with an empty reason never suppress: exceptions must be
+// justified to count.
+func applyDirectives(diags []Diagnostic, dirs []*ignoreDirective) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, dir := range dirs {
+			if dir.rule != d.Analyzer || dir.reason == "" || dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+				d.Suppressed = true
+				d.Reason = dir.reason
+				dir.used = true
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// RunAnalyzers executes every applicable analyzer over a loaded package
+// and returns directive-filtered diagnostics sorted by position. The
+// boolean order reports whether any diagnostic is unsuppressed.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+		}
+		a.Run(pass)
+		all = append(all, applyDirectives(pass.diags, dirs)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all
+}

@@ -1,0 +1,115 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against `// want "substr"` expectations in
+// the fixture source — the same contract as golang.org/x/tools'
+// analysistest, reimplemented on the project's stdlib-only framework.
+//
+// Expectation syntax, attached to the offending line:
+//
+//	doBad() // want "part of the diagnostic message"
+//	doBad2() // want "first" "second"
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must match a diagnostic; `//fvlint:ignore` directives are
+// honoured first, so a fixture line carrying a justified directive and
+// no want proves suppression works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"fpgavirtio/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package in dir (relative to the calling test's
+// package directory, conventionally "testdata/<name>") and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	root, modPath, err := analysis.FindModule(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := analysis.NewLoader(modPath, root)
+	// The fixture belongs to the module for import resolution but gets
+	// a synthetic path so package-scope rules do not skip it.
+	pkg, err := loader.LoadDir(abs, "fvlint.fixture/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
+	}
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{{
+		Name:     a.Name,
+		Doc:      a.Doc,
+		Run:      a.Run,
+		Packages: nil, // fixtures always run the analyzer
+	}})
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && strings.Contains(d.Message, w.substr) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic containing %q, got none", key, w.substr)
+			}
+		}
+	}
+}
+
+type want struct {
+	substr string
+	used   bool
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				key := posKey(pos.Filename, pos.Line)
+				for _, m := range ms {
+					out[key] = append(out[key], &want{substr: strings.ReplaceAll(m[1], `\"`, `"`)})
+				}
+			}
+		}
+	}
+	return out
+}

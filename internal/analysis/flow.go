@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// OpKind classifies one operation in a linearized function body.
+type OpKind int
+
+const (
+	// OpCall is a call an analyzer's classifier mapped to a custom
+	// kind; Detail carries the classifier's tag.
+	OpCall OpKind = iota
+	// OpBlock is a potentially unbounded blocking point: a channel
+	// operation, a select without default, or a call the classifier
+	// tagged as blocking.
+	OpBlock
+)
+
+// Op is one linearized operation with its source position.
+type Op struct {
+	Kind OpKind
+	// Detail is the classifier tag for OpCall ops, or a short
+	// description ("<-chan", "select") for intrinsic blocking ops.
+	Detail string
+	Pos    token.Pos
+	// Deferred marks ops inside a defer statement: they execute at
+	// function exit, not at their source position.
+	Deferred bool
+}
+
+// FlowConfig controls Linearize.
+type FlowConfig struct {
+	// ClassifyCall tags interesting calls; return "" to skip, or a tag
+	// plus blocking=true to emit the call as OpBlock.
+	ClassifyCall func(call *ast.CallExpr) (tag string, blocking bool)
+	// DoubleLoops repeats every loop body's ops twice, so an op late in
+	// a loop body is observed "before" ops early in the same body — the
+	// cheap stand-in for back-edge flow.
+	DoubleLoops bool
+	// ChanOpsBlock emits OpBlock for channel sends/receives and
+	// selects without a default clause.
+	ChanOpsBlock bool
+}
+
+// Linearize flattens a function body into source-ordered ops. Branch
+// arms concatenate in source order (the analysis is flow-insensitive
+// across branches). Function literals bound to local variables are
+// summarized and their ops spliced in at direct call sites; literals
+// passed elsewhere (goroutine starts, stored callbacks) are NOT
+// inlined — analyze them as separate bodies via FuncLits.
+func Linearize(body *ast.BlockStmt, cfg FlowConfig) []Op {
+	w := &flowWalker{cfg: cfg, closures: map[*ast.Object][]Op{}}
+	w.collectClosures(body)
+	return w.stmts(body.List, false)
+}
+
+// FuncLits returns every function literal in the body, outermost
+// first, so analyzers can apply their per-function rule inside
+// closures too.
+func FuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}
+
+type flowWalker struct {
+	cfg      FlowConfig
+	closures map[*ast.Object][]Op
+}
+
+// collectClosures summarizes `name := func(){...}` bindings so later
+// `name()` calls splice the closure's ops at the call site.
+func (w *flowWalker) collectClosures(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Obj == nil {
+			return true
+		}
+		fl, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		w.closures[id.Obj] = w.stmts(fl.Body.List, false)
+		return true
+	})
+}
+
+func (w *flowWalker) stmts(list []ast.Stmt, deferred bool) []Op {
+	var out []Op
+	for _, s := range list {
+		out = append(out, w.stmt(s, deferred)...)
+	}
+	return out
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, deferred bool) []Op {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, deferred)
+	case *ast.AssignStmt:
+		var out []Op
+		for _, e := range s.Rhs {
+			out = append(out, w.expr(e, deferred)...)
+		}
+		return out
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return nil
+	case *ast.ReturnStmt:
+		var out []Op
+		for _, e := range s.Results {
+			out = append(out, w.expr(e, deferred)...)
+		}
+		return out
+	case *ast.DeferStmt:
+		return w.call(s.Call, true)
+	case *ast.GoStmt:
+		return nil // runs concurrently; its body is analyzed via FuncLits
+	case *ast.SendStmt:
+		if w.cfg.ChanOpsBlock {
+			return []Op{{Kind: OpBlock, Detail: "chan send", Pos: s.Arrow, Deferred: deferred}}
+		}
+		return nil
+	case *ast.IfStmt:
+		var out []Op
+		if s.Init != nil {
+			out = append(out, w.stmt(s.Init, deferred)...)
+		}
+		out = append(out, w.expr(s.Cond, deferred)...)
+		out = append(out, w.stmts(s.Body.List, deferred)...)
+		if s.Else != nil {
+			out = append(out, w.stmt(s.Else, deferred)...)
+		}
+		return out
+	case *ast.BlockStmt:
+		return w.stmts(s.List, deferred)
+	case *ast.ForStmt:
+		var out []Op
+		if s.Init != nil {
+			out = append(out, w.stmt(s.Init, deferred)...)
+		}
+		if s.Cond != nil {
+			out = append(out, w.expr(s.Cond, deferred)...)
+		}
+		body := w.stmts(s.Body.List, deferred)
+		if s.Post != nil {
+			body = append(body, w.stmt(s.Post, deferred)...)
+		}
+		out = append(out, body...)
+		if w.cfg.DoubleLoops {
+			out = append(out, body...)
+		}
+		return out
+	case *ast.RangeStmt:
+		out := w.expr(s.X, deferred)
+		body := w.stmts(s.Body.List, deferred)
+		out = append(out, body...)
+		if w.cfg.DoubleLoops {
+			out = append(out, body...)
+		}
+		return out
+	case *ast.SwitchStmt:
+		var out []Op
+		if s.Init != nil {
+			out = append(out, w.stmt(s.Init, deferred)...)
+		}
+		if s.Tag != nil {
+			out = append(out, w.expr(s.Tag, deferred)...)
+		}
+		for _, c := range s.Body.List {
+			out = append(out, w.stmts(c.(*ast.CaseClause).Body, deferred)...)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		var out []Op
+		for _, c := range s.Body.List {
+			out = append(out, w.stmts(c.(*ast.CaseClause).Body, deferred)...)
+		}
+		return out
+	case *ast.SelectStmt:
+		var out []Op
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			out = append(out, w.stmts(cc.Body, deferred)...)
+		}
+		if w.cfg.ChanOpsBlock && !hasDefault {
+			out = append([]Op{{Kind: OpBlock, Detail: "select", Pos: s.Select, Deferred: deferred}}, out...)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, deferred)
+	default:
+		return nil
+	}
+}
+
+func (w *flowWalker) expr(e ast.Expr, deferred bool) []Op {
+	var out []Op
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // not executed here
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && w.cfg.ChanOpsBlock {
+				out = append(out, Op{Kind: OpBlock, Detail: "<-chan", Pos: n.OpPos, Deferred: deferred})
+			}
+		case *ast.CallExpr:
+			out = append(out, w.call(n, deferred)...)
+			// Arguments were already visited by the call handler's
+			// classification only for the call itself; let Inspect
+			// continue into arguments for nested calls.
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// call classifies one call, splicing local-closure summaries.
+func (w *flowWalker) call(c *ast.CallExpr, deferred bool) []Op {
+	if id, ok := c.Fun.(*ast.Ident); ok && id.Obj != nil {
+		if ops, ok := w.closures[id.Obj]; ok {
+			spliced := make([]Op, len(ops))
+			for i, op := range ops {
+				op.Pos = c.Pos() // report at the call site
+				op.Deferred = op.Deferred || deferred
+				spliced[i] = op
+			}
+			return spliced
+		}
+	}
+	if w.cfg.ClassifyCall == nil {
+		return nil
+	}
+	tag, blocking := w.cfg.ClassifyCall(c)
+	if tag == "" {
+		return nil
+	}
+	kind := OpCall
+	if blocking {
+		kind = OpBlock
+	}
+	return []Op{{Kind: kind, Detail: tag, Pos: c.Pos(), Deferred: deferred}}
+}

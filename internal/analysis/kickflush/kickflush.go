@@ -1,0 +1,125 @@
+// Package kickflush generalizes the PR 2 deferred-kick deadlock fix
+// into a rule: after queueing transmit work (SendTo / Xmit / AddChain),
+// a function must not reach a blocking operation — a wait-queue,
+// trigger or condition Wait, a blocking receive, a channel operation,
+// or a select without default — before a doorbell flush (FlushTx /
+// Kick / KickIfNeeded). Under a batched-doorbell policy (TxKickBatch)
+// the queued packet may still be invisible to the device, so blocking
+// on its completion deadlocks the session.
+//
+// The check linearizes each function body in source order, doubling
+// loop bodies so an enqueue late in a loop is seen by a blocking call
+// early in the next iteration. Local closures are spliced into their
+// call sites; goroutine bodies are checked independently.
+package kickflush
+
+import (
+	"go/ast"
+
+	"fpgavirtio/internal/analysis"
+)
+
+// Analyzer is the kickflush rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "kickflush",
+	Doc: "no blocking operation may be reachable after queueing transmit work " +
+		"until a doorbell flush (FlushTx/Kick/KickIfNeeded) has run",
+	Skip: []string{
+		// The simulator defines the blocking primitives themselves.
+		"fpgavirtio/internal/sim",
+	},
+	Run: run,
+}
+
+// enqueueMethods queue transmit work that a batched doorbell may leave
+// invisible to the device.
+var enqueueMethods = map[string]bool{"SendTo": true, "Xmit": true, "AddChain": true}
+
+// flushMethods guarantee any owed doorbell was delivered (or its
+// elision re-decided against current device hints).
+var flushMethods = map[string]bool{"FlushTx": true, "Kick": true, "KickIfNeeded": true}
+
+// blockMethods block until another process makes progress.
+var blockMethods = map[string]bool{"Wait": true, "RecvFrom": true}
+
+func classify(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch {
+	case enqueueMethods[name]:
+		return "enqueue:" + name, false
+	case flushMethods[name]:
+		return "flush:" + name, false
+	case blockMethods[name]:
+		return name, true
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) {
+	cfg := analysis.FlowConfig{
+		ClassifyCall: classify,
+		DoubleLoops:  true,
+		ChanOpsBlock: true,
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, analysis.Linearize(fd.Body, cfg))
+			// Goroutine bodies and callback literals run outside this
+			// frame; check each one as its own sequence. Var-bound
+			// closures were already spliced into their call sites.
+			bound := varBoundFuncLits(fd.Body)
+			for _, fl := range analysis.FuncLits(fd.Body) {
+				if !bound[fl] {
+					check(pass, analysis.Linearize(fl.Body, cfg))
+				}
+			}
+		}
+	}
+}
+
+func check(pass *analysis.Pass, ops []analysis.Op) {
+	pending := ""
+	for _, op := range ops {
+		if op.Deferred {
+			continue // runs at exit, after any in-body flush decision
+		}
+		switch {
+		case op.Kind == analysis.OpCall && len(op.Detail) > 8 && op.Detail[:8] == "enqueue:":
+			pending = op.Detail[8:]
+		case op.Kind == analysis.OpCall && len(op.Detail) > 6 && op.Detail[:6] == "flush:":
+			pending = ""
+		case op.Kind == analysis.OpBlock:
+			if pending != "" {
+				pass.Reportf(op.Pos,
+					"blocking on %s while a batched doorbell may be pending after %s; flush (FlushTx/Kick/KickIfNeeded) before blocking",
+					op.Detail, pending)
+				pending = ""
+			}
+		}
+	}
+}
+
+// varBoundFuncLits finds closures bound to a local variable by a
+// single-assignment; Linearize splices those at their call sites.
+func varBoundFuncLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Obj != nil {
+				if fl, ok := as.Rhs[0].(*ast.FuncLit); ok {
+					out[fl] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

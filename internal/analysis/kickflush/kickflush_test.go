@@ -1,0 +1,12 @@
+package kickflush_test
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/analysis/analysistest"
+	"fpgavirtio/internal/analysis/kickflush"
+)
+
+func TestKickFlush(t *testing.T) {
+	analysistest.Run(t, kickflush.Analyzer, "testdata/kick")
+}

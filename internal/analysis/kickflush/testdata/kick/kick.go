@@ -1,0 +1,103 @@
+// Package fixture exercises the kickflush analyzer: blocking while a
+// batched doorbell may still be unflushed. badPing reproduces the exact
+// pre-fix shape of the PR 2 deferred-kick deadlock: SendTo under
+// TxKickBatch queues the frame without ringing the doorbell, then
+// RecvFrom parks the process waiting for a reply the device will never
+// generate.
+package fixture
+
+// Proc stands in for a simulator process handle.
+type Proc struct{}
+
+// Driver mimes the transmit surface of the virtio-net driver.
+type Driver struct{}
+
+func (Driver) SendTo(p *Proc, b []byte)   {}
+func (Driver) Xmit(p *Proc, b []byte)     {}
+func (Driver) AddChain(p *Proc, b []byte) {}
+func (Driver) FlushTx(p *Proc)            {}
+func (Driver) Kick(p *Proc)               {}
+func (Driver) KickIfNeeded(p *Proc)       {}
+
+// Socket mimes the blocking datagram receive.
+type Socket struct{}
+
+func (Socket) RecvFrom(p *Proc) []byte { return nil }
+
+// WaitQueue mimes a simulator wait queue.
+type WaitQueue struct{}
+
+func (WaitQueue) Wait(p *Proc) {}
+
+// badPing is the pre-fix PR 2 deadlock shape: enqueue, then block on
+// the reply without flushing the batched doorbell.
+func badPing(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	return s.RecvFrom(p) // want "blocking on RecvFrom while a batched doorbell may be pending after SendTo"
+}
+
+// goodPing flushes between enqueue and the blocking receive — the
+// shape the PR 2 fix left behind.
+func goodPing(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	d.FlushTx(p)
+	return s.RecvFrom(p)
+}
+
+// goodCtrl kicks unconditionally before waiting, like ctrlCommand.
+func goodCtrl(p *Proc, d Driver, w WaitQueue, b []byte) {
+	d.AddChain(p, b)
+	d.Kick(p)
+	w.Wait(p)
+}
+
+// badChanAfterXmit blocks on a channel receive with work queued.
+func badChanAfterXmit(p *Proc, d Driver, done chan struct{}, b []byte) {
+	d.Xmit(p, b)
+	<-done // want "blocking on <-chan while a batched doorbell may be pending after Xmit"
+}
+
+// badSelectAfterAdd reaches a select without default.
+func badSelectAfterAdd(p *Proc, d Driver, done chan struct{}, b []byte) {
+	d.AddChain(p, b)
+	select { // want "blocking on select while a batched doorbell may be pending after AddChain"
+	case <-done:
+	}
+}
+
+// goodSelectDefault polls without blocking; not flagged.
+func goodSelectDefault(p *Proc, d Driver, done chan struct{}, b []byte) {
+	d.AddChain(p, b)
+	select {
+	case <-done:
+	default:
+	}
+	d.KickIfNeeded(p)
+}
+
+// badLoopBackEdge waits at the top of a loop whose previous iteration
+// queued without flushing: the back edge makes the wait reachable with
+// a pending doorbell.
+func badLoopBackEdge(p *Proc, d Driver, w WaitQueue, b []byte) {
+	for i := 0; i < 4; i++ {
+		w.Wait(p) // want "blocking on Wait while a batched doorbell may be pending after AddChain"
+		d.AddChain(p, b)
+	}
+	d.FlushTx(p)
+}
+
+// goodLoopFlushes flushes inside the loop body before the next wait.
+func goodLoopFlushes(p *Proc, d Driver, w WaitQueue, b []byte) {
+	for i := 0; i < 4; i++ {
+		w.Wait(p)
+		d.AddChain(p, b)
+		d.KickIfNeeded(p)
+	}
+}
+
+// suppressed carries a justified directive.
+func suppressed(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	//fvlint:ignore kickflush fixture demonstrates justified suppression
+	return s.RecvFrom(p)
+}

@@ -1,0 +1,186 @@
+// Package lockorder enforces the mutex hierarchy declared by
+// `//fvlint:lockrank <name>` field annotations. The hierarchy is
+// session → ring → metrics: a lower-ranked mutex may not be acquired
+// while a higher-ranked one is held (ranks grow down the hierarchy),
+// and no annotated mutex may be held across a blocking operation — a
+// simulator Wait, a blocking receive, a channel operation, or a select
+// without default — because the process that would release the waited
+// condition may need the same lock.
+//
+// Annotating is opt-in per field:
+//
+//	type Registry struct {
+//		mu sync.Mutex //fvlint:lockrank metrics
+//		...
+//	}
+//
+// Unannotated mutexes are outside the hierarchy and ignored.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fpgavirtio/internal/analysis"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "locks annotated //fvlint:lockrank must be acquired in session→ring→metrics " +
+		"order and never held across a blocking operation",
+	Run: run,
+}
+
+// hierarchy lists lock ranks outermost first. Acquisition must follow
+// this order; index = rank.
+var hierarchy = []string{"session", "ring", "metrics"}
+
+func rankOf(name string) int {
+	for i, h := range hierarchy {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+const rankDirective = "//fvlint:lockrank"
+
+// blockMethods are simulator calls that park the process.
+var blockMethods = map[string]bool{"Wait": true, "RecvFrom": true}
+
+func run(pass *analysis.Pass) {
+	ranks := collectRanks(pass)
+	if len(ranks) == 0 {
+		return
+	}
+	cfg := analysis.FlowConfig{
+		ClassifyCall: func(call *ast.CallExpr) (string, bool) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return "", false
+			}
+			switch sel.Sel.Name {
+			case "Lock", "Unlock":
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					if s, ok := pass.Info.Selections[inner]; ok {
+						if rank, ok := ranks[s.Obj()]; ok {
+							if sel.Sel.Name == "Lock" {
+								return "lock:" + rank, false
+							}
+							return "unlock:" + rank, false
+						}
+					}
+				}
+			default:
+				if blockMethods[sel.Sel.Name] {
+					return sel.Sel.Name, true
+				}
+			}
+			return "", false
+		},
+		ChanOpsBlock: true,
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, analysis.Linearize(fd.Body, cfg))
+			for _, fl := range analysis.FuncLits(fd.Body) {
+				check(pass, analysis.Linearize(fl.Body, cfg))
+			}
+		}
+	}
+}
+
+// collectRanks maps annotated mutex field objects to their rank names.
+func collectRanks(pass *analysis.Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rank := fieldRank(pass, field)
+				if rank == "" {
+					continue
+				}
+				if rankOf(rank) < 0 {
+					pass.Reportf(field.Pos(), "unknown lock rank %q: hierarchy is %s", rank, strings.Join(hierarchy, "→"))
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = rank
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldRank extracts the rank from a field's trailing or doc comment.
+func fieldRank(pass *analysis.Pass, field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, rankDirective); ok {
+				if fs := strings.Fields(rest); len(fs) > 0 {
+					return fs[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func check(pass *analysis.Pass, ops []analysis.Op) {
+	held := map[string]bool{} // rank name -> held
+	heldList := func() string {
+		var hs []string
+		for _, h := range hierarchy {
+			if held[h] {
+				hs = append(hs, h)
+			}
+		}
+		return strings.Join(hs, ", ")
+	}
+	for _, op := range ops {
+		if op.Deferred {
+			continue // a deferred Unlock releases at exit: the lock stays held below
+		}
+		switch {
+		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "lock:"):
+			rank := op.Detail[len("lock:"):]
+			for _, h := range hierarchy {
+				if held[h] && rankOf(h) > rankOf(rank) {
+					pass.Reportf(op.Pos,
+						"acquiring %q while holding %q violates the %s lock order",
+						rank, h, strings.Join(hierarchy, "→"))
+				}
+			}
+			held[rank] = true
+		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "unlock:"):
+			held[op.Detail[len("unlock:"):]] = false
+		case op.Kind == analysis.OpBlock:
+			if hl := heldList(); hl != "" {
+				pass.Reportf(op.Pos,
+					"blocking operation (%s) while holding lock(s) %s: release before blocking",
+					op.Detail, hl)
+				for k := range held {
+					held[k] = false // one report per held set
+				}
+			}
+		}
+	}
+}

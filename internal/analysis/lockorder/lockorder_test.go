@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/analysis/analysistest"
+	"fpgavirtio/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/locks")
+}

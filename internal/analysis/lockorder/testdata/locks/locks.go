@@ -1,0 +1,95 @@
+// Package fixture exercises the lockorder analyzer: out-of-order
+// acquisition against the session→ring→metrics hierarchy and locks
+// held across blocking operations.
+package fixture
+
+import "sync"
+
+// Proc stands in for a simulator process handle.
+type Proc struct{}
+
+// WaitQueue mimes a simulator wait queue.
+type WaitQueue struct{}
+
+func (WaitQueue) Wait(p *Proc) {}
+
+// Session owns the outermost lock.
+type Session struct {
+	mu sync.Mutex //fvlint:lockrank session
+}
+
+// Ring nests under Session.
+type Ring struct {
+	mu sync.Mutex //fvlint:lockrank ring
+}
+
+// Metrics is the innermost rank.
+type Metrics struct {
+	mu sync.Mutex //fvlint:lockrank metrics
+}
+
+// Plain is outside the hierarchy; never checked.
+type Plain struct {
+	mu sync.Mutex
+}
+
+func goodNesting(s *Session, r *Ring, m *Metrics) {
+	s.mu.Lock()
+	r.mu.Lock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func badInverted(r *Ring, m *Metrics) {
+	m.mu.Lock()
+	r.mu.Lock() // want "acquiring \"ring\" while holding \"metrics\" violates the session→ring→metrics lock order"
+	r.mu.Unlock()
+	m.mu.Unlock()
+}
+
+func badSessionUnderRing(s *Session, r *Ring) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.mu.Lock() // want "acquiring \"session\" while holding \"ring\""
+	s.mu.Unlock()
+}
+
+func badBlockWhileHeld(r *Ring, w WaitQueue, p *Proc) {
+	r.mu.Lock()
+	w.Wait(p) // want "blocking operation (Wait) while holding lock(s) ring"
+	r.mu.Unlock()
+}
+
+func badChanWhileDeferHeld(s *Session, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want "blocking operation (<-chan) while holding lock(s) session"
+}
+
+func goodReleaseBeforeBlock(r *Ring, w WaitQueue, p *Proc) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	w.Wait(p)
+}
+
+func goodPlainIgnored(pl *Plain, w WaitQueue, p *Proc) {
+	pl.mu.Lock()
+	w.Wait(p)
+	pl.mu.Unlock()
+}
+
+func suppressed(r *Ring, m *Metrics) {
+	m.mu.Lock()
+	//fvlint:ignore lockorder fixture demonstrates justified suppression
+	r.mu.Lock()
+	r.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// Unranked carries a bogus rank name.
+type Unranked struct {
+	//fvlint:lockrank spindle
+	mu sync.Mutex // want "unknown lock rank \"spindle"
+}

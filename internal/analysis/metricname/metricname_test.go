@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/analysis/analysistest"
+	"fpgavirtio/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "testdata/names")
+}

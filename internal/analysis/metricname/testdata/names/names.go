@@ -1,0 +1,89 @@
+// Package fixture exercises the metricname analyzer: ad-hoc metric
+// name literals, non-canonical span layers, and leaked spans.
+package fixture
+
+import (
+	"fpgavirtio/internal/telemetry"
+)
+
+// Span mimes sim.SpanRef.
+type Span struct{}
+
+func (Span) End() {}
+
+// Tracer mimes the simulator's span surface.
+type Tracer struct{}
+
+func (Tracer) BeginSpan(layer, name string) Span { return Span{} }
+
+// Plot has a non-string Histogram method, like the benchmark
+// reporter's renderer: not a registry instrument, not flagged.
+type Plot struct{}
+
+func (Plot) Histogram(bins, width int) string { return "" }
+
+func goodConstName(reg *telemetry.Registry) {
+	reg.Counter(telemetry.MetricStreamPackets).Add(1)
+	reg.Gauge(telemetry.MetricStreamWindow).Set(3)
+}
+
+func goodHelperName(reg *telemetry.Registry) {
+	reg.Counter(telemetry.MetricXDMATransfers("h2c")).Add(1)
+}
+
+func badLiteralName(reg *telemetry.Registry) {
+	reg.Counter("stream.packets").Add(1) // want "metric name must be a telemetry constant or Metric"
+}
+
+func badBuiltName(reg *telemetry.Registry, dir string) {
+	reg.Counter("driver.xdma." + dir + ".bytes").Add(1) // want "metric name must be a telemetry constant or Metric"
+}
+
+func notAnInstrument(p Plot) string {
+	return p.Histogram(16, 50)
+}
+
+func goodLayer(tr Tracer) {
+	sp := tr.BeginSpan(telemetry.LayerDriver, "xmit")
+	sp.End()
+}
+
+func badLayer(tr Tracer) {
+	sp := tr.BeginSpan("driver", "xmit") // want "span layer must be one of the telemetry Layer"
+	sp.End()
+}
+
+func badLeak(tr Tracer, fail bool) error {
+	sp := tr.BeginSpan(telemetry.LayerDriver, "xmit")
+	if fail {
+		return errFailed // want "return may leak span \"sp\""
+	}
+	sp.End()
+	return nil
+}
+
+func goodDeferClose(tr Tracer) error {
+	sp := tr.BeginSpan(telemetry.LayerDriver, "xmit")
+	defer sp.End()
+	if sp == (Span{}) {
+		return errFailed
+	}
+	return nil
+}
+
+func goodDeferClosure(tr Tracer) error {
+	sp := tr.BeginSpan(telemetry.LayerDriver, "xmit")
+	defer func() { sp.End() }()
+	return nil
+}
+
+func suppressedName(reg *telemetry.Registry) {
+	//fvlint:ignore metricname fixture demonstrates justified suppression
+	reg.Counter("adhoc.name").Add(1)
+}
+
+type fixtureErr string
+
+func (e fixtureErr) Error() string { return string(e) }
+
+var errFailed = fixtureErr("failed")

@@ -1,0 +1,267 @@
+// Package ringorder enforces the VirtIO publish protocol inside the
+// ring implementations: descriptor bodies and avail-ring slots must be
+// written before the avail index (split ring §2.7.13) or the head
+// descriptor's flags (packed ring §2.8.6) within a publish sequence,
+// the used-ring element before the used index, and descriptor memory
+// must not be read after its slot was recycled onto the free list.
+//
+// The check is per function and flow-insensitive: within one function
+// body, a store to descriptor or ring-slot memory that follows the
+// index/head-flags publish store is flagged, as is a descriptor read
+// that follows the free-list recycle point (an assignment to a
+// freeHead field). The simulator is single-threaded, but the publish
+// order is exactly what a real device on the other side of the bus
+// would race against — the analyzer keeps the model honest.
+package ringorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"fpgavirtio/internal/analysis"
+)
+
+// Analyzer is the ringorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ringorder",
+	Doc: "descriptor and ring-slot stores must precede the avail/used index " +
+		"or packed head-flags publish store; descriptor reads must not follow slot recycle",
+	Packages: []string{
+		"fpgavirtio/internal/virtio",
+		"fpgavirtio/internal/vdev",
+	},
+	Run: run,
+}
+
+// addrClass classifies a ring address expression.
+type addrClass int
+
+const (
+	classNone addrClass = iota
+	classDesc           // descriptor table (descAddr/slotAddr derived)
+	classAvailBase
+	classUsedBase
+	classEvent // used_event / avail_event words: unconstrained
+)
+
+// taint records what a local variable's value addresses.
+type taint struct {
+	class       addrClass
+	offset      int64
+	offsetKnown bool
+}
+
+// Memory accessor method names, by address-argument index. Arity
+// disambiguates mem.Memory (addr first) from the DMA interface
+// (Proc first, addr second).
+var storeMethods = map[string]bool{"PutU8": true, "PutU16": true, "PutU32": true, "PutU64": true, "Fill": true, "Write": true}
+var loadMethods = map[string]bool{"U8": true, "U16": true, "U32": true, "U64": true, "Read": true}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+type event struct {
+	pos  token.Pos
+	t    taint
+	lit  string // source-ish description for diagnostics
+	kind string // "store", "load", "recycle"
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	taints := map[*ast.Object]taint{}
+	var events []event
+
+	classify := func(e ast.Expr) taint { return classifyExpr(pass, taints, e) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					t := classify(n.Rhs[i])
+					if id, ok := lhs.(*ast.Ident); ok && id.Obj != nil && t.class != classNone {
+						taints[id.Obj] = t
+					}
+					// Recycle point: the chain head returns to the free
+					// list; descriptor memory behind it is dead.
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "freeHead" {
+						events = append(events, event{pos: n.Pos(), kind: "recycle"})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// delete(q.chains, id) is the packed ring's recycle point:
+			// the chain's slots may be reused by the driver afterwards.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if sel, ok := n.Args[0].(*ast.SelectorExpr); ok && sel.Sel.Name == "chains" {
+					events = append(events, event{pos: n.Pos(), kind: "recycle"})
+				}
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			isStore, isLoad := storeMethods[name], loadMethods[name]
+			if !isStore && !isLoad {
+				return true
+			}
+			addrIdx := 0
+			switch name {
+			case "Write":
+				if len(n.Args) == 3 { // DMA.Write(p, addr, data)
+					addrIdx = 1
+				}
+			case "Read":
+				if len(n.Args) == 3 { // DMA.Read(p, addr, n)
+					addrIdx = 1
+				}
+			}
+			if len(n.Args) <= addrIdx {
+				return true
+			}
+			t := classify(n.Args[addrIdx])
+			if t.class == classNone || t.class == classEvent {
+				return true
+			}
+			kind := "store"
+			if isLoad {
+				kind = "load"
+			}
+			ev := event{pos: n.Pos(), t: t, kind: kind, lit: name}
+			// A store through a plain identifier holding a descriptor
+			// flags address (offset 14) is the deferred head-flags
+			// publish idiom of the packed ring.
+			if isStore && t.class == classDesc && t.offsetKnown && t.offset == 14 {
+				if _, plain := n.Args[addrIdx].(*ast.Ident); plain {
+					ev.kind = "publish-packed"
+				}
+			}
+			events = append(events, ev)
+		}
+		return true
+	})
+
+	// Locate publish and recycle points.
+	var publishPos, recyclePos token.Pos
+	publishKind := ""
+	for _, ev := range events {
+		switch {
+		case ev.kind == "publish-packed",
+			ev.kind == "store" && ev.t.class == classAvailBase && ev.t.offsetKnown && ev.t.offset == 2,
+			ev.kind == "store" && ev.t.class == classUsedBase && ev.t.offsetKnown && ev.t.offset == 2:
+			if publishPos == token.NoPos {
+				publishPos = ev.pos
+				switch {
+				case ev.kind == "publish-packed":
+					publishKind = "packed head-flags"
+				case ev.t.class == classAvailBase:
+					publishKind = "avail index"
+				default:
+					publishKind = "used index"
+				}
+			}
+		case ev.kind == "recycle":
+			if recyclePos == token.NoPos {
+				recyclePos = ev.pos
+			}
+		}
+	}
+
+	for _, ev := range events {
+		if publishPos != token.NoPos && ev.pos > publishPos && ev.kind == "store" {
+			switch {
+			case ev.t.class == classDesc:
+				pass.Reportf(ev.pos, "descriptor store after %s publish: ring contents must be visible before the publish store", publishKind)
+			case ev.t.class == classAvailBase && !(ev.t.offsetKnown && ev.t.offset <= 2):
+				pass.Reportf(ev.pos, "avail ring slot store after %s publish", publishKind)
+			case ev.t.class == classUsedBase && !(ev.t.offsetKnown && ev.t.offset <= 2):
+				pass.Reportf(ev.pos, "used ring slot store after %s publish", publishKind)
+			}
+		}
+		if recyclePos != token.NoPos && ev.pos > recyclePos && ev.kind == "load" && ev.t.class == classDesc {
+			pass.Reportf(ev.pos, "descriptor read after slot recycle: the chain was returned to the free list")
+		}
+	}
+}
+
+// classifyExpr resolves an address expression to a taint.
+func classifyExpr(pass *analysis.Pass, taints map[*ast.Object]taint, e ast.Expr) taint {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return classifyExpr(pass, taints, e.X)
+	case *ast.Ident:
+		if e.Obj != nil {
+			if t, ok := taints[e.Obj]; ok {
+				return t
+			}
+		}
+		return taint{}
+	case *ast.SelectorExpr:
+		switch e.Sel.Name {
+		case "Avail":
+			return taint{class: classAvailBase, offsetKnown: true}
+		case "Used":
+			return taint{class: classUsedBase, offsetKnown: true}
+		case "Desc", "Ring":
+			return taint{class: classDesc, offsetKnown: true}
+		case "DriverEvent", "DeviceEvent":
+			return taint{class: classEvent}
+		}
+		return taint{}
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "descAddr", "slotAddr":
+				return taint{class: classDesc, offsetKnown: true}
+			case "usedEventAddr", "availEventAddr":
+				return taint{class: classEvent}
+			}
+		}
+		return taint{}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return taint{}
+		}
+		lt := classifyExpr(pass, taints, e.X)
+		rt := classifyExpr(pass, taints, e.Y)
+		base, other := lt, e.Y
+		if base.class == classNone {
+			base, other = rt, e.X
+		}
+		if base.class == classNone {
+			return taint{}
+		}
+		if !base.offsetKnown {
+			return base
+		}
+		if v, ok := constValue(pass, other); ok {
+			return taint{class: base.class, offset: base.offset + v, offsetKnown: true}
+		}
+		return taint{class: base.class}
+	}
+	return taint{}
+}
+
+// constValue evaluates e as an integer constant via the type checker.
+func constValue(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	if pass.Info == nil {
+		return 0, false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,12 @@
+package ringorder_test
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/analysis/analysistest"
+	"fpgavirtio/internal/analysis/ringorder"
+)
+
+func TestRingOrder(t *testing.T) {
+	analysistest.Run(t, ringorder.Analyzer, "testdata/ring")
+}

@@ -1,0 +1,111 @@
+// Package fixture exercises the ringorder analyzer: split-ring and
+// packed-ring publish sequences in both correct and inverted order.
+package fixture
+
+// Mem mimics the simulator's guest-memory accessor surface.
+type Mem struct{}
+
+func (Mem) PutU16(addr int64, v uint16) {}
+func (Mem) PutU32(addr int64, v uint32) {}
+func (Mem) PutU64(addr int64, v uint64) {}
+func (Mem) U16(addr int64) uint16       { return 0 }
+func (Mem) U64(addr int64) uint64       { return 0 }
+
+// Layout mimes virtio.Layout's region bases.
+type Layout struct {
+	Desc  int64
+	Avail int64
+	Used  int64
+}
+
+// Queue is a miniature DriverQueue.
+type Queue struct {
+	mem         Mem
+	lay         Layout
+	availShadow uint16
+	freeHead    uint16
+	chains      map[uint16]int
+}
+
+func (q *Queue) descAddr(i uint16) int64 { return q.lay.Desc + int64(i)*16 }
+
+// goodPublish writes descriptor, then avail slot, then avail index.
+func (q *Queue) goodPublish(head uint16) {
+	a := q.descAddr(head)
+	q.mem.PutU64(a, 0x1000)
+	q.mem.PutU16(a+12, 0)
+	q.mem.PutU16(q.lay.Avail+4, head)
+	q.mem.PutU16(q.lay.Avail+2, q.availShadow)
+}
+
+// badDescAfterPublish stores descriptor flags after the index publish.
+func (q *Queue) badDescAfterPublish(head uint16) {
+	a := q.descAddr(head)
+	q.mem.PutU64(a, 0x1000)
+	q.mem.PutU16(q.lay.Avail+2, q.availShadow)
+	q.mem.PutU16(a+12, 0) // want "descriptor store after avail index publish"
+}
+
+// badSlotAfterPublish stores the avail ring slot after the index.
+func (q *Queue) badSlotAfterPublish(head uint16) {
+	q.mem.PutU16(q.lay.Avail+2, q.availShadow)
+	q.mem.PutU16(q.lay.Avail+4, head) // want "avail ring slot store after avail index publish"
+}
+
+// badUsedAfterPublish is the device-side inversion.
+func (q *Queue) badUsedAfterPublish(id uint32) {
+	q.mem.PutU16(q.lay.Used+2, 1)
+	q.mem.PutU32(q.lay.Used+4, id) // want "used ring slot store after used index publish"
+}
+
+// goodUsedPublish writes the element before the index.
+func (q *Queue) goodUsedPublish(id uint32) {
+	q.mem.PutU32(q.lay.Used+4, id)
+	q.mem.PutU16(q.lay.Used+2, 1)
+}
+
+// badPackedPublish stores a descriptor body after the deferred
+// head-flags store that makes the chain visible.
+func (q *Queue) badPackedPublish(head uint16, flags uint16) {
+	a := q.descAddr(head)
+	headAddr := a + 14
+	q.mem.PutU64(a, 0x2000)
+	q.mem.PutU16(headAddr, flags)
+	q.mem.PutU64(q.descAddr(head+1), 0x3000) // want "descriptor store after packed head-flags publish"
+}
+
+// goodPackedPublish defers only the head flags.
+func (q *Queue) goodPackedPublish(head uint16, flags uint16) {
+	a := q.descAddr(head)
+	headAddr := a + 14
+	q.mem.PutU64(a, 0x2000)
+	q.mem.PutU16(a+12, 1)
+	q.mem.PutU16(headAddr, flags)
+}
+
+// badReadAfterRecycle reads descriptor memory after the chain head
+// returned to the free list.
+func (q *Queue) badReadAfterRecycle(head uint16) uint64 {
+	q.freeHead = head
+	return q.mem.U64(q.descAddr(head)) // want "descriptor read after slot recycle"
+}
+
+// badReadAfterDelete is the packed-ring recycle via the chains map.
+func (q *Queue) badReadAfterDelete(id uint16) uint16 {
+	delete(q.chains, id)
+	return q.mem.U16(q.descAddr(id) + 12) // want "descriptor read after slot recycle"
+}
+
+// goodReadBeforeRecycle reads, then recycles.
+func (q *Queue) goodReadBeforeRecycle(head uint16) uint64 {
+	v := q.mem.U64(q.descAddr(head))
+	q.freeHead = head
+	return v
+}
+
+// suppressed shows a justified directive silencing a diagnostic.
+func (q *Queue) suppressed(head uint16) {
+	q.mem.PutU16(q.lay.Avail+2, q.availShadow)
+	//fvlint:ignore ringorder fixture demonstrates justified suppression
+	q.mem.PutU16(q.descAddr(head)+12, 0)
+}

@@ -60,7 +60,7 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Device, error) 
 		host:     h,
 		wq:       h.NewWaitQueue("vblk"),
 		indirect: feats.Has(virtio.FRingIndirectDesc),
-		requests: h.Metrics().Counter("driver.virtioblk.requests"),
+		requests: h.Metrics().Counter(telemetry.MetricVirtioblkRequests),
 	}
 	cfg := tr.ReadDeviceConfig(p, virtio.BlkCfgCapacity, 8)
 	for i := 7; i >= 0; i-- {

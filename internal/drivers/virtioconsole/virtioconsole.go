@@ -59,8 +59,8 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Device, error) 
 		host:    h,
 		rxWQ:    h.NewWaitQueue("console.rx"),
 		txWQ:    h.NewWaitQueue("console.tx"),
-		txBytes: h.Metrics().Counter("driver.virtioconsole.tx.bytes"),
-		rxBytes: h.Metrics().Counter("driver.virtioconsole.rx.bytes"),
+		txBytes: h.Metrics().Counter(telemetry.MetricVirtioconsoleTxBytes),
+		rxBytes: h.Metrics().Counter(telemetry.MetricVirtioconsoleRxBytes),
 	}
 	if d.rxq, err = tr.SetupQueue(p, queueRX, 64); err != nil {
 		return nil, err

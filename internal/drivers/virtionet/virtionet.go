@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"fpgavirtio/internal/drivers/virtiopci"
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/netstack"
@@ -145,9 +146,9 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 		stack:  stack,
 		opt:    opt,
 		ctrlWQ: h.NewWaitQueue(opt.Name + ".ctrl"),
-		txPkts: reg.Counter("driver.virtionet.tx.packets"),
-		rxPkts: reg.Counter("driver.virtionet.rx.packets"),
-		rxIRQs: reg.Counter("driver.virtionet.rx.irqs"),
+		txPkts: reg.Counter(telemetry.MetricVirtionetTxPackets),
+		rxPkts: reg.Counter(telemetry.MetricVirtionetRxPackets),
+		rxIRQs: reg.Counter(telemetry.MetricVirtionetRxIRQs),
 	}
 
 	// MQ is always requested; Negotiate intersects with the device
@@ -302,9 +303,35 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
 	}
 	for len(pq.txFree) == 0 {
-		pq.txWQ.Wait(p) // ring full: netif_stop_queue
-		for _, u := range pq.tx.Harvest(p) {
-			pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+		// Ring full: netif_stop_queue. Any doorbell still batched under
+		// TxKickBatch must go out now — the device has never seen those
+		// chains, and with TX interrupts suppressed nothing else would
+		// wake this queue. Then re-enable TX completion interrupts for
+		// the sleep (virtqueue_enable_cb before the stop), re-checking
+		// once in case completions already landed with the interrupt
+		// elided.
+		if pq.unkicked > 0 {
+			pq.tx.KickIfNeeded(p)
+			pq.unkicked = 0
+		}
+		if d.opt.SuppressTxInterrupts {
+			pq.tx.SetNoInterrupt(false)
+		}
+		if got := pq.tx.Harvest(p); len(got) > 0 {
+			for _, u := range got {
+				pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+			}
+		} else {
+			if fvassert.Enabled && pq.unkicked > 0 {
+				fvassert.Failf("transmitter parking with %d batched chains unkicked", pq.unkicked)
+			}
+			pq.txWQ.Wait(p)
+			for _, u := range pq.tx.Harvest(p) {
+				pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+			}
+		}
+		if d.opt.SuppressTxInterrupts {
+			pq.tx.SetNoInterrupt(true)
 		}
 	}
 	idx := pq.txFree[len(pq.txFree)-1]
@@ -340,6 +367,18 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	d.TxPackets++
 	d.txPkts.Inc()
 	return nil
+}
+
+// UnkickedTx reports how many transmitted chains still await their
+// batched doorbell across all pairs — the kick-flush invariant's
+// runtime observable (must be zero before any blocking wait on
+// transmit completions).
+func (d *Device) UnkickedTx() int {
+	n := 0
+	for _, pq := range d.pairs {
+		n += pq.unkicked
+	}
+	return n
 }
 
 // FlushTx forces the doorbell for any packets still batched under

@@ -55,10 +55,10 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Transport, erro
 	t := &Transport{
 		Host:           h,
 		EP:             info.EP,
-		doorbells:      reg.Counter("driver.virtio.doorbells"),
-		kicksElided:    reg.Counter("driver.virtio.kicks.elided"),
-		descsPosted:    reg.Counter("driver.virtio.desc.posted"),
-		descsCompleted: reg.Counter("driver.virtio.desc.completed"),
+		doorbells:      reg.Counter(telemetry.MetricVirtioDoorbells),
+		kicksElided:    reg.Counter(telemetry.MetricVirtioKicksElided),
+		descsPosted:    reg.Counter(telemetry.MetricVirtioDescsPosted),
+		descsCompleted: reg.Counter(telemetry.MetricVirtioDescsCompleted),
 	}
 	// Walk the capability list the way pci_find_capability does.
 	status := h.RC.ConfigRead32(p, info.EP, pcie.CfgCommand) >> 16

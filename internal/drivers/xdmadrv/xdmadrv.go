@@ -114,9 +114,9 @@ func (d *Driver) newChannel(p *sim.Proc, name string, h2c bool, chanBase, sgdma 
 		descList:  d.host.Alloc.Alloc(MaxBatchDescs*xdmaip.DescSize, 32),
 		wq:        d.host.NewWaitQueue(name),
 		spanName:  "xdma." + dir,
-		transfers: reg.Counter("driver.xdma." + dir + ".transfers"),
-		bytes:     reg.Counter("driver.xdma." + dir + ".bytes"),
-		irqs:      reg.Counter("driver.xdma." + dir + ".irqs"),
+		transfers: reg.Counter(telemetry.MetricXDMATransfers(dir)),
+		bytes:     reg.Counter(telemetry.MetricXDMABytes(dir)),
+		irqs:      reg.Counter(telemetry.MetricXDMAIRQs(dir)),
 	}
 	d.host.RegisterIRQ(d.ep, vector, ch.isr)
 	return ch

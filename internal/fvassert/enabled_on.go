@@ -1,0 +1,6 @@
+//go:build fvinvariants
+
+package fvassert
+
+// Enabled reports that runtime invariant checking is compiled in.
+const Enabled = true

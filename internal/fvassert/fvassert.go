@@ -1,0 +1,30 @@
+// Package fvassert is the runtime arm of the fvlint invariant suite.
+// Built normally, Enabled is a compile-time false and every assertion
+// site folds away to nothing. Built with `-tags fvinvariants` (as
+// `make flake` does), the ring-ordering and kick-flush rules the
+// static analyzers enforce at the source level are also checked
+// against live execution: double-published descriptor heads,
+// completions for chains that were never posted, and processes
+// parking with a batched doorbell still unflushed all panic at the
+// violation site instead of surfacing later as a hung simulation.
+//
+// Assertion sites follow the pattern
+//
+//	if fvassert.Enabled && bad {
+//		fvassert.Failf("...", ...)
+//	}
+//
+// so the disabled build pays neither branch nor allocation.
+package fvassert
+
+import "fmt"
+
+// Failf panics with an fvinvariant-prefixed message when assertions are
+// enabled; it is a no-op otherwise (callers gate on Enabled anyway so
+// argument construction is also skipped).
+func Failf(format string, args ...any) {
+	if !Enabled {
+		return
+	}
+	panic("fvinvariant: " + fmt.Sprintf(format, args...))
+}

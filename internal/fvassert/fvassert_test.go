@@ -1,0 +1,16 @@
+package fvassert
+
+import "testing"
+
+// TestFailfMatchesEnabled holds in both build modes: with the
+// fvinvariants tag Failf must panic, without it Failf must be inert.
+func TestFailfMatchesEnabled(t *testing.T) {
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Failf("want %d", 1)
+		return
+	}()
+	if panicked != Enabled {
+		t.Fatalf("Failf panicked=%v with Enabled=%v", panicked, Enabled)
+	}
+}

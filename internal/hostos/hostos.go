@@ -172,14 +172,14 @@ func New(s *sim.Sim, memBytes int, cfg Config, seed uint64) *Host {
 	}
 	h.metrics = telemetry.NewRegistry()
 	h.met = hostMetrics{
-		syscalls:    h.metrics.Counter("hostos.syscalls"),
-		preemptions: h.metrics.Counter("hostos.preemptions"),
-		preemptNs:   h.metrics.Counter("hostos.preempt.ns"),
-		jitterNs:    h.metrics.Counter("hostos.jitter.injected.ns"),
-		wakeups:     h.metrics.Counter("hostos.wakeups"),
-		wakeTails:   h.metrics.Counter("hostos.waketail.hits"),
-		irqs:        h.metrics.Counter("hostos.irqs.delivered"),
-		wakeLatNs: h.metrics.Histogram("hostos.wake.latency.ns",
+		syscalls:    h.metrics.Counter(telemetry.MetricHostSyscalls),
+		preemptions: h.metrics.Counter(telemetry.MetricHostPreemptions),
+		preemptNs:   h.metrics.Counter(telemetry.MetricHostPreemptNs),
+		jitterNs:    h.metrics.Counter(telemetry.MetricHostJitterNs),
+		wakeups:     h.metrics.Counter(telemetry.MetricHostWakeups),
+		wakeTails:   h.metrics.Counter(telemetry.MetricHostWakeTailHits),
+		irqs:        h.metrics.Counter(telemetry.MetricHostIRQsDelivered),
+		wakeLatNs: h.metrics.Histogram(telemetry.MetricHostWakeLatencyNs,
 			[]float64{1000, 2000, 4000, 8000, 16000, 32000, 64000}),
 	}
 	h.RC = pcie.NewRootComplex(s, m, pcie.DefaultCosts())

@@ -119,12 +119,12 @@ func New(h *hostos.Host, costs Costs) *Stack {
 		arp:    make(map[IPv4]MAC),
 		socks:  make(map[uint16]*UDPSocket),
 		met: stackMetrics{
-			txPackets: reg.Counter("netstack.tx.packets"),
-			rxPackets: reg.Counter("netstack.rx.packets"),
-			rxDropped: reg.Counter("netstack.rx.dropped"),
-			arpHits:   reg.Counter("netstack.arp.hits"),
-			arpMisses: reg.Counter("netstack.arp.misses"),
-			csumBytes: reg.Counter("netstack.csum.sw.bytes"),
+			txPackets: reg.Counter(telemetry.MetricNetstackTxPackets),
+			rxPackets: reg.Counter(telemetry.MetricNetstackRxPackets),
+			rxDropped: reg.Counter(telemetry.MetricNetstackRxDropped),
+			arpHits:   reg.Counter(telemetry.MetricNetstackARPHits),
+			arpMisses: reg.Counter(telemetry.MetricNetstackARPMisses),
+			csumBytes: reg.Counter(telemetry.MetricNetstackCsumBytes),
 		},
 	}
 }

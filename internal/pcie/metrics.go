@@ -19,13 +19,13 @@ func newEPMetrics(reg *telemetry.Registry) *epMetrics {
 	m := &epMetrics{
 		down:       make([]*telemetry.Counter, len(tlpKinds)),
 		up:         make([]*telemetry.Counter, len(tlpKinds)),
-		downBytes:  reg.Counter("pcie.down.bytes"),
-		upBytes:    reg.Counter("pcie.up.bytes"),
-		interrupts: reg.Counter("pcie.msix.raised"),
+		downBytes:  reg.Counter(telemetry.MetricPCIeDownBytes),
+		upBytes:    reg.Counter(telemetry.MetricPCIeUpBytes),
+		interrupts: reg.Counter(telemetry.MetricPCIeMSIXRaised),
 	}
 	for _, k := range tlpKinds {
-		m.down[k] = reg.Counter("pcie.down.tlp." + k.String())
-		m.up[k] = reg.Counter("pcie.up.tlp." + k.String())
+		m.down[k] = reg.Counter(telemetry.MetricPCIeDownTLP(k.String()))
+		m.up[k] = reg.Counter(telemetry.MetricPCIeUpTLP(k.String()))
 	}
 	return m
 }

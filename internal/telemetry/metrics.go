@@ -16,7 +16,7 @@ import (
 // the same instrument, so layers can share counters without plumbing.
 // Registering one name as two different instrument kinds panics.
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.Mutex //fvlint:lockrank metrics
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram

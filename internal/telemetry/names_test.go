@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// nameShape is the canonical metric-name grammar: at least two
+// dot-separated lower-case segments (letters, digits, underscore,
+// dash), owning layer first.
+var nameShape = regexp.MustCompile(`^[a-z][a-z0-9_-]*(\.[a-z0-9_-]+)+$`)
+
+// TestMetricNameShape parses names.go and checks every Metric* constant
+// against the grammar the file's header documents. Parsing the source
+// (rather than listing the constants here) means a new constant is
+// covered the moment it is added.
+func TestMetricNameShape(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	checked := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Metric") {
+					t.Errorf("constant %s in names.go lacks the Metric prefix", name.Name)
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Errorf("constant %s is not a string literal", name.Name)
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Errorf("constant %s: unquote %s: %v", name.Name, lit.Value, err)
+					continue
+				}
+				if !nameShape.MatchString(val) {
+					t.Errorf("constant %s = %q does not match %s", name.Name, val, nameShape)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d Metric constants checked; names.go parse is likely broken", checked)
+	}
+}
+
+// TestMetricNameUniqueness rejects two constants mapping to the same
+// wire name — a silent aliasing bug replay baselines would not catch.
+func TestMetricNameUniqueness(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "names.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse names.go: %v", err)
+	}
+	seen := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok {
+					continue
+				}
+				val, _ := strconv.Unquote(lit.Value)
+				if prev, dup := seen[val]; dup {
+					t.Errorf("constants %s and %s share the value %q", prev, name.Name, val)
+				}
+				seen[val] = name.Name
+			}
+		}
+	}
+}
+
+// TestMetricHelperGoldens freezes the per-instance family helpers the
+// same way the constant table is frozen: replay baselines embed these
+// exact strings.
+func TestMetricHelperGoldens(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{MetricPCIeDownTLP("MWr"), "pcie.down.tlp.MWr"},
+		{MetricPCIeUpTLP("CplD"), "pcie.up.tlp.CplD"},
+		{MetricXDMATransfers("h2c"), "driver.xdma.h2c.transfers"},
+		{MetricXDMABytes("c2h"), "driver.xdma.c2h.bytes"},
+		{MetricXDMAIRQs("h2c"), "driver.xdma.h2c.irqs"},
+		{MetricDMAEngineRuns("h2c0"), "dma-engine.h2c0.runs"},
+		{MetricDMAEngineDescriptors("c2h0"), "dma-engine.c2h0.descriptors"},
+		{MetricDMAEngineBytes("h2c0"), "dma-engine.h2c0.bytes"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("helper produced %q, want %q", c.got, c.want)
+		}
+	}
+}

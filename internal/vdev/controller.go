@@ -228,11 +228,11 @@ func NewController(s *sim.Sim, rc *pcie.RootComplex, name string, pers Personali
 		deviceCfg:      deviceCfg,
 		opt:            opt,
 		met: ctrlMetrics{
-			notifies:      reg.Counter("virtio-device.notifies"),
-			chains:        reg.Counter("virtio-device.chains.serviced"),
-			irqRaised:     reg.Counter("virtio-device.interrupts.raised"),
-			irqSuppressed: reg.Counter("virtio-device.interrupts.suppressed"),
-			irqCoalesced:  reg.Counter("virtio-device.interrupts.coalesced"),
+			notifies:      reg.Counter(telemetry.MetricVdevNotifies),
+			chains:        reg.Counter(telemetry.MetricVdevChainsServiced),
+			irqRaised:     reg.Counter(telemetry.MetricVdevIRQsRaised),
+			irqSuppressed: reg.Counter(telemetry.MetricVdevIRQsSuppressed),
+			irqCoalesced:  reg.Counter(telemetry.MetricVdevIRQsCoalesced),
 		},
 	}
 	for i := 0; i < nq; i++ {
@@ -683,6 +683,8 @@ func (c *Controller) Deliver(p *sim.Proc, qi int, data []byte) error {
 	p.Sleep(c.clk.Cycles(chainSetupCycles))
 	chain, tok, err := q.dq.NextChain(p)
 	if err != nil {
+		q.hw.End(p.Now())
+		sp.End()
 		return err
 	}
 	written := q.dq.WriteChain(p, chain, data)

@@ -3,6 +3,7 @@ package virtio
 import (
 	"fmt"
 
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
 )
@@ -159,6 +160,11 @@ func (q *PackedDriverQueue) Add(segs []BufSeg, token any) (uint16, error) {
 	q.mem.PutU16(headAddr, headFlags)
 	q.nextIdx, q.wrap = idx, wrap
 	q.numFree -= len(segs)
+	if fvassert.Enabled {
+		if _, busy := q.chains[id]; busy {
+			fvassert.Failf("packed ring re-published buffer id %d while in flight", id)
+		}
+	}
 	q.chains[id] = packedChain{token: token, n: len(segs)}
 	q.kickArmed = true
 	return id, nil

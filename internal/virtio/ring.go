@@ -3,6 +3,7 @@ package virtio
 import (
 	"fmt"
 
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/mem"
 )
 
@@ -71,6 +72,10 @@ type DriverQueue struct {
 
 	eventIdx   bool   // VIRTIO_F_RING_EVENT_IDX negotiated
 	lastKicked uint16 // avail idx covered by the last doorbell
+
+	// inflight tracks published-but-unharvested chain heads; only
+	// consulted under the fvinvariants build tag (fvassert.Enabled).
+	inflight []bool
 }
 
 // NewDriverQueue initializes the ring areas (descriptor free list,
@@ -82,6 +87,7 @@ func NewDriverQueue(m *mem.Memory, lay RingLayout) *DriverQueue {
 		numFree:  lay.QueueSize,
 		tokens:   make([]any, lay.QueueSize),
 		chainLen: make([]uint16, lay.QueueSize),
+		inflight: make([]bool, lay.QueueSize),
 	}
 	for i := 0; i < lay.QueueSize; i++ {
 		next := uint16(i + 1)
@@ -142,6 +148,12 @@ func (q *DriverQueue) Add(segs []BufSeg, token any) (uint16, error) {
 	q.numFree -= len(segs)
 	q.tokens[head] = token
 	q.chainLen[head] = uint16(len(segs))
+	if fvassert.Enabled {
+		if q.inflight[head] {
+			fvassert.Failf("split ring re-published head %d while in flight", head)
+		}
+		q.inflight[head] = true
+	}
 
 	// Publish: ring[avail_idx % qsz] = head, then bump idx.
 	slot := q.lay.Avail + availHeaderLen + mem.Addr(q.availShadow%uint16(q.lay.QueueSize))*2
@@ -189,6 +201,12 @@ func (q *DriverQueue) AddIndirect(segs []BufSeg, token any, tableAddr mem.Addr) 
 	q.numFree--
 	q.tokens[head] = token
 	q.chainLen[head] = 1
+	if fvassert.Enabled {
+		if q.inflight[head] {
+			fvassert.Failf("split ring re-published indirect head %d while in flight", head)
+		}
+		q.inflight[head] = true
+	}
 
 	slot := q.lay.Avail + availHeaderLen + mem.Addr(q.availShadow%uint16(q.lay.QueueSize))*2
 	q.mem.PutU16(slot, head)
@@ -214,6 +232,12 @@ func (q *DriverQueue) GetUsed() (Used, bool) {
 	head := uint16(q.mem.U32(slot))
 	written := int(q.mem.U32(slot + 4))
 	q.lastUsedSeen++
+	if fvassert.Enabled {
+		if int(head) >= q.lay.QueueSize || !q.inflight[head] {
+			fvassert.Failf("split ring completion for head %d that is not in flight", head)
+		}
+		q.inflight[head] = false
+	}
 
 	// Reclaim the chain onto the free list.
 	n := q.chainLen[head]

@@ -152,9 +152,9 @@ func (d *VendorDevice) newChannel(name string, h2c bool, base, sgdma uint64, vec
 		kick:      sim.NewCond(d.sim, name+".kick"),
 		counter:   fpga.NewPerfCounter(d.clk, name+".hw"),
 		spanName:  name + ".run",
-		runs:      reg.Counter("dma-engine." + name + ".runs"),
-		descs:     reg.Counter("dma-engine." + name + ".descriptors"),
-		dataBytes: reg.Counter("dma-engine." + name + ".bytes"),
+		runs:      reg.Counter(telemetry.MetricDMAEngineRuns(name)),
+		descs:     reg.Counter(telemetry.MetricDMAEngineDescriptors(name)),
+		dataBytes: reg.Counter(telemetry.MetricDMAEngineBytes(name)),
 	}
 	// A control-register write may start or stop the engine.
 	d.regs.OnWrite(base+RegChanControl, func(v uint32) { ch.kick.Broadcast() })

@@ -178,10 +178,10 @@ func NewPort(s *sim.Sim, ep *pcie.Endpoint, clk *fpga.Clock) *Port {
 	reg := ep.Metrics()
 	return &Port{
 		sim: s, ep: ep, clk: clk,
-		reads:      reg.Counter("dma-engine.port.reads"),
-		writes:     reg.Counter("dma-engine.port.writes"),
-		readBytes:  reg.Counter("dma-engine.port.read.bytes"),
-		writeBytes: reg.Counter("dma-engine.port.write.bytes"),
+		reads:      reg.Counter(telemetry.MetricDMAPortReads),
+		writes:     reg.Counter(telemetry.MetricDMAPortWrites),
+		readBytes:  reg.Counter(telemetry.MetricDMAPortReadBytes),
+		writeBytes: reg.Counter(telemetry.MetricDMAPortWriteBytes),
 	}
 }
 

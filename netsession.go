@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fpgavirtio/internal/drivers/virtionet"
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/netstack"
 	"fpgavirtio/internal/sim"
@@ -209,6 +210,7 @@ func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, 
 	// span-derived totals agree with RTTSample.Total.
 	sp := ns.s.BeginSpan(telemetry.LayerApp, "ping")
 	if err := ns.sock.SendTo(p, fpgaIP, echoPort, payload); err != nil {
+		sp.End()
 		return nil, RTTSample{}, err
 	}
 	if ns.sock.Pending() == 0 {
@@ -218,8 +220,12 @@ func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, 
 		// latency-mode sequence is unchanged.
 		ns.drv.FlushTx(p)
 	}
+	if fvassert.Enabled && ns.sock.Pending() == 0 && ns.drv.UnkickedTx() > 0 {
+		fvassert.Failf("blocking receive with %d batched chains unkicked", ns.drv.UnkickedTx())
+	}
 	got, _, _, err := ns.sock.RecvFrom(p)
 	if err != nil {
+		sp.End()
 		return nil, RTTSample{}, err
 	}
 	t1 := ns.host.ClockGettime(p)
@@ -264,6 +270,14 @@ func (ns *NetSession) Burst(count, payloadSize int) (BurstResult, error) {
 			if err := ns.sock.SendTo(p, fpgaIP, echoPort, payload); err != nil {
 				return err
 			}
+		}
+		// Under TxKickBatch a tail of count%batch packets is still
+		// unkicked here; the device would never see them and the drain
+		// loop below would park forever. Same flush the single-packet
+		// path does in pingOnce.
+		ns.drv.FlushTx(p)
+		if fvassert.Enabled && ns.drv.UnkickedTx() > 0 {
+			fvassert.Failf("burst drain starting with %d batched chains unkicked", ns.drv.UnkickedTx())
 		}
 		for i := 0; i < count; i++ {
 			if _, _, _, err := ns.sock.RecvFrom(p); err != nil {

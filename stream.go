@@ -143,16 +143,16 @@ func (pc *pacer) wait(h interface {
 // publishStreamMetrics mirrors a stream result into the session's
 // telemetry registry, alongside the per-layer instruments.
 func publishStreamMetrics(reg *telemetry.Registry, res StreamResult) {
-	reg.Counter("stream.packets").Add(int64(res.Packets))
-	reg.Counter("stream.backpressure").Add(int64(res.Backpressure))
-	reg.Counter("stream.drops").Add(int64(res.Drops))
-	reg.Gauge("stream.window").Set(float64(res.Window))
-	reg.Gauge("stream.pps").Set(res.PPS)
-	reg.Gauge("stream.goodput_bps").Set(res.GoodputBps)
-	reg.Gauge("stream.occupancy.max").Set(float64(res.OccupancyMax))
-	reg.Gauge("stream.occupancy.mean").Set(res.OccupancyMean)
-	reg.Gauge("stream.doorbells").Set(float64(res.Doorbells))
-	reg.Gauge("stream.interrupts").Set(float64(res.Interrupts))
+	reg.Counter(telemetry.MetricStreamPackets).Add(int64(res.Packets))
+	reg.Counter(telemetry.MetricStreamBackpressure).Add(int64(res.Backpressure))
+	reg.Counter(telemetry.MetricStreamDrops).Add(int64(res.Drops))
+	reg.Gauge(telemetry.MetricStreamWindow).Set(float64(res.Window))
+	reg.Gauge(telemetry.MetricStreamPPS).Set(res.PPS)
+	reg.Gauge(telemetry.MetricStreamGoodputBps).Set(res.GoodputBps)
+	reg.Gauge(telemetry.MetricStreamOccupancyMax).Set(float64(res.OccupancyMax))
+	reg.Gauge(telemetry.MetricStreamOccupancyMean).Set(res.OccupancyMean)
+	reg.Gauge(telemetry.MetricStreamDoorbells).Set(float64(res.Doorbells))
+	reg.Gauge(telemetry.MetricStreamInterrupts).Set(float64(res.Interrupts))
 }
 
 // Stream drives cfg.Packets echo exchanges through the VirtIO path with
@@ -166,7 +166,7 @@ func (ns *NetSession) Stream(cfg StreamConfig) (StreamResult, error) {
 	}
 	res := StreamResult{Packets: cfg.Packets, PayloadBytes: cfg.PayloadSize, Window: cfg.Window}
 
-	dropsBefore := ns.Registry().Counter("netstack.rx.dropped").Value()
+	dropsBefore := ns.Registry().Counter(telemetry.MetricNetstackRxDropped).Value()
 	notifyBefore := ns.dev.Controller().NotifyCount()
 	busBefore := ns.BusStats()
 
@@ -260,7 +260,7 @@ func (ns *NetSession) Stream(cfg StreamConfig) (StreamResult, error) {
 		res.PPS = float64(cfg.Packets) / secs
 		res.GoodputBps = float64(cfg.Packets) * float64(cfg.PayloadSize) * 8 / secs
 	}
-	res.Drops = int(ns.Registry().Counter("netstack.rx.dropped").Value() - dropsBefore)
+	res.Drops = int(ns.Registry().Counter(telemetry.MetricNetstackRxDropped).Value() - dropsBefore)
 	res.Backpressure = missed
 	res.OccupancyMax = occ.max
 	res.OccupancyMean = occ.mean(elapsed)

@@ -150,6 +150,7 @@ func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error
 		xs.dataReady = false
 	}
 	if _, err := xs.h2c.Write(p, data); err != nil {
+		sp.End()
 		return RTTSample{}, err
 	}
 	if xs.waitReady {
@@ -162,6 +163,7 @@ func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error
 	}
 	back := make([]byte, len(data))
 	if _, err := xs.c2h.Read(p, back); err != nil {
+		sp.End()
 		return RTTSample{}, err
 	}
 	t1 := xs.host.ClockGettime(p)
