@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint vuln fuzzseed flake ci smoke clean
+.PHONY: all build test race vet fmt lint vuln fuzzseed flake ci smoke bench benchcmp benchsmoke clean
 
 all: build
 
@@ -54,6 +54,31 @@ flake:
 	$(GO) test -race -count=2 ./...
 	$(GO) test -race -tags fvinvariants ./...
 
+# bench runs the sweep and series benchmarks with allocation accounting
+# (allocs/op on the steady-state series benchmarks must read 0), then
+# regenerates BENCH_sweep.json by timing the paper's full 50k-packet
+# Fig-3 matrix serially and through the parallel engine. The committed
+# baseline only changes when this target is run deliberately.
+bench:
+	$(GO) test -run '^$$' -bench 'SweepGrid|SeriesSteadyState' -benchmem ./internal/experiments .
+	$(GO) run ./cmd/fvsweepbench -n 50000 -json BENCH_sweep.json
+
+# benchcmp re-times the sweep at the baseline's grid and fails (exit 1)
+# when the serial per-packet cost regresses more than 15% against the
+# committed BENCH_sweep.json, or when the parallel speedup drops below
+# 3x on a host with >= 4 CPUs (single-core hosts record speedup but are
+# not judged on it).
+benchcmp:
+	$(GO) run ./cmd/fvsweepbench -n 50000 -check BENCH_sweep.json
+
+# benchsmoke is the cheap ci variant: a small grid proves the bench
+# harness, artifact schema, and self-comparison gate end to end without
+# paying for full-size timing runs.
+benchsmoke:
+	$(GO) run ./cmd/fvsweepbench -n 100 -payloads 64,256 \
+		-json $${TMPDIR:-/tmp}/fvsweepbench-smoke.json \
+		-check $${TMPDIR:-/tmp}/fvsweepbench-smoke.json -minspeedup 0
+
 # smoke runs a tiny fvbench sweep and writes the JSON bench artifact;
 # fvbench re-reads and validates the file against the exporter schema,
 # so a passing run proves the end-to-end export path.
@@ -63,7 +88,7 @@ smoke:
 		-json $${TMPDIR:-/tmp}/fvbench-tp-smoke.json -csv $${TMPDIR:-/tmp}/fvbench-tp-smoke.csv > /dev/null
 	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
 
-ci: build fmt lint vuln fuzzseed flake smoke
+ci: build fmt lint vuln fuzzseed flake smoke benchsmoke
 	@echo "ci: all checks passed"
 
 clean:

@@ -1,0 +1,85 @@
+package fpgavirtio_test
+
+import (
+	"testing"
+
+	fpgavirtio "fpgavirtio"
+)
+
+// The steady-state latency loop must not allocate per packet: every
+// per-packet object (sim events, descriptor chains, payload staging,
+// harvest slices, tokens) comes from session-owned pools and scratch
+// buffers. These budgets are hard 0-allocs-per-packet ceilings; a
+// regression here shows up long before it is visible in wall-clock.
+//
+// Methodology: the per-call overhead of a series (one app process, one
+// trigger, warm-up growth of pools) is constant, so the MARGINAL cost
+// of 1000 extra packets isolates the per-packet allocation count:
+// allocs(warm batch of 1100) - allocs(warm batch of 100), over 1000.
+
+const (
+	allocSmallBatch = 100
+	allocBigBatch   = 1100
+	allocSpan       = allocBigBatch - allocSmallBatch
+)
+
+// marginalAllocsPerPacket reports the amortized allocation count of one
+// additional packet once the session is warm.
+func marginalAllocsPerPacket(t *testing.T, run func(n int)) float64 {
+	t.Helper()
+	run(allocBigBatch) // warm: grow every pool, scratch buffer, and ring
+	small := testing.AllocsPerRun(3, func() { run(allocSmallBatch) })
+	big := testing.AllocsPerRun(3, func() { run(allocBigBatch) })
+	return (big - small) / float64(allocSpan)
+}
+
+func TestVirtIOPingSteadyStateZeroAlloc(t *testing.T) {
+	ns, err := fpgavirtio.OpenNet(fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	perPkt := marginalAllocsPerPacket(t, func(n int) {
+		if err := ns.PingSeries(buf, n, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPkt > 0 {
+		t.Fatalf("virtio ping allocates %.3f objects/packet in steady state, budget is 0", perPkt)
+	}
+}
+
+func TestVirtIOPackedRingSteadyStateZeroAlloc(t *testing.T) {
+	ns, err := fpgavirtio.OpenNet(fpgavirtio.NetConfig{
+		Config:        fpgavirtio.Config{Seed: 1},
+		UsePackedRing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	perPkt := marginalAllocsPerPacket(t, func(n int) {
+		if err := ns.PingSeries(buf, n, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPkt > 0 {
+		t.Fatalf("packed-ring ping allocates %.3f objects/packet in steady state, budget is 0", perPkt)
+	}
+}
+
+func TestXDMARoundTripSteadyStateZeroAlloc(t *testing.T) {
+	xs, err := fpgavirtio.OpenXDMA(fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256+54)
+	perPkt := marginalAllocsPerPacket(t, func(n int) {
+		if err := xs.RoundTripSeries(buf, n, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPkt > 0 {
+		t.Fatalf("xdma round trip allocates %.3f objects/packet in steady state, budget is 0", perPkt)
+	}
+}

@@ -46,12 +46,17 @@
 //	-json     write the run as a validated bench artifact
 //	-csv      write the run as CSV
 //	-metrics  dump each point's telemetry metric snapshot to stdout
+//	-parallel latency-mode sweep workers (default GOMAXPROCS); results
+//	          are byte-identical at any count, 1 is the serial path
+//	-cpuprofile / -memprofile / -blockprofile
+//	          write runtime/pprof profiles covering the whole run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	fpgavirtio "fpgavirtio"
 	"fpgavirtio/internal/experiments"
@@ -72,6 +77,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the run's bench artifact as JSON to this file")
 	csvPath := flag.String("csv", "", "write the run's bench artifact as CSV to this file")
 	metrics := flag.Bool("metrics", false, "dump per-point telemetry metric snapshots to stdout")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines; results are byte-identical at any count (1 = today's serial path)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat\n")
 		fmt.Fprintf(os.Stderr, "       fvbench -mode=throughput [flags]\n")
@@ -79,7 +88,14 @@ func main() {
 	}
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile, *blockprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvbench:", err)
+		os.Exit(1)
+	}
+
 	usageErr := func(format string, args ...any) {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "fvbench: "+format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
@@ -111,8 +127,12 @@ func main() {
 	}
 
 	fail := func(err error) {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "fvbench:", err)
 		os.Exit(1)
+	}
+	if *parallel < 1 {
+		usageErr("-parallel must be >= 1 (got %d)", *parallel)
 	}
 
 	switch *mode {
@@ -120,13 +140,16 @@ func main() {
 		if set["window"] || set["qpairs"] || set["rate"] {
 			usageErr("-window/-qpairs/-rate apply to -mode=throughput")
 		}
-		runLatency(p, *hist, *jsonPath, *csvPath, *metrics, usageErr, fail)
+		runLatency(p, *parallel, *hist, *jsonPath, *csvPath, *metrics, usageErr, fail)
 	case "throughput":
 		if flag.NArg() != 0 {
 			usageErr("-mode=throughput takes no experiment argument (got %q)", flag.Arg(0))
 		}
 		if *hist || *metrics {
 			usageErr("-hist/-metrics apply to -mode=latency")
+		}
+		if set["parallel"] {
+			usageErr("-parallel applies to the latency-mode sweep")
 		}
 		if err := validateStreamFlags(*window, *qpairs, *rate); err != nil {
 			usageErr("%v", err)
@@ -143,6 +166,7 @@ func main() {
 	default:
 		usageErr("unknown mode %q (latency|throughput)", *mode)
 	}
+	stopProfiles()
 }
 
 func payloadCount(p experiments.Params) int {
@@ -153,7 +177,7 @@ func payloadCount(p experiments.Params) int {
 }
 
 // runLatency dispatches the default-mode experiments.
-func runLatency(p experiments.Params, hist bool, jsonPath, csvPath string, metrics bool,
+func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath string, metrics bool,
 	usageErr func(string, ...any), fail func(error)) {
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -166,9 +190,9 @@ func runLatency(p experiments.Params, hist bool, jsonPath, csvPath string, metri
 	}
 
 	needSweep := func() *experiments.Sweep {
-		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers...\n",
-			p.Packets, payloadCount(p))
-		sw, err := experiments.RunSweep(p)
+		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers (%d workers)...\n",
+			p.Packets, payloadCount(p), parallel)
+		sw, err := experiments.RunSweepParallel(p, parallel)
 		if err != nil {
 			fail(err)
 		}

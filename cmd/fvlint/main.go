@@ -1,5 +1,6 @@
 // Command fvlint runs the project's static-analysis suite — ringorder,
-// kickflush, metricname, lockorder — over every package of the module.
+// kickflush, metricname, lockorder, hotalloc — over every package of
+// the module.
 //
 // Usage:
 //
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"fpgavirtio/internal/analysis"
+	"fpgavirtio/internal/analysis/hotalloc"
 	"fpgavirtio/internal/analysis/kickflush"
 	"fpgavirtio/internal/analysis/lockorder"
 	"fpgavirtio/internal/analysis/metricname"
@@ -33,6 +35,7 @@ var analyzers = []*analysis.Analyzer{
 	kickflush.Analyzer,
 	metricname.Analyzer,
 	lockorder.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

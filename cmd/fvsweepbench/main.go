@@ -1,0 +1,141 @@
+// Command fvsweepbench times the Fig-3 sweep grid end to end — once
+// serially, once through the parallel engine — and emits a validated
+// fvsweepbench/v1 artifact (BENCH_sweep.json). With -check it becomes
+// the regression gate behind `make benchcmp`: it exits non-zero when
+// the serial per-packet cost regresses past -tolerance against the
+// committed baseline, or when the parallel speedup falls below
+// -minspeedup on a host with enough cores to show one.
+//
+// Flags:
+//
+//	-n          packets per grid cell (default 2000)
+//	-packets    alias of -n
+//	-seed       RNG seed (default 1)
+//	-payloads   comma-separated payload sizes (default: the paper's sweep)
+//	-parallel   worker count of the parallel arm (default GOMAXPROCS)
+//	-json       write the artifact to this file
+//	-check      compare against this baseline artifact; exit 1 on regression
+//	-tolerance  allowed per-packet cost growth vs baseline (default 0.15)
+//	-minspeedup required parallel speedup when NumCPU >= 4 (default 3; 0 disables)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"fpgavirtio/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "packets per grid cell")
+	packets := flag.Int("packets", 0, "alias of -n")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	payloads := flag.String("payloads", "", "comma-separated payload sizes overriding the paper's 64..1024 sweep")
+	parallel := flag.Int("parallel", defaultWorkers(), "worker count of the parallel arm")
+	jsonPath := flag.String("json", "", "write the fvsweepbench/v1 artifact to this file")
+	check := flag.String("check", "", "baseline artifact to gate against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed per-packet cost growth vs baseline")
+	minSpeedup := flag.Float64("minspeedup", 3, "required parallel speedup when NumCPU >= 4 (0 disables)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fvsweepbench:", err)
+		os.Exit(1)
+	}
+	if flag.NArg() != 0 {
+		fail(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["packets"] {
+		*n = *packets
+	}
+	if *n < 1 {
+		fail(fmt.Errorf("-n must be >= 1 (got %d)", *n))
+	}
+	if *parallel < 2 {
+		fail(fmt.Errorf("-parallel must be >= 2 so the two arms differ (got %d)", *parallel))
+	}
+	if *tolerance < 0 {
+		fail(fmt.Errorf("-tolerance must be >= 0 (got %g)", *tolerance))
+	}
+
+	p := experiments.Params{Seed: *seed, Packets: *n}
+	if *payloads != "" {
+		sizes, err := parseSizes(*payloads)
+		if err != nil {
+			fail(err)
+		}
+		p.Payloads = sizes
+	}
+
+	fmt.Fprintf(os.Stderr, "fvsweepbench: timing %d packets/cell, serial then %d workers...\n", *n, *parallel)
+	b, err := experiments.MeasureSweepBench(p, *parallel)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cells %d  serial %.2fs  parallel(%d) %.2fs  speedup %.2fx  %.0f ns/packet serial  [%d CPUs]\n",
+		b.Cells, float64(b.SerialNs)/1e9, b.Workers, float64(b.ParallelNs)/1e9,
+		b.Speedup, b.SerialNsPerPacket, b.NumCPU)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteSweepBench(f, b); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvsweepbench: wrote %s\n", *jsonPath)
+	}
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fail(err)
+		}
+		base, err := experiments.ReadSweepBench(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("baseline %s: %w", *check, err))
+		}
+		if err := experiments.CompareSweepBench(base, b, *tolerance, *minSpeedup); err != nil {
+			fail(fmt.Errorf("regression vs %s: %w", *check, err))
+		}
+		fmt.Fprintf(os.Stderr, "fvsweepbench: within budget vs %s (baseline %.0f ns/packet)\n",
+			*check, base.SerialNsPerPacket)
+	}
+}
+
+// defaultWorkers picks the parallel arm's worker count: GOMAXPROCS,
+// floored at 8 so the engine is exercised (and speedup recorded
+// honestly) even on small hosts where GOMAXPROCS would collapse the
+// two arms into the same serial path.
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		return n
+	}
+	return 8
+}
+
+// parseSizes parses a comma-separated list of positive payload sizes.
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad payload size %q", part)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}

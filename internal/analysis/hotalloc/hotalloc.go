@@ -1,0 +1,147 @@
+// Package hotalloc enforces the zero-allocation discipline of the
+// per-packet hot path: in any file annotated with a `//fvlint:hotpath`
+// comment, a `make([]byte, ...)` inside a loop is flagged. Loops in
+// those files run per packet (descriptor walks, completion harvests,
+// TLP chunking), so an allocation there is paid on every round trip
+// and silently breaks the 0 allocs/packet budget alloc_test.go pins.
+//
+// Amortized growth of a reusable scratch buffer is the sanctioned
+// idiom and is exempt: a make guarded by a `cap(...)` comparison in an
+// enclosing if-condition (the `if cap(buf) < n { buf = make(...) }`
+// shape) allocates only until the buffer reaches steady-state size.
+// Anything else needs an auditable `//fvlint:ignore hotalloc <reason>`.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fpgavirtio/internal/analysis"
+)
+
+// Analyzer is the hotalloc rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "no make([]byte, ...) inside loops of //fvlint:hotpath files " +
+		"unless guarded by a cap() growth check",
+	Run: run,
+}
+
+const marker = "//fvlint:hotpath"
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if !fileIsHotpath(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(pass, fd.Body, false, false)
+		}
+	}
+}
+
+// fileIsHotpath reports whether the file carries the hotpath marker on
+// any comment line.
+func fileIsHotpath(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walk descends through stmt trees tracking whether the position is
+// inside a loop and inside a cap()-guarded if body. Function literals
+// inside a loop still run per iteration, so they inherit inLoop.
+func walk(pass *analysis.Pass, n ast.Node, inLoop, capGuarded bool) {
+	switch s := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		walkChildren(pass, s.Body, true, capGuarded)
+		return
+	case *ast.RangeStmt:
+		walkChildren(pass, s.Body, true, capGuarded)
+		return
+	case *ast.IfStmt:
+		guard := capGuarded || mentionsCap(s.Cond)
+		if s.Init != nil {
+			walk(pass, s.Init, inLoop, capGuarded)
+		}
+		walkChildren(pass, s.Body, inLoop, guard)
+		if s.Else != nil {
+			walk(pass, s.Else, inLoop, guard)
+		}
+		return
+	case *ast.CallExpr:
+		if inLoop && !capGuarded && isMakeByteSlice(pass, s) {
+			pass.Reportf(s.Pos(),
+				"make([]byte, ...) in a loop of a hotpath file allocates per packet; reuse a pooled or cap-guarded scratch buffer")
+		}
+	}
+	walkChildren(pass, n, inLoop, capGuarded)
+}
+
+// walkChildren recurses into every child node of n.
+func walkChildren(pass *analysis.Pass, n ast.Node, inLoop, capGuarded bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		walk(pass, child, inLoop, capGuarded)
+		return false
+	})
+}
+
+// mentionsCap reports whether a condition expression calls the builtin
+// cap — the signature of the amortized-growth guard.
+func mentionsCap(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isMakeByteSlice reports whether call is make([]byte, ...) (or a make
+// of any named type whose underlying type is a byte slice).
+func isMakeByteSlice(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	if obj := pass.ObjectOf(id); obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return false // a local function shadowing make
+		}
+	}
+	if t := pass.TypeOf(call.Args[0]); t != nil {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+	}
+	// Without type info, fall back to the syntactic []byte shape.
+	at, ok := call.Args[0].(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return false
+	}
+	elt, ok := at.Elt.(*ast.Ident)
+	return ok && elt.Name == "byte"
+}

@@ -1,0 +1,11 @@
+// cold.go has no hotpath marker: the same per-loop allocation is not
+// this analyzer's business here (file granularity, not package).
+package hot
+
+func coldLoopAlloc(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		out = append(out, make([]byte, 64))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package hot is the hotalloc fixture: this file carries the hotpath
+// marker, so per-loop byte-slice allocation is flagged.
+//
+//fvlint:hotpath
+package hot
+
+type ring struct {
+	scratch []byte
+	out     [][]byte
+}
+
+// perPacketAlloc allocates on every iteration: flagged.
+func (r *ring) perPacketAlloc(frames [][]byte) {
+	for _, f := range frames {
+		buf := make([]byte, len(f)) // want "allocates per packet"
+		copy(buf, f)
+		r.out = append(r.out, buf)
+	}
+}
+
+// nestedLoopAlloc is flagged through the inner loop too.
+func (r *ring) nestedLoopAlloc(n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.out = append(r.out, make([]byte, 8)) // want "allocates per packet"
+		}
+	}
+}
+
+// closureInLoop still runs per iteration: flagged.
+func (r *ring) closureInLoop(n int) {
+	for i := 0; i < n; i++ {
+		fill := func() []byte { return make([]byte, 16) } // want "allocates per packet"
+		r.out = append(r.out, fill())
+	}
+}
+
+// amortizedGrowth is the sanctioned scratch idiom: cap-guarded, clean.
+func (r *ring) amortizedGrowth(frames [][]byte) {
+	for _, f := range frames {
+		if cap(r.scratch) < len(f) {
+			r.scratch = make([]byte, len(f))
+		}
+		copy(r.scratch[:len(f)], f)
+	}
+}
+
+// poolHit allocates only on a pool miss, guarded by a cap check in the
+// condition: clean.
+func (r *ring) poolHit(frames [][]byte, pool [][]byte) {
+	for _, f := range frames {
+		var buf []byte
+		if n := len(pool); n > 0 && cap(pool[n-1]) >= len(f) {
+			buf = pool[n-1][:len(f)]
+			pool = pool[:n-1]
+		} else {
+			buf = make([]byte, len(f))
+		}
+		copy(buf, f)
+	}
+}
+
+// setupAlloc runs once outside any loop: clean.
+func setupAlloc(n int) []byte {
+	return make([]byte, n)
+}
+
+// nonByteAlloc makes a non-byte slice: outside the rule.
+func nonByteAlloc(n int) {
+	var out [][]uint32
+	for i := 0; i < n; i++ {
+		out = append(out, make([]uint32, 4))
+	}
+	_ = out
+}
+
+// justified carries an auditable directive: suppressed, no want.
+func justified(frames [][]byte) {
+	for _, f := range frames {
+		//fvlint:ignore hotalloc ownership transfers to the caller per frame
+		buf := make([]byte, len(f))
+		copy(buf, f)
+	}
+}

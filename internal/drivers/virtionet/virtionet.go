@@ -87,6 +87,40 @@ type pairQueues struct {
 	// unkicked counts packets queued since the last TX doorbell under
 	// the TxKickBatch policy.
 	unkicked int
+
+	// txTokens holds the pre-boxed txToken for each transmit buffer, so
+	// the per-packet AddChain does not re-box the token interface.
+	txTokens []any
+	// txUsed / rxUsed / irqUsed are harvest scratch. IRQ-context reclaim
+	// (onTxIRQ) gets its own buffer because it can preempt a process-
+	// context reclaim at a CPU-cost yield; reclaiming asserts that two
+	// process-context reclaims never overlap on one pair.
+	txUsed, rxUsed, irqUsed []virtio.Used
+	reclaiming              bool
+	// rxBuf stages one received buffer's bytes out of host memory.
+	rxBuf []byte
+}
+
+// reclaimTx drains TX completions into the pair's scratch and returns
+// freed buffer indices to the free list, reporting how many it freed.
+// The scratch makes this single-flight per pair: process context and
+// the (suppressed by default) TX IRQ must not overlap here.
+func (pq *pairQueues) reclaimTx(p *sim.Proc) int {
+	if fvassert.Enabled {
+		if pq.reclaiming {
+			fvassert.Failf("virtionet: concurrent TX reclaim on one queue pair")
+		}
+		pq.reclaiming = true
+	}
+	used := pq.tx.HarvestInto(p, pq.txUsed)
+	for _, u := range used {
+		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+	}
+	pq.txUsed = used[:0]
+	if fvassert.Enabled {
+		pq.reclaiming = false
+	}
+	return len(used)
 }
 
 // Device is a bound virtio-net interface; it implements netstack.NIC.
@@ -111,6 +145,11 @@ type Device struct {
 	TxPackets, RxPackets, RxIRQs int
 
 	txPkts, rxPkts, rxIRQs *telemetry.Counter
+
+	// hdrBuf stages the virtio-net header encode; it is filled and
+	// written to host memory in one runnable interval, so sharing it
+	// across queue pairs is safe under the cooperative scheduler.
+	hdrBuf [virtio.NetHdrSize]byte
 }
 
 // rxToken records one posted receive buffer.
@@ -238,18 +277,20 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	for _, pq := range d.pairs {
 		for i := 0; i < opt.RXBuffers; i++ {
 			addr := tr.AllocBuffer(d.rxBufSize)
-			if err := pq.rx.AddChain(p, []virtio.BufSeg{{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}}, rxToken{addr: addr, idx: i}); err != nil {
+			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}, rxToken{addr: addr, idx: i}); err != nil {
 				return nil, err
 			}
 		}
 		pq.rx.Kick(p)
 	}
 
-	// Per-pair transmit buffer pools sized to the ring.
+	// Per-pair transmit buffer pools sized to the ring. Tokens are boxed
+	// once here so the per-packet post reuses the interface values.
 	for _, pq := range d.pairs {
 		for i := 0; i < qsize; i++ {
 			pq.txBufs = append(pq.txBufs, tr.AllocBuffer(virtio.NetHdrSize+netstack.EthHdrSize+int(d.mtu)+64))
 			pq.txFree = append(pq.txFree, i)
+			pq.txTokens = append(pq.txTokens, txToken{idx: i})
 		}
 	}
 
@@ -299,9 +340,7 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	pq := d.txQueue()
 
 	// Reclaim finished TX chains (free_old_xmit_skbs).
-	for _, u := range pq.tx.Harvest(p) {
-		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
-	}
+	pq.reclaimTx(p)
 	for len(pq.txFree) == 0 {
 		// Ring full: netif_stop_queue. Any doorbell still batched under
 		// TxKickBatch must go out now — the device has never seen those
@@ -317,18 +356,12 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 		if d.opt.SuppressTxInterrupts {
 			pq.tx.SetNoInterrupt(false)
 		}
-		if got := pq.tx.Harvest(p); len(got) > 0 {
-			for _, u := range got {
-				pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
-			}
-		} else {
+		if pq.reclaimTx(p) == 0 {
 			if fvassert.Enabled && pq.unkicked > 0 {
 				fvassert.Failf("transmitter parking with %d batched chains unkicked", pq.unkicked)
 			}
 			pq.txWQ.Wait(p)
-			for _, u := range pq.tx.Harvest(p) {
-				pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
-			}
+			pq.reclaimTx(p)
 		}
 		if d.opt.SuppressTxInterrupts {
 			pq.tx.SetNoInterrupt(true)
@@ -346,10 +379,11 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	}
 	n := virtio.NetHdrSize + len(pkt.Frame)
 	d.host.Copy(p, n)
-	d.host.Mem.Write(buf, hdr.Encode())
+	hdr.EncodeInto(d.hdrBuf[:])
+	d.host.Mem.Write(buf, d.hdrBuf[:])
 	d.host.Mem.Write(buf+virtio.NetHdrSize, pkt.Frame)
 
-	if err := pq.tx.AddChain(p, []virtio.BufSeg{{Addr: buf, Len: n}}, txToken{idx: idx}); err != nil {
+	if err := pq.tx.AddChain1(p, virtio.BufSeg{Addr: buf, Len: n}, pq.txTokens[idx]); err != nil {
 		return err
 	}
 	switch {
@@ -396,9 +430,11 @@ func (d *Device) FlushTx(p *sim.Proc) {
 // off: reclaim and wake any stalled transmitter.
 func (d *Device) onTxIRQ(p *sim.Proc, pq *pairQueues) {
 	d.host.CPUWork(p, irqBodyCost)
-	for _, u := range pq.tx.Harvest(p) {
+	used := pq.tx.HarvestInto(p, pq.irqUsed)
+	for _, u := range used {
 		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
 	}
+	pq.irqUsed = used[:0]
 	pq.txWQ.Wake()
 }
 
@@ -420,10 +456,16 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.napi")
 	defer sp.End()
 	for {
-		for _, u := range pq.rx.Harvest(p) {
+		used := pq.rx.HarvestInto(p, pq.rxUsed)
+		pq.rxUsed = used
+		for _, u := range used {
 			tok := u.Token.(rxToken)
 			d.host.CPUWork(p, napiPerPktCost)
-			raw := d.host.Mem.Read(tok.addr, u.Written)
+			if cap(pq.rxBuf) < u.Written {
+				pq.rxBuf = make([]byte, u.Written)
+			}
+			raw := pq.rxBuf[:u.Written]
+			d.host.Mem.ReadInto(tok.addr, raw)
 			hdr, err := virtio.DecodeNetHdr(raw)
 			if err == nil {
 				frame := raw[virtio.NetHdrSize:]
@@ -437,9 +479,9 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 				// packet, as the stack does.
 				_ = d.stack.Input(p, rx)
 			}
-			// Repost the buffer.
+			// Repost the buffer, reusing the token the harvest returned.
 			d.host.CPUWork(p, refillCost)
-			if err := pq.rx.AddChain(p, []virtio.BufSeg{{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}}, tok); err != nil {
+			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}, u.Token); err != nil {
 				panic("virtionet: repost: " + err.Error())
 			}
 		}

@@ -197,6 +197,11 @@ type VQ struct {
 	Index      int
 	size       int
 	notifyAddr uint64
+
+	// segScratch backs AddChain1's one-element chain. It is filled after
+	// the CPU-cost yield and consumed in the same runnable interval, so
+	// concurrent posters on the same queue cannot observe a torn fill.
+	segScratch [1]virtio.BufSeg
 }
 
 // Size reports the negotiated queue size.
@@ -300,9 +305,29 @@ func (vq *VQ) AddChain(p *sim.Proc, segs []virtio.BufSeg, token any) error {
 	return err
 }
 
-// Harvest drains completed chains, charging per-completion CPU cost.
+// AddChain1 posts a one-segment chain without materialising a slice —
+// the allocation-free form for per-packet TX and RX-repost paths.
+func (vq *VQ) AddChain1(p *sim.Proc, seg virtio.BufSeg, token any) error {
+	vq.tr.Host.CPUWork(p, addChainBaseCost+addSegCost)
+	vq.segScratch[0] = seg
+	_, err := vq.ring.Add(vq.segScratch[:], token)
+	if err == nil {
+		vq.tr.descsPosted.Inc()
+	}
+	return err
+}
+
+// Harvest drains completed chains into a fresh slice, charging
+// per-completion CPU cost.
 func (vq *VQ) Harvest(p *sim.Proc) []virtio.Used {
-	var out []virtio.Used
+	return vq.HarvestInto(p, nil)
+}
+
+// HarvestInto drains completed chains into buf's capacity — the
+// allocation-free form for per-packet ISR paths, which keep the
+// returned slice as scratch for the next harvest.
+func (vq *VQ) HarvestInto(p *sim.Proc, buf []virtio.Used) []virtio.Used {
+	out := buf[:0]
 	for {
 		u, ok := vq.ring.GetUsed()
 		if !ok {

@@ -89,21 +89,20 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 	res := &PointResult{
 		Driver:  "virtio",
 		Payload: payload,
-		Total:   perf.NewSeries(fmt.Sprintf("virtio/%d/total", payload)),
-		SW:      perf.NewSeries("sw"),
-		HW:      perf.NewSeries("hw"),
-		RG:      perf.NewSeries("rg"),
+		Total:   perf.NewSeriesCap(fmt.Sprintf("virtio/%d/total", payload), p.Packets),
+		SW:      perf.NewSeriesCap("sw", p.Packets),
+		HW:      perf.NewSeriesCap("hw", p.Packets),
+		RG:      perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload)
-	for i := 0; i < p.Packets; i++ {
-		s, err := ns.PingDetailed(buf)
-		if err != nil {
-			return nil, fmt.Errorf("virtio packet %d: %w", i, err)
-		}
+	err = ns.PingSeries(buf, p.Packets, func(i int, s fpgavirtio.RTTSample) {
 		res.Total.Add(toSim(s.Total))
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))
 		res.RG.Add(toSim(s.RespGen))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("virtio: %w", err)
 	}
 	res.Interrupts = ns.BusStats().Interrupts
 	res.Metrics = ns.Registry().Snapshot()
@@ -126,21 +125,20 @@ func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*P
 	res := &PointResult{
 		Driver:  "xdma",
 		Payload: payload,
-		Total:   perf.NewSeries(fmt.Sprintf("xdma/%d/total", payload)),
-		SW:      perf.NewSeries("sw"),
-		HW:      perf.NewSeries("hw"),
-		RG:      perf.NewSeries("rg"),
+		Total:   perf.NewSeriesCap(fmt.Sprintf("xdma/%d/total", payload), p.Packets),
+		SW:      perf.NewSeriesCap("sw", p.Packets),
+		HW:      perf.NewSeriesCap("hw", p.Packets),
+		RG:      perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload+HeaderOverhead)
-	for i := 0; i < p.Packets; i++ {
-		s, err := xs.RoundTripDetailed(buf)
-		if err != nil {
-			return nil, fmt.Errorf("xdma packet %d: %w", i, err)
-		}
+	err = xs.RoundTripSeries(buf, p.Packets, func(i int, s fpgavirtio.RTTSample) {
 		res.Total.Add(toSim(s.Total))
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))
 		res.RG.Add(0)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xdma: %w", err)
 	}
 	res.Interrupts = xs.BusStats().Interrupts
 	res.Metrics = xs.Registry().Snapshot()

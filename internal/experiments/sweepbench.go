@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// SweepBenchSchema identifies the sweep-benchmark artifact layout
+// (BENCH_sweep.json). Bump on any incompatible change.
+const SweepBenchSchema = "fvsweepbench/v1"
+
+// SweepBench is the machine-readable record of one sweep benchmark:
+// the same Fig-3 measurement grid timed end to end, serially and
+// through the parallel engine. It is the committed baseline `make
+// benchcmp` gates regressions against.
+type SweepBench struct {
+	Schema   string `json:"schema"`
+	Seed     uint64 `json:"seed"`
+	Packets  int    `json:"packets"`
+	Payloads []int  `json:"payloads"`
+	Workers  int    `json:"workers"` // worker count of the parallel arm
+	Cells    int    `json:"cells"`   // grid cells (drivers x payloads)
+
+	// Host context the wall-clock numbers were taken under. Speedup is
+	// bounded by NumCPU: a single-core host records ~1.0x regardless of
+	// engine quality, so gates must read these fields before judging.
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+
+	SerialNs   int64 `json:"serial_ns"`   // wall clock, workers=1
+	ParallelNs int64 `json:"parallel_ns"` // wall clock, workers=Workers
+
+	// Per-round-trip host cost in the serial run — the portable
+	// per-packet efficiency number the regression gate compares.
+	SerialNsPerPacket float64 `json:"serial_ns_per_packet"`
+	// Speedup is SerialNs/ParallelNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// MeasureSweepBench runs the sweep grid twice — serial, then with
+// workers in parallel — and records both wall-clock times. Results of
+// the two arms are verified identical (the engine's determinism
+// contract) before timings are trusted.
+func MeasureSweepBench(p Params, workers int) (*SweepBench, error) {
+	p = p.withDefaults()
+	t0 := time.Now()
+	serial, err := RunSweepParallel(p, 1)
+	if err != nil {
+		return nil, fmt.Errorf("serial arm: %w", err)
+	}
+	serialNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	parallel, err := RunSweepParallel(p, workers)
+	if err != nil {
+		return nil, fmt.Errorf("parallel arm: %w", err)
+	}
+	parallelNs := time.Since(t0).Nanoseconds()
+
+	if err := sweepsEqual(serial, parallel); err != nil {
+		return nil, fmt.Errorf("parallel sweep diverged from serial: %w", err)
+	}
+
+	cells := 2 * len(p.Payloads)
+	totalPackets := p.Packets * cells
+	b := &SweepBench{
+		Schema:            SweepBenchSchema,
+		Seed:              p.Seed,
+		Packets:           p.Packets,
+		Payloads:          p.Payloads,
+		Workers:           workers,
+		Cells:             cells,
+		NumCPU:            runtime.NumCPU(),
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		GoVersion:         runtime.Version(),
+		SerialNs:          serialNs,
+		ParallelNs:        parallelNs,
+		SerialNsPerPacket: float64(serialNs) / float64(totalPackets),
+		Speedup:           float64(serialNs) / float64(parallelNs),
+	}
+	return b, nil
+}
+
+// sweepsEqual compares the sample series of two sweeps.
+func sweepsEqual(a, b *Sweep) error {
+	cmp := func(label string, x, y []*PointResult) error {
+		if len(x) != len(y) {
+			return fmt.Errorf("%s: %d vs %d points", label, len(x), len(y))
+		}
+		for i := range x {
+			xs, ys := x[i].Total.Samples(), y[i].Total.Samples()
+			if len(xs) != len(ys) {
+				return fmt.Errorf("%s[%d]: %d vs %d samples", label, i, len(xs), len(ys))
+			}
+			for j := range xs {
+				if xs[j] != ys[j] {
+					return fmt.Errorf("%s[%d]: sample %d: %v vs %v", label, i, j, xs[j], ys[j])
+				}
+			}
+		}
+		return nil
+	}
+	if err := cmp("virtio", a.VirtIO, b.VirtIO); err != nil {
+		return err
+	}
+	return cmp("xdma", a.XDMA, b.XDMA)
+}
+
+// Validate checks artifact well-formedness, mirroring the fvbench/v1
+// validation discipline: a BENCH_sweep.json that loads but fails here
+// is rejected by both the emitter and the comparison gate.
+func (b *SweepBench) Validate() error {
+	switch {
+	case b.Schema != SweepBenchSchema:
+		return fmt.Errorf("sweep bench: schema %q, want %q", b.Schema, SweepBenchSchema)
+	case b.Packets <= 0:
+		return fmt.Errorf("sweep bench: packets %d", b.Packets)
+	case len(b.Payloads) == 0:
+		return fmt.Errorf("sweep bench: no payloads")
+	case b.Workers < 1:
+		return fmt.Errorf("sweep bench: workers %d", b.Workers)
+	case b.Cells != 2*len(b.Payloads):
+		return fmt.Errorf("sweep bench: %d cells for %d payloads", b.Cells, len(b.Payloads))
+	case b.NumCPU < 1 || b.GoMaxProcs < 1:
+		return fmt.Errorf("sweep bench: host context missing (num_cpu=%d, go_max_procs=%d)", b.NumCPU, b.GoMaxProcs)
+	case b.SerialNs <= 0 || b.ParallelNs <= 0:
+		return fmt.Errorf("sweep bench: non-positive wall clock (serial=%d, parallel=%d)", b.SerialNs, b.ParallelNs)
+	case b.SerialNsPerPacket <= 0:
+		return fmt.Errorf("sweep bench: non-positive per-packet cost")
+	case b.Speedup <= 0:
+		return fmt.Errorf("sweep bench: non-positive speedup")
+	}
+	for _, size := range b.Payloads {
+		if size <= 0 {
+			return fmt.Errorf("sweep bench: payload %d", size)
+		}
+	}
+	return nil
+}
+
+// WriteSweepBench writes the artifact as indented JSON, validated
+// first so a passing emit guarantees a loadable, well-formed file.
+func WriteSweepBench(w io.Writer, b *SweepBench) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadSweepBench loads and validates an artifact.
+func ReadSweepBench(r io.Reader) (*SweepBench, error) {
+	var b SweepBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("sweep bench: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// CompareSweepBench gates cur against the committed baseline: the
+// serial per-packet host cost may grow by at most tolerance (e.g. 0.15
+// for the 15%% budget), and when the current host has the cores to show
+// it (NumCPU >= 4 and more than one worker), the parallel engine must
+// hold minSpeedup. Wall-clock totals are NOT compared directly — they
+// scale with packet counts and machines; the per-packet ratio is the
+// stable signal.
+func CompareSweepBench(base, cur *SweepBench, tolerance, minSpeedup float64) error {
+	if err := base.Validate(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	limit := base.SerialNsPerPacket * (1 + tolerance)
+	if cur.SerialNsPerPacket > limit {
+		return fmt.Errorf("serial per-packet cost regressed %.1f%%: %.0f ns vs baseline %.0f ns (budget %.0f%%)",
+			100*(cur.SerialNsPerPacket/base.SerialNsPerPacket-1),
+			cur.SerialNsPerPacket, base.SerialNsPerPacket, 100*tolerance)
+	}
+	if minSpeedup > 1 && cur.Workers > 1 && cur.NumCPU >= 4 {
+		if cur.Speedup < minSpeedup {
+			return fmt.Errorf("parallel speedup %.2fx below the %.1fx floor on a %d-CPU host",
+				cur.Speedup, minSpeedup, cur.NumCPU)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validSweepBench() *SweepBench {
+	return &SweepBench{
+		Schema:            SweepBenchSchema,
+		Seed:              1,
+		Packets:           2000,
+		Payloads:          []int{64, 256, 1024},
+		Workers:           8,
+		Cells:             6,
+		NumCPU:            8,
+		GoMaxProcs:        8,
+		GoVersion:         "go1.x",
+		SerialNs:          6e9,
+		ParallelNs:        2e9,
+		SerialNsPerPacket: 500,
+		Speedup:           3,
+	}
+}
+
+func TestSweepBenchValidate(t *testing.T) {
+	if err := validSweepBench().Validate(); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	mutations := map[string]func(*SweepBench){
+		"schema":    func(b *SweepBench) { b.Schema = "fvsweepbench/v0" },
+		"packets":   func(b *SweepBench) { b.Packets = 0 },
+		"payloads":  func(b *SweepBench) { b.Payloads = nil },
+		"payload<0": func(b *SweepBench) { b.Payloads[1] = -1 },
+		"workers":   func(b *SweepBench) { b.Workers = 0 },
+		"cells":     func(b *SweepBench) { b.Cells = 5 },
+		"numcpu":    func(b *SweepBench) { b.NumCPU = 0 },
+		"serial":    func(b *SweepBench) { b.SerialNs = 0 },
+		"parallel":  func(b *SweepBench) { b.ParallelNs = -1 },
+		"perpkt":    func(b *SweepBench) { b.SerialNsPerPacket = 0 },
+		"speedup":   func(b *SweepBench) { b.Speedup = 0 },
+	}
+	for name, mutate := range mutations {
+		b := validSweepBench()
+		mutate(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: corrupt artifact passed validation", name)
+		}
+	}
+}
+
+func TestSweepBenchRoundTrip(t *testing.T) {
+	b := validSweepBench()
+	var buf bytes.Buffer
+	if err := WriteSweepBench(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSweepBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SerialNsPerPacket != b.SerialNsPerPacket || got.Speedup != b.Speedup {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	// Unknown fields mark a schema drift and must be rejected, not
+	// silently dropped.
+	if _, err := ReadSweepBench(strings.NewReader(`{"schema":"fvsweepbench/v1","bogus":1}`)); err == nil {
+		t.Fatal("artifact with unknown field passed")
+	}
+}
+
+func TestCompareSweepBench(t *testing.T) {
+	base := validSweepBench()
+
+	within := validSweepBench()
+	within.SerialNsPerPacket = 560 // +12%, inside the 15% budget
+	if err := CompareSweepBench(base, within, 0.15, 3); err != nil {
+		t.Fatalf("within-budget run rejected: %v", err)
+	}
+
+	regressed := validSweepBench()
+	regressed.SerialNsPerPacket = 600 // +20%
+	if err := CompareSweepBench(base, regressed, 0.15, 3); err == nil {
+		t.Fatal("20% per-packet regression passed a 15% gate")
+	}
+
+	// Speedup gate applies only on hosts with the cores to show one.
+	slow := validSweepBench()
+	slow.Speedup = 1.1
+	slow.NumCPU = 8
+	if err := CompareSweepBench(base, slow, 0.15, 3); err == nil {
+		t.Fatal("1.1x speedup on an 8-CPU host passed a 3x floor")
+	}
+	slow.NumCPU = 1
+	slow.GoMaxProcs = 1
+	if err := CompareSweepBench(base, slow, 0.15, 3); err != nil {
+		t.Fatalf("single-CPU host penalized for speedup: %v", err)
+	}
+	slow.NumCPU = 8
+	slow.GoMaxProcs = 8
+	if err := CompareSweepBench(base, slow, 0.15, 0); err != nil {
+		t.Fatalf("disabled speedup gate still fired: %v", err)
+	}
+}
+
+func TestMeasureSweepBenchSmall(t *testing.T) {
+	b, err := MeasureSweepBench(Params{Seed: 3, Packets: 20, Payloads: []int{64, 256}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("measured artifact invalid: %v", err)
+	}
+	if b.Cells != 4 || b.Packets != 20 {
+		t.Fatalf("artifact grid mismatch: %+v", b)
+	}
+	// A fresh measurement of the same grid must pass its own gate.
+	if err := CompareSweepBench(b, b, 0.15, 0); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
+
+// BenchmarkSweepGrid times one small Fig-3 grid per iteration, serial
+// vs parallel, with allocation accounting. `make bench` runs these with
+// -benchmem; `make benchcmp` gates the wall-clock equivalent through
+// cmd/fvsweepbench.
+func BenchmarkSweepGrid(b *testing.B) {
+	p := Params{Seed: 1, Packets: 100, Payloads: []int{64, 256, 1024}}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSweepParallel(p, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSweepParallel(p, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -133,8 +133,16 @@ type Host struct {
 	met hostMetrics
 
 	metrics     *telemetry.Registry
-	irqHandlers map[irqKey]func(p *sim.Proc)
+	irqHandlers map[irqKey]*irqAction
 	chardevs    map[string]CharDev
+}
+
+// irqAction is the dispatch record built once at RegisterIRQ time: the
+// composed ISR process name and the span-wrapped handler closure, so
+// per-interrupt delivery does not format strings or allocate closures.
+type irqAction struct {
+	name string
+	fn   func(p *sim.Proc)
 }
 
 // hostMetrics caches the OS-noise instruments so hot paths skip the
@@ -167,7 +175,7 @@ func New(s *sim.Sim, memBytes int, cfg Config, seed uint64) *Host {
 		Alloc:       mem.NewAllocator(m, 0x10000, memBytes-0x10000),
 		cfg:         cfg,
 		rng:         sim.NewRNG(seed).Fork("hostos"),
-		irqHandlers: make(map[irqKey]func(p *sim.Proc)),
+		irqHandlers: make(map[irqKey]*irqAction),
 		chardevs:    make(map[string]CharDev),
 	}
 	h.metrics = telemetry.NewRegistry()
@@ -270,66 +278,61 @@ func (h *Host) ClockGettime(p *sim.Proc) sim.Time {
 // request_irq does. The handler runs in its own interrupt-context
 // process after the platform's dispatch latency.
 func (h *Host) RegisterIRQ(ep *pcie.Endpoint, vector int, handler func(p *sim.Proc)) {
-	h.irqHandlers[irqKey{ep, vector}] = handler
+	act := &irqAction{name: fmt.Sprintf("isr:%s:%d", ep.Name(), vector)}
+	act.fn = func(p *sim.Proc) {
+		// IRQ-layer span: handler entry to return, including any NAPI
+		// poll the handler runs in its interrupt-context process.
+		sp := h.Sim.BeginSpan(telemetry.LayerIRQ, act.name)
+		handler(p)
+		sp.End()
+	}
+	h.irqHandlers[irqKey{ep, vector}] = act
 }
 
 func (h *Host) deliverIRQ(ep *pcie.Endpoint, vector int) {
-	handler, ok := h.irqHandlers[irqKey{ep, vector}]
+	act, ok := h.irqHandlers[irqKey{ep, vector}]
 	if !ok {
 		panic(fmt.Sprintf("hostos: unhandled IRQ %s vector %d", ep.Name(), vector))
 	}
 	h.met.irqs.Inc()
-	name := fmt.Sprintf("isr:%s:%d", ep.Name(), vector)
-	h.Sim.GoAfter(h.cfg.IRQEntry, name, func(p *sim.Proc) {
-		// IRQ-layer span: handler entry to return, including any NAPI
-		// poll the handler runs in its interrupt-context process.
-		sp := h.Sim.BeginSpan(telemetry.LayerIRQ, name)
-		handler(p)
-		sp.End()
-	})
+	h.Sim.GoAfter(h.cfg.IRQEntry, act.name, act.fn)
 }
 
 // WaitQueue is a kernel wait queue: sleepers pay the scheduler wake
-// latency when awakened.
+// latency when awakened. Waiters park directly on the scheduler
+// (sim.Proc.Park) and Wake schedules each task's resume after its own
+// jittered wake latency, like a per-task runqueue placement — with no
+// per-wait trigger or closure allocation.
 type WaitQueue struct {
-	host    *Host
-	name    string
-	waiters []*waiter
-}
-
-type waiter struct {
-	p    *sim.Proc
-	fire func()
+	host     *Host
+	name     string
+	parkName string
+	wakeName string
+	waiters  []*sim.Proc
 }
 
 // NewWaitQueue returns an empty wait queue.
 func (h *Host) NewWaitQueue(name string) *WaitQueue {
-	return &WaitQueue{host: h, name: name}
+	return &WaitQueue{
+		host:     h,
+		name:     name,
+		parkName: "wq:" + name,
+		wakeName: "wake:" + name,
+	}
 }
 
 // Wait blocks p until a Wake call releases it; the woken process
 // resumes only after the scheduler wake latency (jittered).
 func (wq *WaitQueue) Wait(p *sim.Proc) {
-	w := &waiter{p: p}
-	wq.waiters = append(wq.waiters, w)
-	wq.park(p, w)
-}
-
-func (wq *WaitQueue) park(p *sim.Proc, w *waiter) {
-	// Implemented on a one-shot trigger per waiter so wake latency is
-	// charged per task, like a real runqueue placement.
-	trig := sim.NewTrigger(wq.host.Sim, "wq:"+wq.name)
-	w.fire = trig.Fire
-	trig.Wait(p)
+	wq.waiters = append(wq.waiters, p)
+	p.Park(wq.parkName)
 }
 
 // Wake releases all current waiters; each becomes runnable after the
 // jittered wake latency.
 func (wq *WaitQueue) Wake() {
-	ws := wq.waiters
-	wq.waiters = nil
 	h := wq.host
-	for _, w := range ws {
+	for i, p := range wq.waiters {
 		d := h.rng.Jitter(h.cfg.WakeLatency, h.cfg.JitterSigma)
 		if h.cfg.WakeTailProb > 0 && h.rng.Bool(h.cfg.WakeTailProb) {
 			extra := h.cfg.WakeTailBase + sim.NsF(h.rng.Exp(h.cfg.WakeTailMean.Nanoseconds()))
@@ -341,9 +344,10 @@ func (wq *WaitQueue) Wake() {
 		}
 		h.met.wakeups.Inc()
 		h.met.wakeLatNs.Observe(float64(d.Nanoseconds()))
-		fire := w.fire
-		h.Sim.After(d, "wake:"+wq.name, fire)
+		h.Sim.ResumeAfter(d, wq.wakeName, p)
+		wq.waiters[i] = nil
 	}
+	wq.waiters = wq.waiters[:0]
 }
 
 // Waiters reports the number of blocked tasks.

@@ -90,13 +90,32 @@ func pseudoHeaderSum(src, dst IPv4, udpLen int) uint32 {
 // sender expects hardware offload to fill it, exactly the VirtIO
 // NET_F_CSUM contract).
 func (d UDPDatagram) EncodeFrame(computeUDPCsum bool) []byte {
+	return d.EncodeFrameInto(nil, computeUDPCsum)
+}
+
+// EncodeFrameInto renders the datagram into buf, reallocating only when
+// buf's capacity is too small, and returns the encoded frame. Callers
+// on the per-packet path keep the returned slice as their scratch for
+// the next encode so steady-state transmission does not allocate.
+func (d UDPDatagram) EncodeFrameInto(buf []byte, computeUDPCsum bool) []byte {
 	udpLen := UDPHdrSize + len(d.Payload)
 	totLen := IPv4HdrSize + udpLen
 	n := EthHdrSize + totLen
 	if n < MinFrameSize {
 		n = MinFrameSize
 	}
-	f := make([]byte, n)
+	var f []byte
+	if cap(buf) < n {
+		f = make([]byte, n)
+	} else {
+		// The encoder only writes the fields it uses; clear stale bytes
+		// so identification/padding/checksum fields start zeroed exactly
+		// as with a fresh allocation.
+		f = buf[:n]
+		for i := range f {
+			f[i] = 0
+		}
+	}
 	copy(f[0:6], d.DstMAC[:])
 	copy(f[6:12], d.SrcMAC[:])
 	f[12] = EtherTypeIPv4 >> 8
@@ -228,6 +247,12 @@ func FillUDPChecksum(f []byte) error {
 // checksums. This is what the paper's FPGA user logic does ("the user
 // logic on the FPGA responds with a UDP packet of the same size").
 func BuildEchoResponse(f []byte) ([]byte, error) {
+	return BuildEchoResponseInto(f, nil)
+}
+
+// BuildEchoResponseInto is BuildEchoResponse rendering into buf's
+// capacity (which must not alias f), reallocating only on growth.
+func BuildEchoResponseInto(f, buf []byte) ([]byte, error) {
 	d, err := DecodeFrame(f)
 	if err != nil {
 		return nil, err
@@ -238,5 +263,5 @@ func BuildEchoResponse(f []byte) ([]byte, error) {
 		SrcPort: d.DstPort, DstPort: d.SrcPort,
 		Payload: d.Payload,
 	}
-	return resp.EncodeFrame(true), nil
+	return resp.EncodeFrameInto(buf, true), nil
 }

@@ -164,11 +164,17 @@ func (st *Stack) lookupRoute(dst IPv4) (*iface, error) {
 }
 
 // UDPSocket is a blocking datagram socket.
+//
+//fvlint:hotpath
 type UDPSocket struct {
 	stack *Stack
 	port  uint16
 	queue []recvItem
+	head  int // index of the next datagram to pop from queue
 	wq    *hostos.WaitQueue
+
+	txScratch []byte   // reused frame-encode buffer for SendTo
+	pool      [][]byte // recycled receive-payload buffers (see Recycle)
 }
 
 type recvItem struct {
@@ -222,7 +228,8 @@ func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte
 		SrcPort: s.port, DstPort: dstPort,
 		Payload: payload,
 	}
-	frame := d.EncodeFrame(!off.TxCsum)
+	frame := d.EncodeFrameInto(s.txScratch, !off.TxCsum)
+	s.txScratch = frame
 	if !off.TxCsum {
 		st.met.csumBytes.Add(int64(UDPHdrSize + len(payload)))
 		h.CPUWork(p, sim.Duration(UDPHdrSize+len(payload))*c.CsumPerByte)
@@ -243,22 +250,38 @@ func (s *UDPSocket) SendTo(p *sim.Proc, dst IPv4, dstPort uint16, payload []byte
 }
 
 // RecvFrom blocks until a datagram arrives on the socket, then copies
-// it out (recvfrom(2)).
+// it out (recvfrom(2)). The returned payload is caller-owned; callers
+// on the per-packet path hand it back with Recycle once done.
 func (s *UDPSocket) RecvFrom(p *sim.Proc) (payload []byte, from IPv4, fromPort uint16, err error) {
 	h := s.stack.host
 	h.SyscallEnter(p)
-	for len(s.queue) == 0 {
+	for s.Pending() == 0 {
 		s.wq.Wait(p)
 	}
-	item := s.queue[0]
-	s.queue = s.queue[1:]
+	item := s.queue[s.head]
+	s.queue[s.head] = recvItem{}
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
 	h.Copy(p, len(item.payload)) // copy_to_user
 	h.SyscallExit(p)
 	return item.payload, item.from, item.port, nil
 }
 
 // Pending reports queued datagrams (poll(2) without blocking).
-func (s *UDPSocket) Pending() int { return len(s.queue) }
+func (s *UDPSocket) Pending() int { return len(s.queue) - s.head }
+
+// Recycle returns a payload buffer obtained from RecvFrom to the
+// socket's receive pool, letting Input reuse it for a later datagram
+// instead of allocating. Callers must not touch buf afterwards.
+func (s *UDPSocket) Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	s.pool = append(s.pool, buf)
+}
 
 // Input is the receive path drivers call from softirq context: parse,
 // verify, demultiplex, wake. Frames that are not for a bound socket
@@ -292,7 +315,14 @@ func (st *Stack) Input(p *sim.Proc, rx RxPacket) error {
 	}
 	h.CPUWork(p, c.SocketDeliver)
 	st.met.rxPackets.Inc()
-	pl := make([]byte, len(d.Payload))
+	var pl []byte
+	if n := len(sock.pool); n > 0 && cap(sock.pool[n-1]) >= len(d.Payload) {
+		pl = sock.pool[n-1][:len(d.Payload)]
+		sock.pool[n-1] = nil
+		sock.pool = sock.pool[:n-1]
+	} else {
+		pl = make([]byte, len(d.Payload))
+	}
 	copy(pl, d.Payload)
 	sock.queue = append(sock.queue, recvItem{payload: pl, from: d.SrcIP, port: d.SrcPort})
 	sock.wq.Wake()

@@ -2,6 +2,7 @@ package pcie
 
 import (
 	"fmt"
+	"strconv"
 
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
@@ -32,6 +33,10 @@ type Endpoint struct {
 
 	msixVectors int
 	msixMasked  []bool
+	msixOps     []*msixOp
+
+	readOps  []*dmaReadOp
+	writeOps []*dmaWriteOp
 }
 
 // Name reports the endpoint's name.
@@ -59,6 +64,19 @@ func (ep *Endpoint) SetBarHandlers(i int, h BarHandlers) {
 func (ep *Endpoint) ConfigureMSIX(vectors int) {
 	ep.msixVectors = vectors
 	ep.msixMasked = make([]bool, vectors)
+	ep.msixOps = make([]*msixOp, vectors)
+	for v := 0; v < vectors; v++ {
+		op := &msixOp{ep: ep, vector: v, name: "MSIX:" + strconv.Itoa(v)}
+		op.dispatch = func() {
+			if op.ep.rc.irqSink != nil {
+				op.ep.rc.irqSink(op.ep, op.vector)
+			}
+		}
+		op.afterLink = func() {
+			op.ep.sim.After(op.ep.rc.costs.APICDelay, "rc:apic", op.dispatch)
+		}
+		ep.msixOps[v] = op
+	}
 }
 
 // MaskMSIX masks or unmasks one vector (used by interrupt-suppression
@@ -90,48 +108,163 @@ func (ep *Endpoint) requireBusMaster(op string) {
 	}
 }
 
+// growBytes returns b resized to n bytes, reallocating only when the
+// capacity is insufficient.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// dmaReadOp is the pooled state machine behind DMAReadInto. The link
+// serializes TLPs in FIFO order per direction, so the completions of
+// one read request arrive in transfer order and a single pre-built
+// arrival callback can advance an offset cursor instead of allocating
+// one closure per completion chunk.
+//
+//fvlint:hotpath
+type dmaReadOp struct {
+	ep       *Endpoint
+	done     *sim.Trigger
+	dst      []byte
+	stage    []byte   // request data captured at host-memory read time
+	addr     mem.Addr // host address of the current request
+	reqOff   int      // offset of the current request within dst
+	reqLen   int
+	chunkOff int // next completion's offset within the request
+	onMRd    func()
+	onMem    func()
+	onCplD   func()
+}
+
+func (ep *Endpoint) getReadOp() *dmaReadOp {
+	if n := len(ep.readOps); n > 0 {
+		op := ep.readOps[n-1]
+		ep.readOps[n-1] = nil
+		ep.readOps = ep.readOps[:n-1]
+		return op
+	}
+	op := &dmaReadOp{ep: ep, done: sim.NewTrigger(ep.sim, ep.name+":dmard")}
+	op.onMRd = func() {
+		// Root-complex side: memory access latency, then stream
+		// completions back down the link.
+		op.ep.sim.After(op.ep.rc.costs.MemLatency, "rc:mem", op.onMem)
+	}
+	op.onMem = func() {
+		// Capture the request's bytes now — the host may overwrite the
+		// region before the completions land — then stream them back as
+		// MPS-sized CplDs.
+		op.stage = growBytes(op.stage, op.reqLen)
+		op.ep.rc.Mem.ReadInto(op.addr, op.stage[:op.reqLen])
+		mps := op.ep.link.cfg.MPS
+		for off := 0; off < op.reqLen; off += mps {
+			c := op.reqLen - off
+			if c > mps {
+				c = mps
+			}
+			op.ep.countDown(TLPCompletion, c)
+			op.ep.link.Down(c, "CplD", op.onCplD)
+		}
+	}
+	op.onCplD = func() {
+		mps := op.ep.link.cfg.MPS
+		c := op.reqLen - op.chunkOff
+		if c > mps {
+			c = mps
+		}
+		copy(op.dst[op.reqOff+op.chunkOff:], op.stage[op.chunkOff:op.chunkOff+c])
+		op.chunkOff += c
+		if op.chunkOff == op.reqLen {
+			op.done.Fire()
+		}
+	}
+	return op
+}
+
+// DMAReadInto fetches len(dst) bytes from host memory at a into dst,
+// blocking the calling device process for the bus round trips: one MRd
+// per MRRS-sized request, answered by MPS-sized completions. It is the
+// allocation-free form of DMARead.
+func (ep *Endpoint) DMAReadInto(p *sim.Proc, a mem.Addr, dst []byte) {
+	ep.requireBusMaster("DMARead")
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-read")
+	op := ep.getReadOp()
+	op.dst = dst
+	mrrs := ep.link.cfg.MRRS
+	for off := 0; off < n; off += mrrs {
+		req := n - off
+		if req > mrrs {
+			req = mrrs
+		}
+		op.addr = a + mem.Addr(off)
+		op.reqOff, op.reqLen, op.chunkOff = off, req, 0
+		ep.countUp(TLPMemRead, 0)
+		ep.link.Up(0, "MRd", op.onMRd)
+		op.done.Wait(p)
+		op.done.Reset()
+	}
+	op.dst = nil
+	ep.readOps = append(ep.readOps, op)
+	sp.End()
+}
+
 // DMARead fetches n bytes from host memory at a, blocking the calling
-// device process for the bus round trips: one MRd per MRRS-sized
-// request, answered by MPS-sized completions.
+// device process like DMAReadInto but returning a fresh buffer.
 func (ep *Endpoint) DMARead(p *sim.Proc, a mem.Addr, n int) []byte {
 	ep.requireBusMaster("DMARead")
 	if n == 0 {
 		return nil
 	}
-	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-read")
-	out := make([]byte, 0, n)
-	cfg := ep.link.Config()
-	addr := a
-	for _, req := range SplitPayload(n, cfg.MRRS) {
-		reqAddr, reqLen := addr, req
-		done := sim.NewTrigger(ep.sim, ep.name+":dmard")
-		ep.countUp(TLPMemRead, 0)
-		ep.link.Up(0, "MRd", func() {
-			// Root-complex side: memory access latency, then stream
-			// completions back down the link.
-			ep.sim.After(ep.rc.costs.MemLatency, "rc:mem", func() {
-				data := ep.rc.Mem.Read(reqAddr, reqLen)
-				chunks := SplitPayload(reqLen, cfg.MPS)
-				off := 0
-				for i, c := range chunks {
-					last := i == len(chunks)-1
-					chunk := data[off : off+c]
-					off += c
-					ep.countDown(TLPCompletion, c)
-					ep.link.Down(c, "CplD", func() {
-						out = append(out, chunk...)
-						if last {
-							done.Fire()
-						}
-					})
-				}
-			})
-		})
-		done.Wait(p)
-		addr += mem.Addr(req)
-	}
-	sp.End()
+	out := make([]byte, n)
+	ep.DMAReadInto(p, a, out)
 	return out
+}
+
+// dmaWriteOp is the pooled state machine behind DMAWrite: the payload
+// is staged into an owned buffer at issue time and landed chunk by
+// chunk as the posted writes arrive, again relying on per-direction
+// FIFO delivery.
+//
+//fvlint:hotpath
+type dmaWriteOp struct {
+	ep    *Endpoint
+	buf   []byte
+	addr  mem.Addr
+	off   int // next chunk offset to land in host memory
+	sp    sim.SpanRef
+	onMWr func()
+}
+
+func (ep *Endpoint) getWriteOp() *dmaWriteOp {
+	if n := len(ep.writeOps); n > 0 {
+		op := ep.writeOps[n-1]
+		ep.writeOps[n-1] = nil
+		ep.writeOps = ep.writeOps[:n-1]
+		return op
+	}
+	op := &dmaWriteOp{ep: ep}
+	op.onMWr = func() {
+		mps := op.ep.link.cfg.MPS
+		c := len(op.buf) - op.off
+		if c > mps {
+			c = mps
+		}
+		op.ep.rc.Mem.Write(op.addr+mem.Addr(op.off), op.buf[op.off:op.off+c])
+		op.off += c
+		if op.off == len(op.buf) {
+			// Posted: the span closes when the final chunk lands, and
+			// only then is the op idle enough to recycle.
+			op.sp.End()
+			op.sp = sim.SpanRef{}
+			op.ep.writeOps = append(op.ep.writeOps, op)
+		}
+	}
+	return op
 }
 
 // DMAWrite pushes data into host memory at a with posted writes. The
@@ -143,31 +276,36 @@ func (ep *Endpoint) DMAWrite(p *sim.Proc, a mem.Addr, data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-write")
-	cfg := ep.link.Config()
-	addr := a
-	off := 0
+	op := ep.getWriteOp()
+	//fvlint:ignore metricname span ends in the pooled op's final MWr arrival callback
+	op.sp = ep.sim.BeginSpan(telemetry.LayerPCIe, "dma-write")
+	op.buf = growBytes(op.buf, len(data))
+	copy(op.buf, data)
+	op.addr = a
+	op.off = 0
+	mps := ep.link.cfg.MPS
 	var lastSer sim.Time
-	chunks := SplitPayload(len(data), cfg.MPS)
-	for i, c := range chunks {
-		dst := addr
-		chunk := make([]byte, c)
-		copy(chunk, data[off:off+c])
-		off += c
-		addr += mem.Addr(c)
+	for off := 0; off < len(data); off += mps {
+		c := len(data) - off
+		if c > mps {
+			c = mps
+		}
 		ep.countUp(TLPMemWrite, c)
-		last := i == len(chunks)-1
-		lastSer = ep.link.Up(c, "MWr", func() {
-			ep.rc.Mem.Write(dst, chunk)
-			if last {
-				// Posted: the span closes when the final chunk lands.
-				sp.End()
-			}
-		})
+		lastSer = ep.link.Up(c, "MWr", op.onMWr)
 	}
 	if d := lastSer.Sub(p.Now()); d > 0 {
 		p.Sleep(d)
 	}
+}
+
+// msixOp carries the pre-built delivery chain for one MSI-X vector so
+// the interrupt-per-packet path does not allocate.
+type msixOp struct {
+	ep        *Endpoint
+	vector    int
+	name      string // "MSIX:<v>"
+	afterLink func()
+	dispatch  func()
 }
 
 // RaiseMSIX signals MSI-X vector v: an upstream posted write followed by
@@ -185,13 +323,21 @@ func (ep *Endpoint) RaiseMSIX(v int) {
 	if ep.met != nil {
 		ep.met.interrupts.Inc()
 	}
-	sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "msix")
-	ep.link.Up(4, fmt.Sprintf("MSIX:%d", v), func() {
-		ep.sim.After(ep.rc.costs.APICDelay, "rc:apic", func() {
-			sp.End()
-			if ep.rc.irqSink != nil {
-				ep.rc.irqSink(ep, v)
-			}
+	op := ep.msixOps[v]
+	if ep.sim.TracingSpans() {
+		// Tracing path: allocate per-raise closures so overlapping
+		// raises of the same vector each carry their own span.
+		sp := ep.sim.BeginSpan(telemetry.LayerPCIe, "msix")
+		ep.link.Up(4, op.name, func() {
+			ep.sim.After(ep.rc.costs.APICDelay, "rc:apic", func() {
+				sp.End()
+				if ep.rc.irqSink != nil {
+					ep.rc.irqSink(ep, v)
+				}
+			})
 		})
-	})
+		//fvlint:ignore metricname span ends in the APIC-dispatch callback above
+		return
+	}
+	ep.link.Up(4, op.name, op.afterLink)
 }

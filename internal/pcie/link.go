@@ -113,6 +113,9 @@ func (l *Link) serTime(payload int) sim.Duration {
 
 // transmit queues one TLP on dir. It returns the time serialization
 // finishes (sender-side release) and schedules deliver at arrival.
+// When neither spans nor the event tracer are active, the arrival event
+// carries deliver directly — no wrapper closure and no composed name —
+// so a TLP costs zero heap allocations on the steady-state path.
 func (l *Link) transmit(dir *direction, payload int, what string, deliver func()) sim.Time {
 	start := l.sim.Now()
 	if dir.busyUntil > start {
@@ -121,13 +124,17 @@ func (l *Link) transmit(dir *direction, payload int, what string, deliver func()
 	serEnd := start.Add(l.serTime(payload))
 	dir.busyUntil = serEnd
 	arrive := serEnd.Add(l.cfg.Prop)
-	// Wire-layer span: queue + serialization + flight of this TLP.
-	sp := l.sim.BeginSpan(telemetry.LayerWire, dir.name+":"+what)
-	l.sim.At(arrive, "pcie:"+dir.name+":"+what, func() {
-		sp.End()
-		deliver()
-	})
-	//fvlint:ignore metricname span deliberately ends inside the scheduled arrival callback above
+	if l.sim.TracingSpans() || l.sim.Traced() {
+		// Wire-layer span: queue + serialization + flight of this TLP.
+		sp := l.sim.BeginSpan(telemetry.LayerWire, dir.name+":"+what)
+		l.sim.At(arrive, "pcie:"+dir.name+":"+what, func() {
+			sp.End()
+			deliver()
+		})
+		//fvlint:ignore metricname span deliberately ends inside the scheduled arrival callback above
+		return serEnd
+	}
+	l.sim.At(arrive, "pcie:tlp", deliver)
 	return serEnd
 }
 

@@ -53,6 +53,9 @@ type RootComplex struct {
 
 	nextBAR uint64
 	routes  []barRoute
+
+	mmioWriteOps []*mmioWriteOp
+	mmioReadOps  []*mmioReadOp
 }
 
 type barRoute struct {
@@ -141,6 +144,74 @@ func (rc *RootComplex) ConfigWrite32(p *sim.Proc, ep *Endpoint, off int, v uint3
 	sp.End()
 }
 
+// mmioWriteOp is the pooled delivery state for one posted MMIO write:
+// the arrival callback is built once per op, so doorbell writes — the
+// per-packet notification primitive of both driver stacks — do not
+// allocate.
+type mmioWriteOp struct {
+	rc      *RootComplex
+	ep      *Endpoint
+	bar     int
+	off     uint64
+	size    int
+	v       uint64
+	sp      sim.SpanRef
+	deliver func()
+}
+
+func (rc *RootComplex) getMMIOWrite() *mmioWriteOp {
+	if n := len(rc.mmioWriteOps); n > 0 {
+		op := rc.mmioWriteOps[n-1]
+		rc.mmioWriteOps[n-1] = nil
+		rc.mmioWriteOps = rc.mmioWriteOps[:n-1]
+		return op
+	}
+	op := &mmioWriteOp{rc: rc}
+	op.deliver = func() {
+		op.ep.barWrite(op.bar, op.off, op.size, op.v)
+		op.sp.End()
+		op.sp = sim.SpanRef{}
+		op.ep = nil
+		op.rc.mmioWriteOps = append(op.rc.mmioWriteOps, op)
+	}
+	return op
+}
+
+// mmioReadOp is the pooled round-trip state for one non-posted MMIO
+// read (MRd down, register decode, CplD up, trigger fire).
+type mmioReadOp struct {
+	rc    *RootComplex
+	ep    *Endpoint
+	bar   int
+	off   uint64
+	size  int
+	v     uint64
+	done  *sim.Trigger
+	onMRd func()
+	onReg func()
+	fire  func()
+}
+
+func (rc *RootComplex) getMMIORead() *mmioReadOp {
+	if n := len(rc.mmioReadOps); n > 0 {
+		op := rc.mmioReadOps[n-1]
+		rc.mmioReadOps[n-1] = nil
+		rc.mmioReadOps = rc.mmioReadOps[:n-1]
+		return op
+	}
+	op := &mmioReadOp{rc: rc, done: sim.NewTrigger(rc.sim, "mmiord")}
+	op.fire = op.done.Fire
+	op.onMRd = func() {
+		op.rc.sim.After(op.rc.costs.RegReadLatency, "ep:reg", op.onReg)
+	}
+	op.onReg = func() {
+		op.v = op.ep.barRead(op.bar, op.off, op.size)
+		op.ep.countUp(TLPCompletion, op.size)
+		op.ep.link.Up(op.size, "CplD", op.fire)
+	}
+	return op
+}
+
 // MMIOWrite posts a write of size bytes (1, 2, 4 or 8) to a BAR
 // address. The calling host process is charged only the CPU-side cost
 // of the uncached store; delivery is asynchronous (posted semantics) —
@@ -149,31 +220,30 @@ func (rc *RootComplex) ConfigWrite32(p *sim.Proc, ep *Endpoint, off int, v uint3
 func (rc *RootComplex) MMIOWrite(p *sim.Proc, addr uint64, size int, v uint64) {
 	ep, bar, off := rc.route(addr)
 	p.Sleep(rc.costs.MMIOWriteCPU)
-	// Posted write: the span covers CPU post through device-side decode.
-	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-write")
+	op := rc.getMMIOWrite()
+	op.ep, op.bar, op.off, op.size, op.v = ep, bar, off, size, v
+	// Posted write: the span covers CPU post through device-side decode
+	// and ends in the pooled op's arrival callback.
+	//fvlint:ignore metricname span ends in the pooled op's delivery callback
+	op.sp = rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-write")
 	ep.countDown(TLPMemWrite, size)
-	ep.link.Down(size, "MWr", func() {
-		ep.barWrite(bar, off, size, v)
-		sp.End()
-	})
+	ep.link.Down(size, "MWr", op.deliver)
 }
 
 // MMIORead performs a non-posted read of size bytes from a BAR address,
 // blocking the calling host process for the full bus round trip.
 func (rc *RootComplex) MMIORead(p *sim.Proc, addr uint64, size int) uint64 {
 	ep, bar, off := rc.route(addr)
-	var v uint64
-	done := sim.NewTrigger(rc.sim, "mmiord")
+	op := rc.getMMIORead()
+	op.ep, op.bar, op.off, op.size = ep, bar, off, size
 	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-read")
 	ep.countDown(TLPMemRead, 0)
-	ep.link.Down(0, "MRd", func() {
-		rc.sim.After(rc.costs.RegReadLatency, "ep:reg", func() {
-			v = ep.barRead(bar, off, size)
-			ep.countUp(TLPCompletion, size)
-			ep.link.Up(size, "CplD", done.Fire)
-		})
-	})
-	done.Wait(p)
+	ep.link.Down(0, "MRd", op.onMRd)
+	op.done.Wait(p)
+	op.done.Reset()
+	v := op.v
+	op.ep = nil
+	rc.mmioReadOps = append(rc.mmioReadOps, op)
 	sp.End()
 	return v
 }

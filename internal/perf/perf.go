@@ -24,6 +24,13 @@ type Series struct {
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{name: name} }
 
+// NewSeriesCap returns an empty named series with room for n samples,
+// so a measurement loop of known length never reallocates the backing
+// array mid-run.
+func NewSeriesCap(name string, n int) *Series {
+	return &Series{name: name, samples: make([]sim.Duration, 0, n)}
+}
+
 // Name reports the series name.
 func (s *Series) Name() string { return s.name }
 

@@ -9,12 +9,21 @@ import "fmt"
 //
 // Inside the process function, the Proc methods Sleep, Wait and Park
 // block in *simulated* time by yielding back to the scheduler.
+//
+// Finished processes are pooled: the goroutine and its hand-off
+// channels are reused by the next Go/GoAfter, so per-operation process
+// spawns (one per ping, one per interrupt) do not allocate in steady
+// state. The spawn generation counter catches the one hazard pooling
+// introduces — a stale wake event resuming a recycled process — by
+// panicking instead of silently corrupting the schedule.
 type Proc struct {
 	sim    *Sim
 	name   string
 	resume chan struct{}
 	yield  chan struct{}
 	done   bool
+	fn     func(p *Proc)
+	gen    uint32 // spawn generation; bumped when returned to the pool
 }
 
 // Go spawns a process that starts executing at the current simulation
@@ -25,39 +34,69 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 
 // GoAfter spawns a process that starts after delay d.
 func (s *Sim) GoAfter(d Duration, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		sim:    s,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+	var p *Proc
+	if n := len(s.procPool); n > 0 {
+		p = s.procPool[n-1]
+		s.procPool[n-1] = nil
+		s.procPool = s.procPool[:n-1]
+		p.name = name
+	} else {
+		p = &Proc{
+			sim:    s,
+			name:   name,
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+		go p.loop()
 	}
+	p.fn = fn
 	s.procs++
-	go func() {
+	s.ResumeAfter(d, "start", p)
+	return p
+}
+
+// loop is the pooled process goroutine: it runs one body per spawn and
+// then blocks on resume until the scheduler hands it a new body.
+func (p *Proc) loop() {
+	for {
 		<-p.resume
+		fn := p.fn
+		p.fn = nil
 		fn(p)
 		p.done = true
-		s.procs--
+		p.sim.procs--
 		p.yield <- struct{}{}
-	}()
-	s.After(d, "start:"+name, func() { p.run() })
-	return p
+	}
 }
 
 // run transfers control to the process until it parks or finishes.
 // Must be called from the scheduler goroutine (inside an event).
+// A finished process is returned to the scheduler's pool.
 func (p *Proc) run() {
 	p.resume <- struct{}{}
 	<-p.yield
+	if p.done {
+		p.done = false
+		p.gen++
+		p.sim.procPool = append(p.sim.procPool, p)
+	}
 }
 
 // park suspends the process; control returns to the scheduler. The
-// process stays suspended until some event calls run again.
+// process stays suspended until some event calls run again. why should
+// be a precomputed string: it is only read if the simulation deadlocks.
 func (p *Proc) park(why string) {
-	p.sim.parked[p] = p.name + ": " + why
+	p.sim.parked[p] = why
 	p.yield <- struct{}{}
 	<-p.resume
 	delete(p.sim.parked, p)
 }
+
+// Park suspends the process until an event resumes it; pair it with
+// Sim.ResumeAfter. Exactly one resume must be scheduled per Park — the
+// strict hand-off model has no spurious wakeups. why is reported when
+// deadlock detection trips.
+func (p *Proc) Park(why string) { p.park(why) }
 
 // Name reports the process name given at spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -76,23 +115,26 @@ func (p *Proc) Sleep(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.sim.After(d, "wake:"+p.name, func() { p.run() })
+	p.sim.atProc(p.sim.now.Add(d), "wake", p)
 	p.park("sleeping")
 }
 
 // Trigger is a one-shot event: processes that Wait before Fire are
 // suspended until it fires; waits after it has fired return immediately.
 // It models completions (a DMA finishing, an interrupt being serviced).
+// A fired trigger can be re-armed with Reset, so long-lived operations
+// reuse one trigger instead of allocating per completion.
 type Trigger struct {
-	sim     *Sim
-	name    string
-	fired   bool
-	waiters []*Proc
+	sim      *Sim
+	name     string
+	parkName string
+	fired    bool
+	waiters  []*Proc
 }
 
 // NewTrigger returns an unfired trigger bound to s.
 func NewTrigger(s *Sim, name string) *Trigger {
-	return &Trigger{sim: s, name: name}
+	return &Trigger{sim: s, name: name, parkName: "trigger:" + name}
 }
 
 // Fired reports whether the trigger has fired.
@@ -105,7 +147,7 @@ func (t *Trigger) Wait(p *Proc) {
 		return
 	}
 	t.waiters = append(t.waiters, p)
-	p.park("trigger:" + t.name)
+	p.park(t.parkName)
 }
 
 // Fire marks the trigger fired and wakes all waiters in FIFO order.
@@ -115,24 +157,34 @@ func (t *Trigger) Fire() {
 		panic("sim: trigger " + t.name + " fired twice")
 	}
 	t.fired = true
-	for _, p := range t.waiters {
-		q := p
-		t.sim.After(0, "fire:"+t.name, func() { q.run() })
+	for i, p := range t.waiters {
+		t.sim.atProc(t.sim.now, "fire", p)
+		t.waiters[i] = nil
 	}
-	t.waiters = nil
+	t.waiters = t.waiters[:0]
+}
+
+// Reset re-arms a fired trigger for reuse. Resetting with waiters still
+// parked panics: they would wait for a completion that already passed.
+func (t *Trigger) Reset() {
+	if len(t.waiters) != 0 {
+		panic("sim: trigger " + t.name + " reset with parked waiters")
+	}
+	t.fired = false
 }
 
 // Cond is a condition variable for processes. The zero value is unusable;
 // create with NewCond.
 type Cond struct {
-	sim     *Sim
-	name    string
-	waiters []*Proc
+	sim      *Sim
+	name     string
+	parkName string
+	waiters  []*Proc
 }
 
 // NewCond returns a condition variable bound to s.
 func NewCond(s *Sim, name string) *Cond {
-	return &Cond{sim: s, name: name}
+	return &Cond{sim: s, name: name, parkName: "wait:" + name}
 }
 
 // Wait suspends p until Broadcast or Signal. Spurious wakeups do not
@@ -140,7 +192,7 @@ func NewCond(s *Sim, name string) *Cond {
 // their predicate in a loop, as several waiters may be released at once.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("wait:" + c.name)
+	p.park(c.parkName)
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -149,18 +201,19 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.sim.After(0, "signal:"+c.name, func() { p.run() })
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
+	c.sim.atProc(c.sim.now, "signal", p)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		q := p
-		c.sim.After(0, "broadcast:"+c.name, func() { q.run() })
+	for i, p := range c.waiters {
+		c.sim.atProc(c.sim.now, "broadcast", p)
+		c.waiters[i] = nil
 	}
+	c.waiters = c.waiters[:0]
 }
 
 // Waiters reports how many processes are blocked on c.

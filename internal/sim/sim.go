@@ -5,14 +5,23 @@ import (
 	"fmt"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback. Events are recycled through a
+// free-list (see alloc/release): the steady-state per-packet path
+// schedules thousands of events per simulated round trip, and heap
+// allocating each one dominated the profile. An event either carries a
+// closure (fn) or resumes a process directly (proc) — the latter avoids
+// allocating a wrapper closure for the extremely common "wake this
+// process" case.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among equal timestamps
 	name string
 	fn   func()
-	idx  int // heap index
+	proc *Proc  // when non-nil, the event resumes this process
+	pgen uint32 // proc spawn generation captured at schedule time
+	idx  int    // heap index
 	dead bool
+	gen  uint32 // recycle generation, guards stale EventIDs
 }
 
 type eventHeap []*event
@@ -44,13 +53,19 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ e *event }
+// EventID identifies a scheduled event so it can be cancelled. The
+// generation snapshot makes Cancel safe against event recycling: an ID
+// held past the event's execution refers to a retired generation and
+// cancels nothing.
+type EventID struct {
+	e   *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (id EventID) Cancel() {
-	if id.e != nil {
+	if id.e != nil && id.e.gen == id.gen {
 		id.e.dead = true
 	}
 }
@@ -63,16 +78,20 @@ type Tracer interface {
 
 // Sim is a discrete-event scheduler. It is not safe for concurrent use;
 // all model code runs on the scheduler's goroutine (processes created
-// with Go run with strict hand-off, one at a time).
+// with Go run with strict hand-off, one at a time). Distinct Sim
+// instances are fully independent and may run on concurrent goroutines
+// — the parallel sweep engine relies on this isolation.
 type Sim struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	stopped bool
-	tracer  Tracer
-	spans   SpanSink
-	procs   int // live (not yet finished) processes
-	parked  map[*Proc]string
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	stopped  bool
+	tracer   Tracer
+	spans    SpanSink
+	procs    int // live (not yet finished) processes
+	parked   map[*Proc]string
+	free     []*event // recycled events
+	procPool []*Proc  // finished processes whose goroutines idle for reuse
 }
 
 // New returns an empty simulation positioned at time zero.
@@ -86,16 +105,40 @@ func (s *Sim) Now() Time { return s.now }
 // SetTracer installs t as the execution tracer (nil disables tracing).
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 
+// Traced reports whether an execution tracer is installed. Hot paths
+// use it to skip composing event-name strings that only a tracer reads.
+func (s *Sim) Traced() bool { return s.tracer != nil }
+
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+func (s *Sim) release(e *event) {
+	e.name = ""
+	e.fn = nil
+	e.proc = nil
+	e.dead = false
+	e.gen++
+	s.free = append(s.free, e)
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it would violate causality.
 func (s *Sim) At(at Time, name string, fn func()) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, name: name, fn: fn}
+	e := s.alloc()
+	e.at, e.seq, e.name, e.fn = at, s.seq, name, fn
 	s.seq++
 	heap.Push(&s.queue, e)
-	return EventID{e}
+	return EventID{e, e.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -106,19 +149,60 @@ func (s *Sim) After(d Duration, name string, fn func()) EventID {
 	return s.At(s.now.Add(d), name, fn)
 }
 
+// atProc schedules a resume of p at absolute time at without allocating
+// a wrapper closure. label names the event kind ("wake", "start", ...);
+// the tracer composes label:procname lazily, so untraced runs never
+// build the string.
+func (s *Sim) atProc(at Time, label string, p *Proc) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, at, s.now))
+	}
+	e := s.alloc()
+	e.at, e.seq, e.name, e.proc, e.pgen = at, s.seq, label, p, p.gen
+	s.seq++
+	heap.Push(&s.queue, e)
+	return EventID{e, e.gen}
+}
+
+// ResumeAfter schedules p to be resumed d from now. It is the
+// allocation-free dual of Proc.Park: higher layers (wait queues,
+// completion paths) park a process and arrange its wake-up through
+// ResumeAfter instead of allocating a closure per wake. Exactly one
+// resume must be outstanding per parked process.
+func (s *Sim) ResumeAfter(d Duration, label string, p *Proc) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+	}
+	return s.atProc(s.now.Add(d), label, p)
+}
+
 // Step executes the next pending event, advancing time to it.
 // It reports whether an event was executed.
 func (s *Sim) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
 		if e.dead {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		if s.tracer != nil {
-			s.tracer.Event(e.at, e.name)
+			if e.proc != nil {
+				s.tracer.Event(e.at, e.name+":"+e.proc.name)
+			} else {
+				s.tracer.Event(e.at, e.name)
+			}
 		}
-		e.fn()
+		fn, p, pgen := e.fn, e.proc, e.pgen
+		s.release(e)
+		if p != nil {
+			if p.gen != pgen {
+				panic(fmt.Sprintf("sim: stale resume of recycled process %q", p.name))
+			}
+			p.run()
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -166,8 +250,8 @@ func (s *Sim) Pending() int {
 
 func (s *Sim) parkedNames() []string {
 	var names []string
-	for _, why := range s.parked {
-		names = append(names, why)
+	for p, why := range s.parked {
+		names = append(names, p.name+": "+why)
 	}
 	return names
 }

@@ -129,6 +129,11 @@ type queue struct {
 	// Precomputed span names so the engine hot path does not format.
 	serviceSpan string
 	deliverSpan string
+
+	// rdBuf is the queue's gather scratch for ReadChainInto; the engine
+	// services one chain at a time, so a single buffer per queue
+	// suffices and steady-state servicing does not allocate.
+	rdBuf []byte
 }
 
 // Controller is the FPGA-side VirtIO endpoint.
@@ -276,11 +281,15 @@ func (c *Controller) QueueCounter(q int) *fpga.PerfCounter { return c.queues[q].
 // NotifyCount reports how many doorbell writes the device has received.
 func (c *Controller) NotifyCount() int { return c.notifyCount }
 
-// dma adapts the XDMA card port to the virtio.DMA interface.
+// dma adapts the XDMA card port to the virtio.DMA interface, including
+// the allocation-free ReadInto capability the ring engines detect.
 type dma struct{ port *xdmaip.Port }
 
-func (d dma) Read(p *sim.Proc, a mem.Addr, n int) []byte { return d.port.HostRead(p, a, n) }
-func (d dma) Write(p *sim.Proc, a mem.Addr, data []byte) { d.port.HostWrite(p, a, data) }
+func (d dma) Read(p *sim.Proc, a mem.Addr, n int) []byte   { return d.port.HostRead(p, a, n) }
+func (d dma) ReadInto(p *sim.Proc, a mem.Addr, dst []byte) { d.port.HostReadInto(p, a, dst) }
+func (d dma) Write(p *sim.Proc, a mem.Addr, data []byte)   { d.port.HostWrite(p, a, data) }
+
+var _ virtio.DMAReaderInto = dma{}
 
 // ---- BAR register block -------------------------------------------------
 
@@ -635,7 +644,8 @@ func (c *Controller) serviceChain(p *sim.Proc, q *queue) {
 	if err != nil {
 		panic(fmt.Sprintf("vdev: %s q%d: %v", c.ep.Name(), q.idx, err))
 	}
-	data := q.dq.ReadChain(p, chain)
+	data := q.dq.ReadChainInto(p, chain, q.rdBuf)
+	q.rdBuf = data
 	writable := 0
 	for _, d := range chain {
 		if d.Flags&virtio.DescFWrite != 0 {

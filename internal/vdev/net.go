@@ -24,6 +24,9 @@ const (
 // response frames to send back — the paper's echo logic returns one
 // same-size UDP reply per packet. It runs in the user-logic fabric
 // process; cycle costs inside are the implementation's responsibility.
+// The frame argument and the returned frames are scratch valid only
+// until the next HandleFrame call, so implementations may reuse their
+// response buffers and must copy the input if they retain it.
 type FrameHandler interface {
 	HandleFrame(p *sim.Proc, frame []byte) [][]byte
 }
@@ -68,13 +71,16 @@ type NetDevice struct {
 	ctrl *Controller
 	opt  NetOptions
 
-	frames   []txFrame
-	frameC   *sim.Cond
-	respGen  *fpga.PerfCounter
-	promisc  bool
-	curPairs int
-	rxFrames int
-	txFrames int
+	frames    []txFrame
+	frameHead int      // index of the next frame to pop
+	framePool [][]byte // recycled frame buffers (TX engine -> user loop)
+	sendBuf   []byte   // reused header+frame staging for SendOn
+	frameC    *sim.Cond
+	respGen   *fpga.PerfCounter
+	promisc   bool
+	curPairs  int
+	rxFrames  int
+	txFrames  int
 }
 
 // NewNet attaches a network device to the root complex.
@@ -187,7 +193,18 @@ func (d *NetDevice) handleTx(p *sim.Proc, pair int, data []byte) {
 	if err != nil {
 		panic("vdev: net: " + err.Error())
 	}
-	frame := append([]byte{}, data[virtio.NetHdrSize:]...)
+	// The chain data is queue-owned scratch, so the frame is copied into
+	// a pooled buffer that the user loop recycles after handling.
+	need := len(data) - virtio.NetHdrSize
+	var frame []byte
+	if n := len(d.framePool); n > 0 && cap(d.framePool[n-1]) >= need {
+		frame = d.framePool[n-1][:need]
+		d.framePool[n-1] = nil
+		d.framePool = d.framePool[:n-1]
+	} else {
+		frame = make([]byte, need)
+	}
+	copy(frame, data[virtio.NetHdrSize:])
 	if hdr.Flags&virtio.NetHdrFNeedsCsum != 0 {
 		// Checksum datapath runs at line rate over the L4 region.
 		clk := d.ctrl.Clock()
@@ -242,11 +259,16 @@ func (d *NetDevice) Promiscuous() bool { return d.promisc }
 // responses into the RX queue.
 func (d *NetDevice) userLoop(p *sim.Proc) {
 	for {
-		for len(d.frames) == 0 {
+		for len(d.frames) == d.frameHead {
 			d.frameC.Wait(p)
 		}
-		f := d.frames[0]
-		d.frames = d.frames[1:]
+		f := d.frames[d.frameHead]
+		d.frames[d.frameHead] = txFrame{}
+		d.frameHead++
+		if d.frameHead == len(d.frames) {
+			d.frames = d.frames[:0]
+			d.frameHead = 0
+		}
 
 		// Span and counter bracket the same instants: respgen time is
 		// deducted from hardware in both attribution schemes.
@@ -261,6 +283,7 @@ func (d *NetDevice) userLoop(p *sim.Proc) {
 				panic("vdev: net: " + err.Error())
 			}
 		}
+		d.framePool = append(d.framePool, f.frame[:0])
 	}
 }
 
@@ -281,7 +304,13 @@ func (d *NetDevice) SendOn(p *sim.Proc, pair int, frame []byte) error {
 	if d.ctrl.Negotiated().Has(virtio.NetFGuestCsum) {
 		hdr.Flags = virtio.NetHdrFDataValid
 	}
-	buf := append(hdr.Encode(), frame...)
+	n := virtio.NetHdrSize + len(frame)
+	if cap(d.sendBuf) < n {
+		d.sendBuf = make([]byte, n)
+	}
+	buf := d.sendBuf[:n]
+	hdr.EncodeInto(buf)
+	copy(buf[virtio.NetHdrSize:], frame)
 	d.rxFrames++
 	return d.ctrl.Deliver(p, virtio.NetRXQueue(pair), buf)
 }

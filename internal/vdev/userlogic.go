@@ -9,9 +9,13 @@ import (
 // EchoHandler is the paper's test user logic: for every received UDP
 // frame it generates a same-size UDP response (swapped addresses and
 // ports, recomputed checksums), charging the fabric for header rewrite
-// and checksum recomputation at line rate.
+// and checksum recomputation at line rate. The response buffer is
+// handler-owned scratch, reused on the next HandleFrame call — the
+// FrameHandler contract.
 type EchoHandler struct {
-	clk *fpga.Clock
+	clk  *fpga.Clock
+	resp []byte   // reused response frame
+	out  [][]byte // reused one-element response list
 }
 
 // NewEchoHandler returns echo user logic on the given fabric clock.
@@ -19,18 +23,20 @@ func NewEchoHandler(clk *fpga.Clock) *EchoHandler { return &EchoHandler{clk: clk
 
 // HandleFrame implements FrameHandler.
 func (e *EchoHandler) HandleFrame(p *sim.Proc, frame []byte) [][]byte {
-	resp, err := netstack.BuildEchoResponse(frame)
+	resp, err := netstack.BuildEchoResponseInto(frame, e.resp)
 	if err != nil {
 		// Non-UDP frames (e.g. stray ARP) are dropped silently, as the
 		// paper's echo design only answers the test flow.
 		return nil
 	}
+	e.resp = resp
 	// Parse/buffer/rewrite pipeline plus one checksum pass over the
 	// frame at 16 B/cycle — the response-generation time the paper
 	// deducts from the VirtIO measurements.
 	cycles := 150 + e.clk.CyclesFor(len(resp), 16)
 	p.Sleep(e.clk.Cycles(cycles))
-	return [][]byte{resp}
+	e.out = append(e.out[:0], resp)
+	return e.out
 }
 
 // CountingHandler wraps a FrameHandler and counts invocations; used by

@@ -17,21 +17,73 @@ type DMA interface {
 	Write(p *sim.Proc, a mem.Addr, data []byte)
 }
 
+// DMAReaderInto is the optional allocation-free read capability: DMA
+// implementations that can land bytes directly in a caller-supplied
+// buffer implement it, and the device queues detect it once at
+// construction. Implementations without it (test doubles) fall back to
+// Read plus a copy.
+type DMAReaderInto interface {
+	ReadInto(p *sim.Proc, a mem.Addr, dst []byte)
+}
+
 // DeviceQueue is the device-side (FPGA) view of one virtqueue. All
 // accesses go through DMA and block the calling fabric process.
+//
+// Each queue owns scratch buffers reused across per-packet operations,
+// so methods must be called from one fabric process at a time (the
+// controller's engine discipline), and slices returned by FetchChain /
+// NextChain / ReadChain are valid only until the next call of the same
+// kind on this queue.
+//
+//fvlint:hotpath
 type DeviceQueue struct {
 	dma DMA
+	rd  DMAReaderInto // non-nil when dma supports ReadInto
 	lay RingLayout
 
 	lastAvail uint16 // next avail slot to consume
 	usedIdx   uint16 // next used idx to publish
 	eventIdx  bool   // VIRTIO_F_RING_EVENT_IDX negotiated
+
+	u16Scratch  [2]byte             // bus reads of 16-bit ring fields
+	idxScratch  [2]byte             // used-index publication
+	flagScratch [2]byte             // flags / avail-event publication
+	descScratch [descEntrySize]byte // one descriptor-table entry
+	elemScratch [usedEntrySize]byte // one used-ring element
+	chainBuf    []Desc              // FetchChain result storage
+	indBuf      []byte              // raw indirect-table staging
 }
 
 // NewDeviceQueue returns the device-side handle for a ring whose
 // addresses the driver transferred during queue setup.
 func NewDeviceQueue(dma DMA, lay RingLayout) *DeviceQueue {
-	return &DeviceQueue{dma: dma, lay: lay}
+	rd, _ := dma.(DMAReaderInto)
+	return &DeviceQueue{dma: dma, rd: rd, lay: lay}
+}
+
+// readInto fetches len(dst) bytes over the bus without allocating when
+// the DMA path supports it.
+func (q *DeviceQueue) readInto(p *sim.Proc, a mem.Addr, dst []byte) {
+	if q.rd != nil {
+		q.rd.ReadInto(p, a, dst)
+		return
+	}
+	copy(dst, q.dma.Read(p, a, len(dst)))
+}
+
+// readU16 fetches one 16-bit ring field.
+func (q *DeviceQueue) readU16(p *sim.Proc, a mem.Addr) uint16 {
+	q.readInto(p, a, q.u16Scratch[:])
+	return u16le(q.u16Scratch[:])
+}
+
+// growBytes returns b resized to n bytes, reallocating only when the
+// capacity is insufficient.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
 }
 
 // Layout returns the ring layout the queue operates on.
@@ -45,7 +97,7 @@ func u64le(b []byte) uint64 { return uint64(u32le(b)) | uint64(u32le(b[4:]))<<32
 
 // FetchAvailIdx reads the driver's published avail index.
 func (q *DeviceQueue) FetchAvailIdx(p *sim.Proc) uint16 {
-	return u16le(q.dma.Read(p, q.lay.Avail+2, 2))
+	return q.readU16(p, q.lay.Avail+2)
 }
 
 // Pending reports (via one DMA read) how many chains the driver has
@@ -58,7 +110,7 @@ func (q *DeviceQueue) Pending(p *sim.Proc) int {
 // head. Callers must ensure a chain is pending (Pending > 0).
 func (q *DeviceQueue) NextAvailHead(p *sim.Proc) uint16 {
 	slot := q.lay.Avail + availHeaderLen + mem.Addr(q.lastAvail%uint16(q.lay.QueueSize))*2
-	head := u16le(q.dma.Read(p, slot, 2))
+	head := q.readU16(p, slot)
 	q.lastAvail++
 	return head
 }
@@ -66,9 +118,10 @@ func (q *DeviceQueue) NextAvailHead(p *sim.Proc) uint16 {
 // FetchChain walks the descriptor chain starting at head, fetching each
 // descriptor-table entry over the bus. An indirect descriptor resolves
 // with a single read of the whole indirect table — the bus-efficiency
-// win VIRTIO_F_RING_INDIRECT_DESC exists for.
+// win VIRTIO_F_RING_INDIRECT_DESC exists for. The returned slice is
+// queue-owned scratch, valid until the next FetchChain on this queue.
 func (q *DeviceQueue) FetchChain(p *sim.Proc, head uint16) ([]Desc, error) {
-	var out []Desc
+	out := q.chainBuf[:0]
 	idx := head
 	for {
 		if int(idx) >= q.lay.QueueSize {
@@ -77,8 +130,8 @@ func (q *DeviceQueue) FetchChain(p *sim.Proc, head uint16) ([]Desc, error) {
 		if len(out) > q.lay.QueueSize {
 			return nil, fmt.Errorf("virtio: descriptor chain longer than queue (loop?)")
 		}
-		raw := q.dma.Read(p, q.lay.Desc+mem.Addr(idx)*descEntrySize, descEntrySize)
-		d := decodeDesc(raw)
+		q.readInto(p, q.lay.Desc+mem.Addr(idx)*descEntrySize, q.descScratch[:])
+		d := decodeDesc(q.descScratch[:])
 		if d.Flags&DescFIndirect != 0 {
 			if len(out) != 0 || d.Flags&DescFNext != 0 {
 				return nil, fmt.Errorf("virtio: indirect descriptor must be the sole ring entry")
@@ -86,6 +139,7 @@ func (q *DeviceQueue) FetchChain(p *sim.Proc, head uint16) ([]Desc, error) {
 			return q.fetchIndirect(p, d)
 		}
 		out = append(out, d)
+		q.chainBuf = out
 		if d.Flags&DescFNext == 0 {
 			return out, nil
 		}
@@ -116,8 +170,10 @@ func (q *DeviceQueue) fetchIndirect(p *sim.Proc, ind Desc) ([]Desc, error) {
 	if count > q.lay.QueueSize {
 		return nil, fmt.Errorf("virtio: indirect table of %d entries exceeds queue size %d", count, q.lay.QueueSize)
 	}
-	raw := q.dma.Read(p, ind.Addr, n)
-	out := make([]Desc, 0, count)
+	q.indBuf = growBytes(q.indBuf, n)
+	q.readInto(p, ind.Addr, q.indBuf)
+	raw := q.indBuf
+	out := q.chainBuf[:0]
 	idx := 0
 	for {
 		if idx < 0 || idx >= count || len(out) > count {
@@ -128,6 +184,7 @@ func (q *DeviceQueue) fetchIndirect(p *sim.Proc, ind Desc) ([]Desc, error) {
 			return nil, fmt.Errorf("virtio: nested indirect descriptor")
 		}
 		out = append(out, d)
+		q.chainBuf = out
 		if d.Flags&DescFNext == 0 {
 			return out, nil
 		}
@@ -135,14 +192,36 @@ func (q *DeviceQueue) fetchIndirect(p *sim.Proc, ind Desc) ([]Desc, error) {
 	}
 }
 
-// ReadChain gathers the contents of all device-readable segments.
+// ReadChain gathers the contents of all device-readable segments into a
+// fresh buffer.
 func (q *DeviceQueue) ReadChain(p *sim.Proc, chain []Desc) []byte {
-	var out []byte
+	return q.ReadChainInto(p, chain, nil)
+}
+
+// ReadChainInto gathers the device-readable segments into buf (reusing
+// its capacity, reallocating only on growth) and returns the gathered
+// bytes. This is the allocation-free form the controller's per-packet
+// engine uses with a per-queue scratch buffer.
+func (q *DeviceQueue) ReadChainInto(p *sim.Proc, chain []Desc, buf []byte) []byte {
+	out := buf[:0]
 	for _, d := range chain {
 		if d.Flags&DescFWrite == 0 {
-			out = append(out, q.dma.Read(p, d.Addr, int(d.Len))...)
+			out = appendRead(p, q, out, d)
 		}
 	}
+	return out
+}
+
+// appendRead grows out by d.Len bytes and fills them from host memory.
+func appendRead(p *sim.Proc, q *DeviceQueue, out []byte, d Desc) []byte {
+	n, need := len(out), int(d.Len)
+	if cap(out)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:n+need]
+	q.readInto(p, d.Addr, out[n:])
 	return out
 }
 
@@ -172,7 +251,7 @@ func (q *DeviceQueue) WriteChain(p *sim.Proc, chain []Desc, data []byte) int {
 // the incremented used index (two posted writes, ordered by the bus).
 func (q *DeviceQueue) PushUsed(p *sim.Proc, head uint16, written int) {
 	slot := q.lay.Used + usedHeaderLen + mem.Addr(q.usedIdx%uint16(q.lay.QueueSize))*usedEntrySize
-	elem := make([]byte, usedEntrySize)
+	elem := q.elemScratch[:]
 	putU32 := func(b []byte, v uint32) {
 		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 	}
@@ -180,14 +259,14 @@ func (q *DeviceQueue) PushUsed(p *sim.Proc, head uint16, written int) {
 	putU32(elem[4:], uint32(written))
 	q.dma.Write(p, slot, elem)
 	q.usedIdx++
-	idx := []byte{byte(q.usedIdx), byte(q.usedIdx >> 8)}
-	q.dma.Write(p, q.lay.Used+2, idx)
+	q.idxScratch[0], q.idxScratch[1] = byte(q.usedIdx), byte(q.usedIdx>>8)
+	q.dma.Write(p, q.lay.Used+2, q.idxScratch[:])
 }
 
 // InterruptSuppressed reads the driver's avail flags and reports
 // whether VRING_AVAIL_F_NO_INTERRUPT is set.
 func (q *DeviceQueue) InterruptSuppressed(p *sim.Proc) bool {
-	return u16le(q.dma.Read(p, q.lay.Avail, 2))&AvailFNoInterrupt != 0
+	return q.readU16(p, q.lay.Avail)&AvailFNoInterrupt != 0
 }
 
 // SetNoNotify publishes UsedFNoNotify, telling the driver doorbells may
@@ -197,5 +276,6 @@ func (q *DeviceQueue) SetNoNotify(p *sim.Proc, on bool) {
 	if on {
 		v = UsedFNoNotify
 	}
-	q.dma.Write(p, q.lay.Used, []byte{byte(v), byte(v >> 8)})
+	q.flagScratch[0], q.flagScratch[1] = byte(v), byte(v>>8)
+	q.dma.Write(p, q.lay.Used, q.flagScratch[:])
 }

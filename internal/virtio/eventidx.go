@@ -76,7 +76,7 @@ func (q *DeviceQueue) EventIdx() bool { return q.eventIdx }
 // write, preserving the race-free ordering.
 func (q *DeviceQueue) ShouldInterruptAt(p *sim.Proc, oldIdx, newIdx uint16) bool {
 	if q.eventIdx {
-		event := u16le(q.dma.Read(p, q.lay.usedEventAddr(), 2))
+		event := q.readU16(p, q.lay.usedEventAddr())
 		return NeedEvent(event, newIdx, oldIdx)
 	}
 	return !q.InterruptSuppressed(p)
@@ -85,7 +85,8 @@ func (q *DeviceQueue) ShouldInterruptAt(p *sim.Proc, oldIdx, newIdx uint16) bool
 // PublishAvailEvent writes the device's doorbell threshold: "kick me
 // when avail moves past idx".
 func (q *DeviceQueue) PublishAvailEvent(p *sim.Proc, idx uint16) {
-	q.dma.Write(p, q.lay.availEventAddr(), []byte{byte(idx), byte(idx >> 8)})
+	q.flagScratch[0], q.flagScratch[1] = byte(idx), byte(idx>>8)
+	q.dma.Write(p, q.lay.availEventAddr(), q.flagScratch[:])
 }
 
 // UsedIdx reports the device's next used index (entries published so far).

@@ -28,6 +28,13 @@ type NetHdr struct {
 // Encode renders the 12-byte wire format.
 func (h NetHdr) Encode() []byte {
 	b := make([]byte, NetHdrSize)
+	h.EncodeInto(b)
+	return b
+}
+
+// EncodeInto renders the wire format into b[:NetHdrSize], which must
+// have room — the allocation-free form for per-packet paths.
+func (h NetHdr) EncodeInto(b []byte) {
 	b[0] = h.Flags
 	b[1] = h.GSOType
 	put := func(o int, v uint16) { b[o] = byte(v); b[o+1] = byte(v >> 8) }
@@ -36,7 +43,6 @@ func (h NetHdr) Encode() []byte {
 	put(6, h.CsumStart)
 	put(8, h.CsumOffset)
 	put(10, h.NumBuffers)
-	return b
 }
 
 // DecodeNetHdr parses the 12-byte wire format.

@@ -231,9 +231,14 @@ func (q *PackedDriverQueue) KickDone() { q.kickArmed = false }
 // ---- device side ----------------------------------------------------------
 
 // PackedDeviceQueue is the device-side packed virtqueue; all accesses
-// go through costed DMA.
+// go through costed DMA. Like DeviceQueue it owns per-queue scratch,
+// so methods run from one fabric process at a time and returned slices
+// are valid only until the next call of the same kind.
+//
+//fvlint:hotpath
 type PackedDeviceQueue struct {
 	dma DMA
+	rd  DMAReaderInto // non-nil when dma supports ReadInto
 	lay PackedLayout
 
 	idx      int  // next slot to poll for available descriptors
@@ -243,24 +248,42 @@ type PackedDeviceQueue struct {
 
 	// pending caches the head descriptor the last HasPending read, so
 	// NextChain does not pay for it twice.
-	pending   *Desc
-	pendingID uint16
+	pending    Desc
+	pendingID  uint16
+	hasPending bool
+
+	descScratch  [descEntrySize]byte // one descriptor slot read
+	complScratch [descEntrySize]byte // one used-descriptor write
+	eventScratch [4]byte             // event-suppression accesses
+	chainBuf     []Desc              // NextChain result storage
 }
 
 // NewPackedDeviceQueue returns the device-side handle.
 func NewPackedDeviceQueue(dma DMA, lay PackedLayout) *PackedDeviceQueue {
-	return &PackedDeviceQueue{dma: dma, lay: lay, wrap: true, usedWrap: true}
+	rd, _ := dma.(DMAReaderInto)
+	return &PackedDeviceQueue{dma: dma, rd: rd, lay: lay, wrap: true, usedWrap: true}
 }
 
 // Layout returns the ring layout.
 func (q *PackedDeviceQueue) Layout() PackedLayout { return q.lay }
+
+// readInto fetches len(dst) bytes over the bus without allocating when
+// the DMA path supports it.
+func (q *PackedDeviceQueue) readInto(p *sim.Proc, a mem.Addr, dst []byte) {
+	if q.rd != nil {
+		q.rd.ReadInto(p, a, dst)
+		return
+	}
+	copy(dst, q.dma.Read(p, a, len(dst)))
+}
 
 // readSlot fetches one descriptor (16 bytes, one bus read). The packed
 // layout differs from the split one: the buffer ID sits at offset 12
 // and the flags at offset 14 (there is no next field — chains are
 // positional).
 func (q *PackedDeviceQueue) readSlot(p *sim.Proc, i int) (Desc, uint16) {
-	raw := q.dma.Read(p, q.lay.slotAddr(i), descEntrySize)
+	raw := q.descScratch[:]
+	q.readInto(p, q.lay.slotAddr(i), raw)
 	d := Desc{
 		Addr:  mem.Addr(u64le(raw)),
 		Len:   u32le(raw[8:]),
@@ -280,10 +303,10 @@ func (q *PackedDeviceQueue) isAvail(flags uint16) bool {
 func (q *PackedDeviceQueue) HasPending(p *sim.Proc) bool {
 	d, id := q.readSlot(p, q.idx)
 	if !q.isAvail(d.Flags) {
-		q.pending = nil
+		q.hasPending = false
 		return false
 	}
-	q.pending, q.pendingID = &d, id
+	q.pending, q.pendingID, q.hasPending = d, id, true
 	return true
 }
 
@@ -293,15 +316,16 @@ func (q *PackedDeviceQueue) HasPending(p *sim.Proc) bool {
 func (q *PackedDeviceQueue) NextChain(p *sim.Proc) ([]Desc, ChainToken, error) {
 	head := q.pending
 	id := q.pendingID
-	if head == nil {
+	if !q.hasPending {
 		d, did := q.readSlot(p, q.idx)
 		if !q.isAvail(d.Flags) {
 			return nil, ChainToken{}, fmt.Errorf("virtio: packed NextChain with nothing pending")
 		}
-		head, id = &d, did
+		head, id = d, did
 	}
-	q.pending = nil
-	chain := []Desc{*head}
+	q.hasPending = false
+	chain := append(q.chainBuf[:0], head)
+	q.chainBuf = chain
 	q.advance()
 	for chain[len(chain)-1].Flags&DescFNext != 0 {
 		if len(chain) > q.lay.QueueSize {
@@ -313,6 +337,7 @@ func (q *PackedDeviceQueue) NextChain(p *sim.Proc) ([]Desc, ChainToken, error) {
 		}
 		id = did
 		chain = append(chain, d)
+		q.chainBuf = chain
 		q.advance()
 	}
 	return chain, ChainToken{Head: id, Len: len(chain)}, nil
@@ -338,10 +363,22 @@ func (q *PackedDeviceQueue) advance() {
 
 // ReadChain implements DeviceRing.
 func (q *PackedDeviceQueue) ReadChain(p *sim.Proc, chain []Desc) []byte {
-	var out []byte
+	return q.ReadChainInto(p, chain, nil)
+}
+
+// ReadChainInto implements DeviceRing: gather into buf's capacity.
+func (q *PackedDeviceQueue) ReadChainInto(p *sim.Proc, chain []Desc, buf []byte) []byte {
+	out := buf[:0]
 	for _, d := range chain {
 		if d.Flags&DescFWrite == 0 {
-			out = append(out, q.dma.Read(p, d.Addr, int(d.Len))...)
+			n, need := len(out), int(d.Len)
+			if cap(out)-n < need {
+				grown := make([]byte, n, n+need)
+				copy(grown, out)
+				out = grown
+			}
+			out = out[:n+need]
+			q.readInto(p, d.Addr, out[n:])
 		}
 	}
 	return out
@@ -373,7 +410,10 @@ func (q *PackedDeviceQueue) WriteChain(p *sim.Proc, chain []Desc, data []byte) i
 // the chain's remaining slots.
 func (q *PackedDeviceQueue) Complete(p *sim.Proc, tok ChainToken, written int) {
 	a := q.lay.slotAddr(q.usedIdx)
-	buf := make([]byte, descEntrySize)
+	buf := q.complScratch[:]
+	for i := range buf {
+		buf[i] = 0
+	}
 	put32 := func(o int, v uint32) {
 		buf[o], buf[o+1], buf[o+2], buf[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 	}
@@ -391,7 +431,8 @@ func (q *PackedDeviceQueue) Complete(p *sim.Proc, tok ChainToken, written int) {
 
 // ShouldInterrupt implements DeviceRing via the driver event structure.
 func (q *PackedDeviceQueue) ShouldInterrupt(p *sim.Proc) bool {
-	return u32le(q.dma.Read(p, q.lay.DriverEvent, 4)) == PackedEventFlagEnable
+	q.readInto(p, q.lay.DriverEvent, q.eventScratch[:])
+	return u32le(q.eventScratch[:]) == PackedEventFlagEnable
 }
 
 // ShouldInterruptSince implements DeviceRing: the packed driver-event
@@ -403,7 +444,8 @@ func (q *PackedDeviceQueue) ShouldInterruptSince(p *sim.Proc, n int) bool {
 // PublishIdleHint implements DeviceRing: (re-)enable doorbells in the
 // device event structure before the engine parks.
 func (q *PackedDeviceQueue) PublishIdleHint(p *sim.Proc) {
-	q.dma.Write(p, q.lay.DeviceEvent, []byte{PackedEventFlagEnable, 0, 0, 0})
+	q.eventScratch = [4]byte{PackedEventFlagEnable, 0, 0, 0}
+	q.dma.Write(p, q.lay.DeviceEvent, q.eventScratch[:])
 }
 
 var (

@@ -21,10 +21,16 @@ type DeviceRing interface {
 	// exposed at least one chain the device has not consumed.
 	HasPending(p *sim.Proc) bool
 	// NextChain consumes the next pending chain (HasPending must have
-	// reported true) and returns its descriptors.
+	// reported true) and returns its descriptors. The slice is
+	// ring-owned scratch, valid until the next NextChain call.
 	NextChain(p *sim.Proc) ([]Desc, ChainToken, error)
-	// ReadChain gathers all device-readable segment contents.
+	// ReadChain gathers all device-readable segment contents into a
+	// fresh buffer.
 	ReadChain(p *sim.Proc, chain []Desc) []byte
+	// ReadChainInto gathers the device-readable segment contents into
+	// buf, reusing its capacity, and returns the gathered bytes — the
+	// allocation-free form used on the per-packet path.
+	ReadChainInto(p *sim.Proc, chain []Desc, buf []byte) []byte
 	// WriteChain scatters data into device-writable segments.
 	WriteChain(p *sim.Proc, chain []Desc, data []byte) int
 	// Complete publishes the chain's completion.

@@ -71,6 +71,12 @@ type channel struct {
 	runs      *telemetry.Counter
 	descs     *telemetry.Counter
 	dataBytes *telemetry.Counter
+
+	// Per-engine scratch: one descriptor image and one data staging
+	// buffer, reused across descriptors so the steady-state engine run
+	// does not allocate.
+	descBuf [DescSize]byte
+	dataBuf []byte
 }
 
 // NewVendor attaches a vendor XDMA device to the root complex and
@@ -197,8 +203,8 @@ func (ch *channel) run(p *sim.Proc) {
 		completed := uint32(0)
 		for {
 			p.Sleep(d.clk.Cycles(descFetchSetupCycles))
-			raw := chunkedRead(p, d.ep, d.clk, descAddr, DescSize)
-			desc, err := DecodeDescriptor(raw)
+			chunkedReadInto(p, d.ep, d.clk, descAddr, ch.descBuf[:])
+			desc, err := DecodeDescriptor(ch.descBuf[:])
 			if err != nil {
 				panic(fmt.Sprintf("xdmaip: %s: %v", ch.name, err))
 			}
@@ -206,12 +212,16 @@ func (ch *channel) run(p *sim.Proc) {
 			ch.descs.Inc()
 			ch.dataBytes.Add(int64(n))
 			p.Sleep(d.clk.Cycles(programCycles))
+			if cap(ch.dataBuf) < n {
+				ch.dataBuf = make([]byte, n)
+			}
+			data := ch.dataBuf[:n]
 			if ch.h2c {
-				data := chunkedRead(p, d.ep, d.clk, mem.Addr(desc.Src), n)
+				chunkedReadInto(p, d.ep, d.clk, mem.Addr(desc.Src), data)
 				p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
 				d.bram.Write(mem.Addr(desc.Dst), data)
 			} else {
-				data := d.bram.Read(mem.Addr(desc.Src), n)
+				d.bram.ReadInto(mem.Addr(desc.Src), data)
 				p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
 				chunkedWrite(p, d.ep, d.clk, mem.Addr(desc.Dst), data)
 			}

@@ -189,13 +189,21 @@ func NewPort(s *sim.Sim, ep *pcie.Endpoint, clk *fpga.Clock) *Port {
 // the calling fabric process for engine programming plus one bus round
 // trip per MPS-sized chunk (single outstanding request).
 func (pt *Port) HostRead(p *sim.Proc, addr mem.Addr, n int) []byte {
+	out := make([]byte, n)
+	pt.HostReadInto(p, addr, out)
+	return out
+}
+
+// HostReadInto is HostRead into a caller-supplied buffer — the
+// allocation-free form the VirtIO controller's per-packet ring walks
+// use. Timing and bus traffic are identical to HostRead.
+func (pt *Port) HostReadInto(p *sim.Proc, addr mem.Addr, dst []byte) {
 	pt.reads.Inc()
-	pt.readBytes.Add(int64(n))
+	pt.readBytes.Add(int64(len(dst)))
 	sp := pt.sim.BeginSpan(telemetry.LayerDMAEngine, "port.read")
 	p.Sleep(pt.clk.Cycles(programCycles))
-	out := chunkedRead(p, pt.ep, pt.clk, addr, n)
+	chunkedReadInto(p, pt.ep, pt.clk, addr, dst)
 	sp.End()
-	return out
 }
 
 // HostWrite pushes data to host memory (C2H direction) with per-chunk
@@ -212,26 +220,29 @@ func (pt *Port) HostWrite(p *sim.Proc, addr mem.Addr, data []byte) {
 // Clock returns the port's fabric clock.
 func (pt *Port) Clock() *fpga.Clock { return pt.clk }
 
-// chunkedRead issues one non-posted read round trip per MPS chunk.
-func chunkedRead(p *sim.Proc, ep *pcie.Endpoint, clk *fpga.Clock, addr mem.Addr, n int) []byte {
+// chunkedReadInto issues one non-posted read round trip per MPS chunk,
+// landing the bytes directly in dst.
+func chunkedReadInto(p *sim.Proc, ep *pcie.Endpoint, clk *fpga.Clock, addr mem.Addr, dst []byte) {
 	mps := ep.Link().Config().MPS
-	out := make([]byte, 0, n)
-	for _, c := range pcie.SplitPayload(n, mps) {
+	for off := 0; off < len(dst); off += mps {
+		c := len(dst) - off
+		if c > mps {
+			c = mps
+		}
 		p.Sleep(clk.Cycles(chunkReadCycles))
-		out = append(out, ep.DMARead(p, addr, c)...)
-		addr += mem.Addr(c)
+		ep.DMAReadInto(p, addr+mem.Addr(off), dst[off:off+c])
 	}
-	return out
 }
 
 // chunkedWrite issues posted writes with per-chunk engine overhead.
 func chunkedWrite(p *sim.Proc, ep *pcie.Endpoint, clk *fpga.Clock, addr mem.Addr, data []byte) {
 	mps := ep.Link().Config().MPS
-	off := 0
-	for _, c := range pcie.SplitPayload(len(data), mps) {
+	for off := 0; off < len(data); off += mps {
+		c := len(data) - off
+		if c > mps {
+			c = mps
+		}
 		p.Sleep(clk.Cycles(chunkWriteCycles))
-		ep.DMAWrite(p, addr, data[off:off+c])
-		addr += mem.Addr(c)
-		off += c
+		ep.DMAWrite(p, addr+mem.Addr(off), data[off:off+c])
 	}
 }

@@ -201,6 +201,28 @@ func (ns *NetSession) pingDetailed(payload []byte) ([]byte, RTTSample, error) {
 	return echo, sample, err
 }
 
+// PingSeries runs n timed echo exchanges inside one application
+// process — the sweep's hot loop. Unlike n separate Ping calls it
+// spawns a single process for the whole batch and recycles the echoed
+// payload buffers back to the socket, so the steady-state per-packet
+// path is allocation-free. sample (optional) receives each round
+// trip's index and decomposition as it completes.
+func (ns *NetSession) PingSeries(payload []byte, n int, sample func(i int, s RTTSample)) error {
+	return ns.run(func(p *sim.Proc) error {
+		for i := 0; i < n; i++ {
+			echo, s, err := ns.pingOnce(p, payload)
+			if err != nil {
+				return fmt.Errorf("fpgavirtio: ping %d: %w", i, err)
+			}
+			ns.sock.Recycle(echo)
+			if sample != nil {
+				sample(i, s)
+			}
+		}
+		return nil
+	})
+}
+
 // pingOnce runs one timed echo exchange inside an application process.
 // Both the latency mode and the window=1 streaming mode execute exactly
 // this sequence, which is what makes their per-packet results agree.

@@ -150,6 +150,55 @@ func TestReplayXDMAThroughput(t *testing.T) {
 	requireSameMetrics(t, m1, m2)
 }
 
+// The batch series APIs (the sweep engine's hot loop) must replay
+// exactly like everything else: same seed, same samples, same metrics.
+
+func netSeriesRun(t *testing.T, seed uint64, packets int) ([]RTTSample, []telemetry.MetricSnapshot) {
+	t.Helper()
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	samples := make([]RTTSample, 0, packets)
+	err = ns.PingSeries(buf, packets, func(i int, s RTTSample) {
+		samples = append(samples, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, ns.Registry().Snapshot()
+}
+
+func TestReplayNetPingSeries(t *testing.T) {
+	s1, m1 := netSeriesRun(t, 42, 200)
+	s2, m2 := netSeriesRun(t, 42, 200)
+	requireSameSamples(t, s1, s2)
+	requireSameMetrics(t, m1, m2)
+}
+
+func TestReplayXDMARoundTripSeries(t *testing.T) {
+	run := func() ([]RTTSample, []telemetry.MetricSnapshot) {
+		xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 42}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 256)
+		samples := make([]RTTSample, 0, 200)
+		err = xs.RoundTripSeries(buf, 200, func(i int, s RTTSample) {
+			samples = append(samples, s)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return samples, xs.Registry().Snapshot()
+	}
+	s1, m1 := run()
+	s2, m2 := run()
+	requireSameSamples(t, s1, s2)
+	requireSameMetrics(t, m1, m2)
+}
+
 // Different seeds must NOT replay identically — otherwise the equality
 // checks above would pass vacuously on a seed-blind implementation.
 func TestReplayDistinguishesSeeds(t *testing.T) {

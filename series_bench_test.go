@@ -1,0 +1,63 @@
+package fpgavirtio_test
+
+import (
+	"testing"
+
+	fpgavirtio "fpgavirtio"
+)
+
+// Steady-state per-packet benchmarks for the series APIs the sweep
+// engine drives. One iteration is one round trip inside a warm
+// session, so with -benchmem the allocs/op column IS the per-packet
+// allocation count — the same quantity alloc_test.go caps at zero.
+
+func BenchmarkPingSeriesSteadyState(b *testing.B) {
+	ns, err := fpgavirtio.OpenNet(fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if err := ns.PingSeries(buf, 200, nil); err != nil { // warm pools and rings
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := ns.PingSeries(buf, b.N, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPackedRingSeriesSteadyState(b *testing.B) {
+	ns, err := fpgavirtio.OpenNet(fpgavirtio.NetConfig{
+		Config:        fpgavirtio.Config{Seed: 1},
+		UsePackedRing: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if err := ns.PingSeries(buf, 200, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := ns.PingSeries(buf, b.N, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRoundTripSeriesSteadyState(b *testing.B) {
+	xs, err := fpgavirtio.OpenXDMA(fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 256+54)
+	if err := xs.RoundTripSeries(buf, 200, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := xs.RoundTripSeries(buf, b.N, nil); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -137,11 +137,37 @@ func (xs *XDMASession) RoundTripDetailed(data []byte) (RTTSample, error) {
 	return sample, err
 }
 
+// RoundTripSeries runs n timed write/read exchanges inside one
+// application process, reusing a single read-back buffer — the sweep's
+// hot loop, allocation-free in steady state. sample (optional)
+// receives each round trip's index and decomposition as it completes.
+func (xs *XDMASession) RoundTripSeries(data []byte, n int, sample func(i int, s RTTSample)) error {
+	back := make([]byte, len(data))
+	return xs.run(func(p *sim.Proc) error {
+		for i := 0; i < n; i++ {
+			s, err := xs.roundTripInto(p, data, back)
+			if err != nil {
+				return fmt.Errorf("fpgavirtio: round trip %d: %w", i, err)
+			}
+			if sample != nil {
+				sample(i, s)
+			}
+		}
+		return nil
+	})
+}
+
 // roundTripOnce runs one timed write/read exchange inside an
 // application process. Both the latency mode and the window=1 streaming
 // mode execute exactly this sequence, which is what makes their
 // per-packet results agree.
 func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error) {
+	return xs.roundTripInto(p, data, make([]byte, len(data)))
+}
+
+// roundTripInto is roundTripOnce with a caller-supplied read-back
+// buffer (len(back) must equal len(data)).
+func (xs *XDMASession) roundTripInto(p *sim.Proc, data, back []byte) (RTTSample, error) {
 	t0 := xs.host.ClockGettime(p)
 	// The app span brackets the same instants as the RTT timer, so
 	// span-derived totals agree with RTTSample.Total.
@@ -161,7 +187,6 @@ func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error
 		}
 		xs.host.SyscallExit(p)
 	}
-	back := make([]byte, len(data))
 	if _, err := xs.c2h.Read(p, back); err != nil {
 		sp.End()
 		return RTTSample{}, err
