@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint vuln fuzzseed flake ci smoke bench benchcmp benchsmoke clean
+.PHONY: all build test race vet fmt lint vuln fuzzseed flake chaos ci smoke bench benchcmp benchsmoke clean
 
 all: build
 
@@ -42,7 +42,7 @@ vuln:
 # saved crashers under testdata/fuzz) as ordinary tests — no -fuzz time
 # budget needed, so it is cheap enough for every CI run.
 fuzzseed:
-	$(GO) test -run '^Fuzz' -v ./internal/virtio ./internal/pcie
+	$(GO) test -run '^Fuzz' -v ./internal/virtio ./internal/pcie ./internal/faults
 
 # flake runs vet plus the race detector with -count=2: the second pass
 # reruns everything with warm caches and different goroutine timings,
@@ -88,7 +88,16 @@ smoke:
 		-json $${TMPDIR:-/tmp}/fvbench-tp-smoke.json -csv $${TMPDIR:-/tmp}/fvbench-tp-smoke.csv > /dev/null
 	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
 
-ci: build fmt lint vuln fuzzseed flake smoke benchsmoke
+# chaos is the fault-injection soak gate: the full sweep runs under
+# the default chaos plan (experiments.DefaultChaosPlan) with the race
+# detector and the fvassert recovery invariants compiled in, and must
+# complete with at least one recovery of every class — virtio device
+# reset, XDMA channel reset, lost-interrupt watchdog — plus
+# byte-identical results at any worker count.
+chaos:
+	$(GO) test -race -tags fvinvariants -run '^TestChaos' -v ./internal/experiments
+
+ci: build fmt lint vuln fuzzseed flake chaos smoke benchsmoke
 	@echo "ci: all checks passed"
 
 clean:

@@ -39,6 +39,11 @@
 //	-hist     print per-point latency histograms with fig3
 //	-payloads comma-separated payload sizes (default: the paper's sweep)
 //	-sizes    alias of -payloads
+//	-faults   fault-injection plan armed in every measured session
+//	          (class[:p=..][:every=N][:after=N][:count=N], comma-
+//	          separated; sweep experiments only). Faulted samples are
+//	          flagged, excluded from percentiles, and summarized after
+//	          the run; the artifact gains a "faults" section.
 //	-mode     latency (default) or throughput
 //	-window   throughput mode: in-flight request window (default 16)
 //	-qpairs   throughput mode: virtio-net queue pairs (default 1)
@@ -60,6 +65,7 @@ import (
 
 	fpgavirtio "fpgavirtio"
 	"fpgavirtio/internal/experiments"
+	"fpgavirtio/internal/faults"
 )
 
 func main() {
@@ -74,6 +80,7 @@ func main() {
 	window := flag.Int("window", 16, "throughput mode: in-flight request window")
 	qpairs := flag.Int("qpairs", 1, "throughput mode: virtio-net queue pairs")
 	rate := flag.Float64("rate", 0, "throughput mode: offered rate in packets/s (0 = closed loop)")
+	faultsPlan := flag.String("faults", "", "fault-injection plan, e.g. needsreset:every=120:count=4,irqdrop:p=0.001 (sweep experiments only)")
 	jsonPath := flag.String("json", "", "write the run's bench artifact as JSON to this file")
 	csvPath := flag.String("csv", "", "write the run's bench artifact as CSV to this file")
 	metrics := flag.Bool("metrics", false, "dump per-point telemetry metric snapshots to stdout")
@@ -114,6 +121,12 @@ func main() {
 	if *gen3 {
 		p.Link = fpgavirtio.Gen3x4
 	}
+	if *faultsPlan != "" {
+		if _, err := faults.Parse(*faultsPlan); err != nil {
+			usageErr("%v", err)
+		}
+		p.Faults = *faultsPlan
+	}
 	sizesArg := *payloads
 	if set["sizes"] {
 		sizesArg = *sizes
@@ -147,6 +160,9 @@ func main() {
 		}
 		if *hist || *metrics {
 			usageErr("-hist/-metrics apply to -mode=latency")
+		}
+		if p.Faults != "" {
+			usageErr("-faults applies to the latency-mode sweep experiments")
 		}
 		if set["parallel"] {
 			usageErr("-parallel applies to the latency-mode sweep")
@@ -188,6 +204,9 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 	if (jsonPath != "" || csvPath != "" || metrics) && !isSweep {
 		usageErr("-json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
 	}
+	if p.Faults != "" && !isSweep {
+		usageErr("-faults applies to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
+	}
 
 	needSweep := func() *experiments.Sweep {
 		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers (%d workers)...\n",
@@ -197,6 +216,9 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 			fail(err)
 		}
 		exportSweep(sw, experiment, jsonPath, csvPath, metrics, fail)
+		if report := experiments.RenderFaultReport(sw); report != "" {
+			fmt.Fprint(os.Stderr, report)
+		}
 		return sw
 	}
 

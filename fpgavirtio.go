@@ -99,6 +99,14 @@ type Config struct {
 	Link Link
 	// Host selects the operating-system cost model.
 	Host HostProfile
+	// Faults arms deterministic fault injection from a plan string (see
+	// internal/faults: "class[:p=…][:every=…][:after=…][:count=…]"
+	// clauses, comma-separated). Empty means no injection — the default,
+	// byte-identical to builds without the fault machinery. Fault draws
+	// come from a dedicated fork of the session RNG, so a plan's
+	// injections are replayable for a given Seed and do not perturb the
+	// host-noise stream.
+	Faults string
 }
 
 func (c Config) hostConfig() hostos.Config {

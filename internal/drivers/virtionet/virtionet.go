@@ -38,6 +38,18 @@ const (
 	refillCost     = sim.Duration(150) * sim.Nanosecond // try_fill_recv per buffer
 )
 
+// Completion-watchdog tuning. The watchdog process only exists when the
+// endpoint has a fault injector armed; the zero-fault simulation runs
+// no watchdog at all.
+const (
+	// watchdogPeriod is the poll interval of the recovery watchdog.
+	watchdogPeriod = sim.Duration(50) * sim.Microsecond
+	// watchdogStrikes is how many consecutive stuck observations a queue
+	// needs before the watchdog intervenes — one tick of grace so a
+	// poll that is merely scheduled-but-not-run is not misdiagnosed.
+	watchdogStrikes = 2
+)
+
 // Options controls bring-up.
 type Options struct {
 	Name string
@@ -91,6 +103,21 @@ type pairQueues struct {
 	// txTokens holds the pre-boxed txToken for each transmit buffer, so
 	// the per-packet AddChain does not re-box the token interface.
 	txTokens []any
+	// txInFlight / txLen track which transmit buffers are exposed to the
+	// device and how long each posted frame is — the requeue set a device
+	// reset must resubmit. txInFlight doubles as the double-complete
+	// invariant's state.
+	txInFlight []bool
+	txLen      []int
+	// rxAddrs remembers every receive buffer ever posted, so a reset can
+	// repost the full set into the rebuilt ring.
+	rxAddrs []mem.Addr
+	// polling is the single-flight latch of napiPoll: the watchdog's
+	// rescue poll must not interleave with an interrupt-driven poll.
+	polling bool
+	// Watchdog strike counters (see watchdogStrikes).
+	rxStrikes, txStrikes int
+	lastInFlight         int
 	// txUsed / rxUsed / irqUsed are harvest scratch. IRQ-context reclaim
 	// (onTxIRQ) gets its own buffer because it can preempt a process-
 	// context reclaim at a CPU-cost yield; reclaiming asserts that two
@@ -114,7 +141,12 @@ func (pq *pairQueues) reclaimTx(p *sim.Proc) int {
 	}
 	used := pq.tx.HarvestInto(p, pq.txUsed)
 	for _, u := range used {
-		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+		idx := u.Token.(txToken).idx
+		if fvassert.Enabled && !pq.txInFlight[idx] {
+			fvassert.Failf("virtionet: TX completion for buffer %d that is not in flight", idx)
+		}
+		pq.txInFlight[idx] = false
+		pq.txFree = append(pq.txFree, idx)
 	}
 	pq.txUsed = used[:0]
 	if fvassert.Enabled {
@@ -145,6 +177,17 @@ type Device struct {
 	TxPackets, RxPackets, RxIRQs int
 
 	txPkts, rxPkts, rxIRQs *telemetry.Counter
+
+	// Recovery state. want/qsize/maxPairs are the bring-up parameters a
+	// device reset must replay; resetting gates every IRQ path while the
+	// rings are being rebuilt. The rec* counters are registered only when
+	// the endpoint has a fault injector armed.
+	want      virtio.Feature
+	qsize     int
+	maxPairs  int
+	resetting bool
+
+	recResets, recWatchdog, recRequeued *telemetry.Counter
 
 	// hdrBuf stages the virtio-net header encode; it is filled and
 	// written to host memory in one runnable interval, so sharing it
@@ -206,6 +249,7 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	if opt.WantPacked {
 		want |= virtio.FRingPacked
 	}
+	d.want = want
 	feats, err := tr.Negotiate(p, want)
 	if err != nil {
 		return nil, err
@@ -237,11 +281,13 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	if pairs > 1 && !feats.Has(virtio.NetFCtrlVQ) {
 		return nil, fmt.Errorf("virtionet: %d queue pairs need the control queue", pairs)
 	}
+	d.maxPairs = maxPairs
 
 	qsize := opt.QueueSize
 	if qsize == 0 {
 		qsize = 256
 	}
+	d.qsize = qsize
 	for i := 0; i < pairs; i++ {
 		pq := &pairQueues{txWQ: h.NewWaitQueue(fmt.Sprintf("%s.tx%d", opt.Name, i))}
 		if pq.rx, err = tr.SetupQueue(p, virtio.NetRXQueue(i), qsize); err != nil {
@@ -277,6 +323,7 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	for _, pq := range d.pairs {
 		for i := 0; i < opt.RXBuffers; i++ {
 			addr := tr.AllocBuffer(d.rxBufSize)
+			pq.rxAddrs = append(pq.rxAddrs, addr)
 			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}, rxToken{addr: addr, idx: i}); err != nil {
 				return nil, err
 			}
@@ -287,6 +334,8 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	// Per-pair transmit buffer pools sized to the ring. Tokens are boxed
 	// once here so the per-packet post reuses the interface values.
 	for _, pq := range d.pairs {
+		pq.txInFlight = make([]bool, qsize)
+		pq.txLen = make([]int, qsize)
 		for i := 0; i < qsize; i++ {
 			pq.txBufs = append(pq.txBufs, tr.AllocBuffer(virtio.NetHdrSize+netstack.EthHdrSize+int(d.mtu)+64))
 			pq.txFree = append(pq.txFree, i)
@@ -295,6 +344,18 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	}
 
 	tr.DriverOK(p)
+	if tr.EP.Faults() != nil {
+		// Recovery machinery exists only under fault injection: the
+		// config-change interrupt catches device-initiated NEEDS_RESET,
+		// and the watchdog process catches lost completions and lost
+		// interrupts. Started before the MQ activation command so a
+		// fault on the very first control exchange is already rescued.
+		d.recResets = reg.Counter(telemetry.MetricRecoveryVirtioResets)
+		d.recWatchdog = reg.Counter(telemetry.MetricRecoveryVirtioWatchd)
+		d.recRequeued = reg.Counter(telemetry.MetricRecoveryVirtioRequeue)
+		h.RegisterIRQ(tr.EP, 0, d.onConfigIRQ)
+		h.Sim.Go(opt.Name+".watchdog", d.watchdog)
+	}
 	if feats.Has(virtio.NetFMQ) {
 		if err := d.ctrlCommand(p, virtio.NetCtrlMQ, virtio.NetCtrlMQPairs,
 			[]byte{byte(pairs), byte(pairs >> 8)}); err != nil {
@@ -386,6 +447,8 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	if err := pq.tx.AddChain1(p, virtio.BufSeg{Addr: buf, Len: n}, pq.txTokens[idx]); err != nil {
 		return err
 	}
+	pq.txLen[idx] = n
+	pq.txInFlight[idx] = true
 	switch {
 	case d.opt.ForceKicks:
 		pq.tx.Kick(p)
@@ -430,9 +493,17 @@ func (d *Device) FlushTx(p *sim.Proc) {
 // off: reclaim and wake any stalled transmitter.
 func (d *Device) onTxIRQ(p *sim.Proc, pq *pairQueues) {
 	d.host.CPUWork(p, irqBodyCost)
+	if d.resetting {
+		return
+	}
 	used := pq.tx.HarvestInto(p, pq.irqUsed)
 	for _, u := range used {
-		pq.txFree = append(pq.txFree, u.Token.(txToken).idx)
+		idx := u.Token.(txToken).idx
+		if fvassert.Enabled && !pq.txInFlight[idx] {
+			fvassert.Failf("virtionet: TX completion for buffer %d that is not in flight", idx)
+		}
+		pq.txInFlight[idx] = false
+		pq.txFree = append(pq.txFree, idx)
 	}
 	pq.irqUsed = used[:0]
 	pq.txWQ.Wake()
@@ -444,6 +515,9 @@ func (d *Device) onRxIRQ(p *sim.Proc, pq *pairQueues) {
 	d.RxIRQs++
 	d.rxIRQs.Inc()
 	d.host.CPUWork(p, irqBodyCost)
+	if d.resetting {
+		return
+	}
 	pq.rx.SetNoInterrupt(true)
 	p.Sleep(d.host.Config().SoftIRQLatency)
 	d.napiPoll(p, pq)
@@ -453,9 +527,20 @@ func (d *Device) onRxIRQ(p *sim.Proc, pq *pairQueues) {
 // reposts buffers, then re-enables interrupts (with the standard
 // re-check to close the race).
 func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
+	// Single-flight: a spurious interrupt or a watchdog rescue poll must
+	// not interleave with a poll already in progress (they would share
+	// the pair's harvest scratch).
+	if pq.polling {
+		return
+	}
+	pq.polling = true
 	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.napi")
 	defer sp.End()
 	for {
+		if d.resetting {
+			pq.polling = false
+			return
+		}
 		used := pq.rx.HarvestInto(p, pq.rxUsed)
 		pq.rxUsed = used
 		for _, u := range used {
@@ -479,6 +564,12 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 				// packet, as the stack does.
 				_ = d.stack.Input(p, rx)
 			}
+			// A reset that began at one of the yields above owns the
+			// buffers now: recoverReset reposts the full RX set itself.
+			if d.resetting {
+				pq.polling = false
+				return
+			}
 			// Repost the buffer, reusing the token the harvest returned.
 			d.host.CPUWork(p, refillCost)
 			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}, u.Token); err != nil {
@@ -492,6 +583,7 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 		}
 		pq.rx.SetNoInterrupt(false)
 		if !pq.rx.HasUsed() {
+			pq.polling = false
 			return
 		}
 		// More arrived between drain and re-enable: poll again.
@@ -502,6 +594,9 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 // onCtrlIRQ completes a pending control command.
 func (d *Device) onCtrlIRQ(p *sim.Proc) {
 	d.host.CPUWork(p, irqBodyCost)
+	if d.resetting {
+		return
+	}
 	d.ctrlWQ.Wake()
 }
 
@@ -541,4 +636,207 @@ func (d *Device) SetPromiscuous(p *sim.Proc, on bool) error {
 		v = 1
 	}
 	return d.ctrlCommand(p, virtio.NetCtrlRx, virtio.NetCtrlRxPromisc, []byte{v})
+}
+
+// Resetting reports whether a device reset recovery is in progress.
+func (d *Device) Resetting() bool { return d.resetting }
+
+// onConfigIRQ handles the config-change interrupt (MSI-X vector 0):
+// the device uses it to announce DEVICE_NEEDS_RESET.
+func (d *Device) onConfigIRQ(p *sim.Proc) {
+	d.host.CPUWork(p, irqBodyCost)
+	if d.resetting {
+		return
+	}
+	if d.tr.ReadISR(p)&virtio.ISRConfig == 0 {
+		return
+	}
+	if d.tr.ReadStatus(p)&virtio.StatusNeedsReset == 0 {
+		return
+	}
+	d.recoverReset(p)
+}
+
+// recoverReset is the spec's reset sequence (virtio 1.2 §2.4): tear the
+// driver state down, re-negotiate from status 0, rebuild every ring,
+// repost all receive buffers, and resubmit the transmits the device
+// abandoned mid-flight. Runs in whatever process observed NEEDS_RESET
+// (config IRQ or watchdog).
+func (d *Device) recoverReset(p *sim.Proc) {
+	if d.resetting {
+		return
+	}
+	d.resetting = true
+	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.reset")
+	d.recResets.Inc()
+
+	// Harvest completions that landed before the device stopped, so
+	// finished chains are returned to the free list and never requeued.
+	for _, pq := range d.pairs {
+		pq.reclaimTx(p)
+	}
+	// The old rings are dead the moment re-negotiation starts; any
+	// further use is a driver bug (fvinvariants builds panic on it).
+	for _, pq := range d.pairs {
+		pq.rx.MarkDead()
+		pq.tx.MarkDead()
+	}
+	if d.ctrlq != nil {
+		d.ctrlq.MarkDead()
+	}
+
+	feats, err := d.tr.Negotiate(p, d.want)
+	if err != nil {
+		panic("virtionet: reset re-negotiation: " + err.Error())
+	}
+	for i, pq := range d.pairs {
+		rx, err := d.tr.SetupQueue(p, virtio.NetRXQueue(i), d.qsize)
+		if err != nil {
+			panic("virtionet: reset RX rebuild: " + err.Error())
+		}
+		tx, err := d.tr.SetupQueue(p, virtio.NetTXQueue(i), d.qsize)
+		if err != nil {
+			panic("virtionet: reset TX rebuild: " + err.Error())
+		}
+		pq.rx, pq.tx = rx, tx
+		if d.opt.SuppressTxInterrupts {
+			pq.tx.SetNoInterrupt(true)
+		}
+	}
+	if d.ctrlq != nil {
+		ctrlIdx := queueCtrl
+		if feats.Has(virtio.NetFMQ) {
+			ctrlIdx = virtio.NetCtrlQueue(d.maxPairs)
+		}
+		cq, err := d.tr.SetupQueue(p, ctrlIdx, 16)
+		if err != nil {
+			panic("virtionet: reset ctrl rebuild: " + err.Error())
+		}
+		d.ctrlq = cq
+	}
+	// The IRQ registrations survive: the handler closures dereference
+	// pq.rx / pq.tx / d.ctrlq at delivery time and the vector numbers
+	// are a function of the queue indices, which did not change.
+
+	// Repost the entire receive buffer set into the fresh ring.
+	for _, pq := range d.pairs {
+		for i, addr := range pq.rxAddrs {
+			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: addr, Len: d.rxBufSize, DeviceWritten: true}, rxToken{addr: addr, idx: i}); err != nil {
+				panic("virtionet: reset RX repost: " + err.Error())
+			}
+		}
+		pq.rx.Kick(p)
+	}
+	d.tr.DriverOK(p)
+
+	// Requeue the transmits the device never completed. Anything the
+	// pre-reset reclaim freed has txInFlight cleared, so a buffer can
+	// not be double-requeued.
+	for _, pq := range d.pairs {
+		requeued := 0
+		for idx, inflight := range pq.txInFlight {
+			if !inflight {
+				continue
+			}
+			if fvassert.Enabled {
+				for _, f := range pq.txFree {
+					if f == idx {
+						fvassert.Failf("virtionet: requeue of TX buffer %d already on the free list", idx)
+					}
+				}
+			}
+			if err := pq.tx.AddChain1(p, virtio.BufSeg{Addr: pq.txBufs[idx], Len: pq.txLen[idx]}, pq.txTokens[idx]); err != nil {
+				panic("virtionet: reset TX requeue: " + err.Error())
+			}
+			d.recRequeued.Inc()
+			requeued++
+		}
+		pq.unkicked = 0
+		if requeued > 0 {
+			pq.tx.Kick(p)
+		}
+	}
+
+	// Recovery done: lift the gate before the MQ command, whose
+	// completion interrupt would otherwise be swallowed by it.
+	d.resetting = false
+	if feats.Has(virtio.NetFMQ) {
+		pairs := len(d.pairs)
+		if err := d.ctrlCommand(p, virtio.NetCtrlMQ, virtio.NetCtrlMQPairs,
+			[]byte{byte(pairs), byte(pairs >> 8)}); err != nil {
+			panic("virtionet: reset VQ_PAIRS_SET: " + err.Error())
+		}
+	}
+	for _, pq := range d.pairs {
+		pq.txWQ.Wake()
+	}
+	sp.End()
+}
+
+// watchdog is the completion watchdog: a periodic sweep that catches
+// what a lost interrupt or a silently stopped device would otherwise
+// turn into a hang. It only runs when fault injection is armed.
+func (d *Device) watchdog(p *sim.Proc) {
+	for {
+		p.Sleep(watchdogPeriod)
+		if d.resetting {
+			continue
+		}
+		// A NEEDS_RESET whose config interrupt was dropped.
+		if d.tr.ReadStatus(p)&virtio.StatusNeedsReset != 0 {
+			d.recWatchdog.Inc()
+			d.recoverReset(p)
+			continue
+		}
+		for _, pq := range d.pairs {
+			// RX completions pending with no poll running: the RX
+			// interrupt was lost. Two strikes, then rescue-poll.
+			if pq.rx.HasUsed() && !pq.polling {
+				pq.rxStrikes++
+				if pq.rxStrikes >= watchdogStrikes {
+					pq.rxStrikes = 0
+					d.recWatchdog.Inc()
+					pq.rx.SetNoInterrupt(true)
+					d.napiPoll(p, pq)
+				}
+			} else {
+				pq.rxStrikes = 0
+			}
+			if d.resetting {
+				break
+			}
+			// TX chains in flight with no progress and nothing harvested:
+			// the doorbell (or the device's run) was lost — re-ring. A
+			// spurious doorbell is harmless, so this is safe to be wrong.
+			inflight := 0
+			for _, f := range pq.txInFlight {
+				if f {
+					inflight++
+				}
+			}
+			if inflight > 0 && inflight == pq.lastInFlight && !pq.tx.HasUsed() {
+				pq.txStrikes++
+				if pq.txStrikes >= watchdogStrikes {
+					pq.txStrikes = 0
+					d.recWatchdog.Inc()
+					pq.tx.Kick(p)
+				}
+			} else {
+				pq.txStrikes = 0
+			}
+			pq.lastInFlight = inflight
+			// Completions landed but the waker's interrupt was elided or
+			// dropped while a transmitter sleeps: wake it to reclaim.
+			if pq.tx.HasUsed() && pq.txWQ.Waiters() > 0 {
+				d.recWatchdog.Inc()
+				pq.txWQ.Wake()
+			}
+		}
+		// A control command waiting on a completion whose interrupt was
+		// dropped.
+		if !d.resetting && d.ctrlq != nil && d.ctrlq.HasUsed() && d.ctrlWQ.Waiters() > 0 {
+			d.recWatchdog.Inc()
+			d.ctrlWQ.Wake()
+		}
+	}
 }

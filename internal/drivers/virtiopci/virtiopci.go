@@ -10,6 +10,7 @@ package virtiopci
 import (
 	"fmt"
 
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
@@ -42,6 +43,12 @@ type Transport struct {
 
 	doorbells, kicksElided      *telemetry.Counter
 	descsPosted, descsCompleted *telemetry.Counter
+
+	// mmioRetries counts config-space read retries and status rewrites
+	// issued while recovering from injected completion faults. Only
+	// registered when the endpoint has a fault injector armed, so the
+	// zero-fault metric snapshot is unchanged.
+	mmioRetries *telemetry.Counter
 }
 
 // Probe binds to an enumerated VirtIO function: verify IDs, walk the
@@ -59,6 +66,9 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Transport, erro
 		kicksElided:    reg.Counter(telemetry.MetricVirtioKicksElided),
 		descsPosted:    reg.Counter(telemetry.MetricVirtioDescsPosted),
 		descsCompleted: reg.Counter(telemetry.MetricVirtioDescsCompleted),
+	}
+	if info.EP.Faults() != nil {
+		t.mmioRetries = reg.Counter(telemetry.MetricRecoveryMMIORetries)
 	}
 	// Walk the capability list the way pci_find_capability does.
 	status := h.RC.ConfigRead32(p, info.EP, pcie.CfgCommand) >> 16
@@ -104,38 +114,91 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo) (*Transport, erro
 
 // common-config accessors (MMIO through the root complex).
 
+// readRetry is an MMIO read that tolerates injected completion faults.
+// The bus surfaces a poisoned, timed-out, or stalled completion as
+// all-ones (what a real root port returns on an unsupported-request or
+// completer-abort), so an all-ones value from a register that can never
+// legitimately be all-ones is retried with doubling backoff. Six
+// retries starting at 1 us (1+2+4+8+16+32 us) outlast the injected
+// stall window, after which the last value is returned as-is.
+func (t *Transport) readRetry(p *sim.Proc, addr uint64, size int) uint64 {
+	v := t.Host.RC.MMIORead(p, addr, size)
+	if t.EP.Faults() == nil {
+		return v
+	}
+	ones := uint64(1)<<(8*uint(size)) - 1
+	delay := sim.Us(1)
+	for i := 0; i < 6 && v == ones; i++ {
+		t.mmioRetries.Inc()
+		p.Sleep(delay)
+		delay *= 2
+		v = t.Host.RC.MMIORead(p, addr, size)
+	}
+	return v
+}
+
 func (t *Transport) cr8(p *sim.Proc, off uint64) byte {
-	return byte(t.Host.RC.MMIORead(p, t.commonBase+off, 1))
+	return byte(t.readRetry(p, t.commonBase+off, 1))
 }
 func (t *Transport) cw8(p *sim.Proc, off uint64, v byte) {
 	t.Host.RC.MMIOWrite(p, t.commonBase+off, 1, uint64(v))
 }
 func (t *Transport) cr16(p *sim.Proc, off uint64) uint16 {
-	return uint16(t.Host.RC.MMIORead(p, t.commonBase+off, 2))
+	return uint16(t.readRetry(p, t.commonBase+off, 2))
 }
 func (t *Transport) cw16(p *sim.Proc, off uint64, v uint16) {
 	t.Host.RC.MMIOWrite(p, t.commonBase+off, 2, uint64(v))
 }
 func (t *Transport) cr32(p *sim.Proc, off uint64) uint32 {
-	return uint32(t.Host.RC.MMIORead(p, t.commonBase+off, 4))
+	return uint32(t.readRetry(p, t.commonBase+off, 4))
 }
 func (t *Transport) cw32(p *sim.Proc, off uint64, v uint32) {
 	t.Host.RC.MMIOWrite(p, t.commonBase+off, 4, uint64(v))
 }
 
-// Reset writes status 0 and waits for the device to acknowledge.
+// statusWrite writes the device status register and, under fault
+// injection, verifies the write landed — a dropped posted TLP would
+// otherwise lose a bring-up step silently and wedge negotiation.
+func (t *Transport) statusWrite(p *sim.Proc, st byte) {
+	t.cw8(p, virtio.CommonDeviceStatus, st)
+	if t.EP.Faults() == nil {
+		return
+	}
+	for i := 0; i < 6; i++ {
+		if t.cr8(p, virtio.CommonDeviceStatus) == st {
+			return
+		}
+		t.mmioRetries.Inc()
+		t.cw8(p, virtio.CommonDeviceStatus, st)
+	}
+}
+
+// Reset writes status 0 and waits for the device to acknowledge. Under
+// fault injection the zero write is reissued periodically in case the
+// original TLP was dropped.
 func (t *Transport) Reset(p *sim.Proc) {
 	t.cw8(p, virtio.CommonDeviceStatus, 0)
-	for t.cr8(p, virtio.CommonDeviceStatus) != 0 {
+	faulted := t.EP.Faults() != nil
+	for i := 0; t.cr8(p, virtio.CommonDeviceStatus) != 0; i++ {
 		p.Sleep(sim.Us(1))
+		if faulted && i%4 == 3 {
+			t.mmioRetries.Inc()
+			t.cw8(p, virtio.CommonDeviceStatus, 0)
+		}
 	}
+}
+
+// ReadStatus reads the device status byte — the driver's NEEDS_RESET
+// detection point (virtio 1.2 §2.1).
+func (t *Transport) ReadStatus(p *sim.Proc) byte {
+	return t.cr8(p, virtio.CommonDeviceStatus)
 }
 
 // Negotiate performs the status/feature dance up to FEATURES_OK.
 func (t *Transport) Negotiate(p *sim.Proc, want virtio.Feature) (virtio.Feature, error) {
 	t.Reset(p)
-	t.cw8(p, virtio.CommonDeviceStatus, virtio.StatusAcknowledge)
-	t.cw8(p, virtio.CommonDeviceStatus, virtio.StatusAcknowledge|virtio.StatusDriver)
+	t.statusWrite(p, virtio.StatusAcknowledge)
+	t.statusWrite(p, virtio.StatusAcknowledge|virtio.StatusDriver)
 
 	t.cw32(p, virtio.CommonDeviceFeatureSel, 0)
 	lo := t.cr32(p, virtio.CommonDeviceFeature)
@@ -154,7 +217,7 @@ func (t *Transport) Negotiate(p *sim.Proc, want virtio.Feature) (virtio.Feature,
 	t.cw32(p, virtio.CommonDriverFeature, uint32(uint64(t.features)>>32))
 
 	st := virtio.StatusAcknowledge | virtio.StatusDriver | virtio.StatusFeaturesOK
-	t.cw8(p, virtio.CommonDeviceStatus, byte(st))
+	t.statusWrite(p, byte(st))
 	if t.cr8(p, virtio.CommonDeviceStatus)&virtio.StatusFeaturesOK == 0 {
 		return 0, fmt.Errorf("virtiopci: device rejected features %v", t.features)
 	}
@@ -171,7 +234,7 @@ func (t *Transport) NumQueues() int { return t.numQueues }
 // DriverOK completes bring-up.
 func (t *Transport) DriverOK(p *sim.Proc) {
 	st := virtio.StatusAcknowledge | virtio.StatusDriver | virtio.StatusFeaturesOK | virtio.StatusDriverOK
-	t.cw8(p, virtio.CommonDeviceStatus, byte(st))
+	t.statusWrite(p, byte(st))
 }
 
 // ReadDeviceConfig reads n bytes from the device-specific window.
@@ -183,9 +246,11 @@ func (t *Transport) ReadDeviceConfig(p *sim.Proc, off uint64, n int) []byte {
 	return out
 }
 
-// ReadISR reads (and thereby clears) the ISR status byte.
+// ReadISR reads (and thereby clears) the ISR status byte. The retry on
+// a faulted completion is safe: a poisoned read never reaches the
+// device, so the ISR bits are not consumed by the failed attempt.
 func (t *Transport) ReadISR(p *sim.Proc) byte {
-	return byte(t.Host.RC.MMIORead(p, t.isrBase, 1))
+	return byte(t.readRetry(p, t.isrBase, 1))
 }
 
 // VQ is one configured virtqueue: the driver-side ring (split or
@@ -198,11 +263,20 @@ type VQ struct {
 	size       int
 	notifyAddr uint64
 
+	// dead marks a queue torn down by a device reset. The ring memory is
+	// gone from the device's point of view; any further use is a driver
+	// bug the fvinvariants build turns into a panic.
+	dead bool
+
 	// segScratch backs AddChain1's one-element chain. It is filled after
 	// the CPU-cost yield and consumed in the same runnable interval, so
 	// concurrent posters on the same queue cannot observe a torn fill.
 	segScratch [1]virtio.BufSeg
 }
+
+// MarkDead flags the queue as torn down by a reset; subsequent ring
+// operations trip the use-after-reset invariant under -tags fvinvariants.
+func (vq *VQ) MarkDead() { vq.dead = true }
 
 // Size reports the negotiated queue size.
 func (vq *VQ) Size() int { return vq.size }
@@ -297,6 +371,9 @@ func (vq *VQ) RegisterIRQ(handler func(p *sim.Proc)) {
 
 // AddChain exposes a buffer chain, charging the driver's CPU cost.
 func (vq *VQ) AddChain(p *sim.Proc, segs []virtio.BufSeg, token any) error {
+	if fvassert.Enabled && vq.dead {
+		fvassert.Failf("virtiopci: AddChain on queue %d after reset began", vq.Index)
+	}
 	vq.tr.Host.CPUWork(p, addChainBaseCost+sim.Duration(len(segs))*addSegCost)
 	_, err := vq.ring.Add(segs, token)
 	if err == nil {
@@ -308,6 +385,9 @@ func (vq *VQ) AddChain(p *sim.Proc, segs []virtio.BufSeg, token any) error {
 // AddChain1 posts a one-segment chain without materialising a slice —
 // the allocation-free form for per-packet TX and RX-repost paths.
 func (vq *VQ) AddChain1(p *sim.Proc, seg virtio.BufSeg, token any) error {
+	if fvassert.Enabled && vq.dead {
+		fvassert.Failf("virtiopci: AddChain1 on queue %d after reset began", vq.Index)
+	}
 	vq.tr.Host.CPUWork(p, addChainBaseCost+addSegCost)
 	vq.segScratch[0] = seg
 	_, err := vq.ring.Add(vq.segScratch[:], token)
@@ -327,6 +407,9 @@ func (vq *VQ) Harvest(p *sim.Proc) []virtio.Used {
 // allocation-free form for per-packet ISR paths, which keep the
 // returned slice as scratch for the next harvest.
 func (vq *VQ) HarvestInto(p *sim.Proc, buf []virtio.Used) []virtio.Used {
+	if fvassert.Enabled && vq.dead {
+		fvassert.Failf("virtiopci: HarvestInto on queue %d after reset began", vq.Index)
+	}
 	out := buf[:0]
 	for {
 		u, ok := vq.ring.GetUsed()
@@ -342,6 +425,9 @@ func (vq *VQ) HarvestInto(p *sim.Proc, buf []virtio.Used) []virtio.Used {
 // Kick rings the queue's doorbell: a single posted MMIO write — the
 // entire runtime signalling cost of the VirtIO TX path.
 func (vq *VQ) Kick(p *sim.Proc) {
+	if fvassert.Enabled && vq.dead {
+		fvassert.Failf("virtiopci: Kick on queue %d after reset began", vq.Index)
+	}
 	vq.tr.doorbells.Inc()
 	vq.tr.Host.RC.MMIOWrite(p, vq.notifyAddr, 2, uint64(vq.Index))
 	vq.KickDone()

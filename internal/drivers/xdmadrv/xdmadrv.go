@@ -14,6 +14,7 @@ package xdmadrv
 import (
 	"fmt"
 
+	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
@@ -42,6 +43,23 @@ const MaxTransfer = 1 << 20
 // driver's descriptor-ring allocation per channel).
 const MaxBatchDescs = 256
 
+// Recovery tuning, active only when the endpoint has a fault injector
+// armed (the zero-fault submit path takes none of these branches).
+const (
+	// maxResubmits bounds the retry loop of a failing transfer.
+	maxResubmits = 5
+	// resubmitBackoff is the base delay before a resubmission; it
+	// doubles per attempt.
+	resubmitBackoff = sim.Duration(2) * sim.Microsecond
+)
+
+// xferTimeout is the completion watchdog deadline for an n-byte
+// transfer: generous fixed slack plus a per-byte term, so a slow large
+// transfer is never mistaken for a lost one.
+func xferTimeout(n int) sim.Duration {
+	return sim.Ms(1) + sim.Duration(n)*20*sim.Nanosecond
+}
+
 // Driver is a bound XDMA function exposing H2C and C2H device nodes.
 type Driver struct {
 	host *hostos.Host
@@ -53,6 +71,9 @@ type Driver struct {
 
 	// CardOffset is where transfers land in / come from card memory.
 	CardOffset uint64
+
+	// Recovery counters, registered only when fault injection is armed.
+	recResets, recWatchdog, recResubmits *telemetry.Counter
 }
 
 type channelState struct {
@@ -70,6 +91,11 @@ type channelState struct {
 	wq       *hostos.WaitQueue
 	complete bool
 	busy     bool
+	// errSeen records a StatusDescError observed by the ISR; timedOut
+	// records a completion-watchdog expiry. Both only change under
+	// fault injection.
+	errSeen  bool
+	timedOut bool
 
 	Transfers int
 
@@ -89,6 +115,13 @@ func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo, name string) (*Dr
 
 	// Enable both channel interrupts in the IRQ block.
 	h.RC.MMIOWrite(p, d.bar1+xdmaip.IRQBlockBase+xdmaip.RegIRQChanEnable, 4, 0x3)
+
+	if d.ep.Faults() != nil {
+		reg := h.Metrics()
+		d.recResets = reg.Counter(telemetry.MetricRecoveryXDMAResets)
+		d.recWatchdog = reg.Counter(telemetry.MetricRecoveryXDMAWatchdog)
+		d.recResubmits = reg.Counter(telemetry.MetricRecoveryXDMAResubmits)
+	}
 
 	h.RegisterCharDev("/dev/"+d.h2c.name, d.h2c)
 	h.RegisterCharDev("/dev/"+d.c2h.name, d.c2h)
@@ -122,6 +155,11 @@ func (d *Driver) newChannel(p *sim.Proc, name string, h2c bool, chanBase, sgdma 
 	return ch
 }
 
+// NoteDataRetry records a session-level end-to-end retry (a round trip
+// whose data integrity check failed under fault injection and was
+// reissued). Callers must only invoke it with fault injection armed.
+func (d *Driver) NoteDataRetry() { d.recResubmits.Inc() }
+
 // H2CStats and C2HStats report per-channel transfer counts.
 func (d *Driver) H2CStats() int { return d.h2c.Transfers }
 
@@ -129,12 +167,19 @@ func (d *Driver) H2CStats() int { return d.h2c.Transfers }
 func (d *Driver) C2HStats() int { return d.c2h.Transfers }
 
 // isr is the interrupt handler: read (and clear) engine status, then
-// wake the blocked file operation.
+// wake the blocked file operation. An engine-error status (never set
+// without fault injection) wakes the waiter with errSeen so the submit
+// loop can reset the channel and resubmit.
 func (ch *channelState) isr(p *sim.Proc) {
 	d := ch.drv
 	ch.irqs.Inc()
 	d.host.CPUWork(p, isrBodyCost)
 	st := d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus+4, 4)
+	if st&xdmaip.StatusDescError != 0 {
+		ch.errSeen = true
+		ch.wq.Wake()
+		return
+	}
 	if st&xdmaip.StatusDescComplete != 0 {
 		ch.complete = true
 		ch.wq.Wake()
@@ -170,22 +215,8 @@ func (ch *channelState) transfer(p *sim.Proc, n int) error {
 	}
 	desc.Encode(d.host.Mem, ch.descSlot)
 
-	// Program the engine: the reference driver first reads the engine
-	// status (a non-posted round trip), then writes the descriptor
-	// address (lo/hi/adjacent) and the control register with Run +
-	// interrupt enables.
-	d.host.CPUWork(p, submitCost)
-	d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus, 4)
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescLo, 4, uint64(uint32(ch.descSlot)))
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescHi, 4, uint64(ch.descSlot)>>32)
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescAdj, 4, 0)
-	ch.complete = false
-	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
-		xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
-
-	// Block until the completion interrupt.
-	for !ch.complete {
-		ch.wq.Wait(p)
+	if err := ch.submit(p, ch.descSlot, n); err != nil {
+		return err
 	}
 
 	// Stop the engine (clear Run) and tear down.
@@ -195,6 +226,105 @@ func (ch *channelState) transfer(p *sim.Proc, n int) error {
 	ch.transfers.Inc()
 	ch.bytes.Add(int64(n))
 	return nil
+}
+
+// submit programs the engine for a descriptor (or descriptor list) of
+// n total bytes and blocks until completion. Without fault injection
+// it is exactly the reference driver's engine start and bare wait;
+// with faults armed a failed or lost run is retried after a channel
+// reset with bounded exponential backoff. Resubmission is idempotent:
+// the descriptors, bounce buffer, and card addresses are unchanged.
+func (ch *channelState) submit(p *sim.Proc, descAddr mem.Addr, n int) error {
+	d := ch.drv
+	faulted := d.ep.Faults() != nil
+	for attempt := 0; ; attempt++ {
+		// Program the engine: the reference driver first reads the engine
+		// status (a non-posted round trip), then writes the descriptor
+		// address (lo/hi/adjacent) and the control register with Run +
+		// interrupt enables.
+		d.host.CPUWork(p, submitCost)
+		d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus, 4)
+		d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescLo, 4, uint64(uint32(descAddr)))
+		d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescHi, 4, uint64(descAddr)>>32)
+		d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescAdj, 4, 0)
+		ch.complete = false
+		ch.errSeen = false
+		d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
+			xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
+
+		if !faulted {
+			// Block until the completion interrupt.
+			for !ch.complete {
+				ch.wq.Wait(p)
+			}
+			return nil
+		}
+		if ch.await(p, n) {
+			return nil
+		}
+		// Engine error or lost run: reset the channel (clear Run) and
+		// resubmit after a backoff.
+		d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4, 0)
+		d.recResets.Inc()
+		if attempt >= maxResubmits {
+			return fmt.Errorf("xdmadrv: %s: transfer failed after %d resubmits", ch.name, attempt)
+		}
+		p.Sleep(resubmitBackoff << uint(attempt))
+		d.recResubmits.Inc()
+	}
+}
+
+// await blocks for the transfer outcome under a completion watchdog.
+// It reports true when the transfer completed (including completions
+// whose interrupt was lost, recovered via the status mirror) and false
+// when the channel needs a reset and resubmit.
+func (ch *channelState) await(p *sim.Proc, n int) bool {
+	d := ch.drv
+	for {
+		ch.timedOut = false
+		ev := d.host.Sim.After(xferTimeout(n), ch.name+".watchdog", func() {
+			if fvassert.Enabled && !ch.busy {
+				fvassert.Failf("xdmadrv: %s: watchdog fired with no transfer in flight", ch.name)
+			}
+			if ch.complete {
+				// Completion raced the timer arm; never escalate a
+				// finished transfer.
+				return
+			}
+			ch.timedOut = true
+			ch.wq.Wake()
+		})
+		for !ch.complete && !ch.errSeen && !ch.timedOut {
+			ch.wq.Wait(p)
+		}
+		ev.Cancel()
+		if ch.complete {
+			return true
+		}
+		if ch.errSeen {
+			return false
+		}
+		// Watchdog expiry: triage through the engine's status mirror.
+		d.recWatchdog.Inc()
+		st := d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus+4, 4)
+		switch {
+		case st == 1<<32-1:
+			// Poisoned/stalled readback: assume the worst and resubmit.
+			return false
+		case st&xdmaip.StatusDescError != 0:
+			return false
+		case st&xdmaip.StatusDescComplete != 0:
+			// The transfer finished but its interrupt was lost.
+			ch.complete = true
+			return true
+		case st&xdmaip.StatusBusy != 0:
+			// An honestly slow transfer: keep waiting.
+			continue
+		default:
+			// The engine never started — the Run write was lost.
+			return false
+		}
+	}
 }
 
 // xferSeg is one entry of a chained descriptor list: n bytes between
@@ -258,17 +388,8 @@ func (ch *channelState) transferList(p *sim.Proc, segs []xferSeg) error {
 	}
 
 	// Program the engine once for the whole list.
-	d.host.CPUWork(p, submitCost)
-	d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus, 4)
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescLo, 4, uint64(uint32(ch.descList)))
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescHi, 4, uint64(ch.descList)>>32)
-	d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescAdj, 4, 0)
-	ch.complete = false
-	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
-		xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
-
-	for !ch.complete {
-		ch.wq.Wait(p)
+	if err := ch.submit(p, ch.descList, total); err != nil {
+		return err
 	}
 
 	d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4, 0)

@@ -1,6 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/sim"
 	"fpgavirtio/internal/telemetry"
 )
@@ -30,6 +35,7 @@ func BuildPoint(pt *PointResult) telemetry.BenchPoint {
 		HWMeanNs:   nsOf(pt.HW.Mean()),
 		RGMeanNs:   nsOf(pt.RG.Mean()),
 		Interrupts: pt.Interrupts,
+		Faulted:    pt.Faulted,
 	}
 }
 
@@ -50,5 +56,80 @@ func BuildArtifact(experiment string, sw *Sweep) *telemetry.BenchArtifact {
 			a.Points = append(a.Points, BuildPoint(sw.XDMA[i]))
 		}
 	}
+	a.Faults = BuildFaultSummary(sw)
 	return a
+}
+
+// BuildFaultSummary aggregates the sweep's fault-injection and recovery
+// counters across every point's metric snapshot. Returns nil when the
+// sweep ran without a fault plan, keeping fault-free artifacts
+// byte-identical to pre-injection builds.
+func BuildFaultSummary(sw *Sweep) *telemetry.FaultSummary {
+	if sw.Params.Faults == "" {
+		return nil
+	}
+	planStr := sw.Params.Faults
+	if plan, err := faults.Parse(sw.Params.Faults); err == nil {
+		planStr = plan.String() // canonical spelling
+	}
+	fs := &telemetry.FaultSummary{
+		Plan:     planStr,
+		Injected: map[string]int64{},
+		Recovery: map[string]int64{},
+	}
+	points := append(append([]*PointResult{}, sw.VirtIO...), sw.XDMA...)
+	for _, pt := range points {
+		if pt == nil {
+			continue
+		}
+		fs.FaultedSamples += pt.Faulted
+		for _, m := range pt.Metrics {
+			switch {
+			case m.Name == telemetry.MetricFaultsInjected:
+				fs.Total += int64(m.Value)
+			case strings.HasPrefix(m.Name, "fault.") && strings.HasSuffix(m.Name, ".injected"):
+				class := strings.TrimSuffix(strings.TrimPrefix(m.Name, "fault."), ".injected")
+				fs.Injected[class] += int64(m.Value)
+			case strings.HasPrefix(m.Name, "recovery."):
+				fs.Recovery[m.Name] += int64(m.Value)
+			}
+		}
+	}
+	if len(fs.Recovery) == 0 {
+		fs.Recovery = nil
+	}
+	return fs
+}
+
+// RenderFaultReport renders the sweep's fault-injection and recovery
+// summary as text (empty when the sweep ran without a fault plan).
+func RenderFaultReport(sw *Sweep) string {
+	fs := BuildFaultSummary(sw)
+	if fs == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault injection — plan %q\n", fs.Plan)
+	fmt.Fprintf(&b, "  injected: %d total, %d samples flagged and excluded from percentiles\n",
+		fs.Total, fs.FaultedSamples)
+	classes := make([]string, 0, len(fs.Injected))
+	for c := range fs.Injected {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "    fault.%s.injected  %d\n", c, fs.Injected[c])
+	}
+	recs := make([]string, 0, len(fs.Recovery))
+	for name := range fs.Recovery {
+		recs = append(recs, name)
+	}
+	sort.Strings(recs)
+	if len(recs) > 0 {
+		fmt.Fprintf(&b, "  recovery:\n")
+		for _, name := range recs {
+			fmt.Fprintf(&b, "    %-28s %d\n", name, fs.Recovery[name])
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,24 @@
+package experiments
+
+// DefaultChaosPlan is the soak gate's fault plan (`make chaos`,
+// TestChaosSoak). It is tuned so a modest sweep deterministically
+// exercises every recovery class at least once:
+//
+//   - needsreset: the virtio device refuses doorbells with
+//     DEVICE_NEEDS_RESET, forcing the full reset → re-negotiation →
+//     ring rebuild → requeue path.
+//   - engineerr: an XDMA engine aborts with the descriptor-error
+//     status bit, forcing a channel reset and bounded resubmission.
+//   - irqdrop: MSI-X completions vanish, forcing the lost-interrupt
+//     watchdogs on both stacks to rescue stalled waiters.
+//   - cplpoison: MMIO reads complete all-ones, forcing the poisoned-
+//     read retry path.
+//
+// The classes left out (tlpdrop, stall, cpltimeout, dmarderr,
+// dmawrerr) have targeted unit tests instead: they model damage the
+// sweep's application loop either cannot distinguish from the above or
+// cannot absorb at boot time.
+const DefaultChaosPlan = "needsreset:every=120:count=4," +
+	"engineerr:every=90:count=4," +
+	"irqdrop:every=150:count=6," +
+	"cplpoison:every=400:count=4"

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fpgavirtio/internal/telemetry"
+)
+
+// chaosParams is the soak grid: small enough for CI, large enough that
+// DefaultChaosPlan fires every class in every session.
+func chaosParams() Params {
+	return Params{Seed: 1, Packets: 1500, Payloads: []int{64, 256}, Faults: DefaultChaosPlan}
+}
+
+// TestChaosSoak is the `make chaos` gate: the full sweep must complete
+// under the default fault plan with at least one recovery of each class
+// — a virtio device reset, an XDMA channel reset, and a lost-interrupt
+// watchdog intervention — and with faulted samples flagged out of the
+// percentile series.
+func TestChaosSoak(t *testing.T) {
+	sw, err := RunSweepParallel(chaosParams(), 4)
+	if err != nil {
+		t.Fatalf("chaos sweep failed: %v", err)
+	}
+	for _, pts := range [][]*PointResult{sw.VirtIO, sw.XDMA} {
+		for _, pt := range pts {
+			if pt == nil {
+				t.Fatal("chaos sweep returned a nil point")
+			}
+			clean := pt.Total.Summarize().Count
+			if clean+pt.Faulted != sw.Params.Packets {
+				t.Errorf("%s/%dB: %d clean + %d faulted != %d packets",
+					pt.Driver, pt.Payload, clean, pt.Faulted, sw.Params.Packets)
+			}
+			if clean == 0 {
+				t.Errorf("%s/%dB: every sample flagged faulted", pt.Driver, pt.Payload)
+			}
+		}
+	}
+
+	fs := BuildFaultSummary(sw)
+	if fs == nil {
+		t.Fatal("faulted sweep produced no fault summary")
+	}
+	if fs.Plan != DefaultChaosPlan {
+		t.Errorf("summary plan = %q, want %q", fs.Plan, DefaultChaosPlan)
+	}
+	for _, class := range []string{"needsreset", "engineerr", "irqdrop", "cplpoison"} {
+		if fs.Injected[class] == 0 {
+			t.Errorf("class %s never injected", class)
+		}
+	}
+	// One recovery of each class, per the soak gate's acceptance bar.
+	for _, name := range []string{
+		telemetry.MetricRecoveryVirtioResets,
+		telemetry.MetricRecoveryVirtioRequeue,
+		telemetry.MetricRecoveryXDMAResets,
+	} {
+		if fs.Recovery[name] == 0 {
+			t.Errorf("recovery counter %s is zero", name)
+		}
+	}
+	if fs.Recovery[telemetry.MetricRecoveryVirtioWatchd]+
+		fs.Recovery[telemetry.MetricRecoveryXDMAWatchdog] == 0 {
+		t.Error("no lost-interrupt watchdog intervention on either stack")
+	}
+
+	art := BuildArtifact("all", sw)
+	if err := art.Validate(); err != nil {
+		t.Errorf("chaos artifact invalid: %v", err)
+	}
+	if art.Faults == nil || art.Faults.FaultedSamples != fs.FaultedSamples {
+		t.Errorf("artifact fault summary = %+v, want %d faulted samples", art.Faults, fs.FaultedSamples)
+	}
+}
+
+// TestChaosParallelDeterminism pins the fault-injection determinism
+// contract to the parallel engine: a faulted sweep's artifact and every
+// point's metric snapshot are byte-identical at any worker count.
+func TestChaosParallelDeterminism(t *testing.T) {
+	p := Params{Seed: 5, Packets: 600, Payloads: []int{64}, Faults: DefaultChaosPlan}
+	var ref *Sweep
+	for _, workers := range []int{1, 2, 8} {
+		sw, err := RunSweepParallel(p, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = sw
+			if BuildFaultSummary(sw).Total == 0 {
+				t.Fatal("determinism run injected no faults")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(BuildArtifact("all", ref), BuildArtifact("all", sw)) {
+			t.Errorf("workers=%d: artifact differs from serial run", workers)
+		}
+		for i := range ref.VirtIO {
+			if !reflect.DeepEqual(ref.VirtIO[i].Metrics, sw.VirtIO[i].Metrics) {
+				t.Errorf("workers=%d: virtio/%dB metrics differ", workers, ref.VirtIO[i].Payload)
+			}
+			if !reflect.DeepEqual(ref.XDMA[i].Metrics, sw.XDMA[i].Metrics) {
+				t.Errorf("workers=%d: xdma/%dB metrics differ", workers, ref.XDMA[i].Payload)
+			}
+		}
+	}
+}

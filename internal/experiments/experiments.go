@@ -44,6 +44,13 @@ type Params struct {
 	Packets  int   // round trips per point (paper: 50,000)
 	Payloads []int // UDP payload sizes
 	Link     fpgavirtio.Link
+	// Faults is a fault-injection plan (faults.Parse syntax) armed in
+	// every session the run opens. Empty means no injection — the
+	// zero-fault path, byte-identical to a build without the faults
+	// package. Samples whose round trip overlapped an injection are
+	// counted in PointResult.Faulted and excluded from the latency
+	// series, so percentiles describe only clean round trips.
+	Faults string
 }
 
 // withDefaults fills unset fields.
@@ -68,6 +75,10 @@ type PointResult struct {
 	RG      *perf.Series
 	// Interrupts is the device's total MSI-X count over the run.
 	Interrupts int
+	// Faulted counts round trips excluded from the series because a
+	// fault was injected while they were in flight (always 0 without a
+	// fault plan).
+	Faulted int
 	// Metrics is the session's telemetry snapshot after the run.
 	Metrics []telemetry.MetricSnapshot
 }
@@ -78,7 +89,7 @@ func toSim(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) 
 // UDP echo through the socket API and the virtio-net driver.
 func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*PointResult, error) {
 	p = p.withDefaults()
-	cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link}}
+	cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -95,7 +106,17 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 		RG:      perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload)
+	// A sample that overlapped an injection measured the recovery path,
+	// not the steady state — flag it and keep it out of the percentile
+	// series. Faults injected between round trips advance the count too;
+	// charging them to the next sample errs on the side of exclusion.
+	faultMark := ns.FaultEvents()
 	err = ns.PingSeries(buf, p.Packets, func(i int, s fpgavirtio.RTTSample) {
+		if now := ns.FaultEvents(); now != faultMark {
+			faultMark = now
+			res.Faulted++
+			return
+		}
 		res.Total.Add(toSim(s.Total))
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))
@@ -114,7 +135,7 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 // payload+headers bytes so the link carries the same traffic.
 func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*PointResult, error) {
 	p = p.withDefaults()
-	cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link}}
+	cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -131,7 +152,13 @@ func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*P
 		RG:      perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload+HeaderOverhead)
+	faultMark := xs.FaultEvents()
 	err = xs.RoundTripSeries(buf, p.Packets, func(i int, s fpgavirtio.RTTSample) {
+		if now := xs.FaultEvents(); now != faultMark {
+			faultMark = now
+			res.Faulted++
+			return
+		}
 		res.Total.Add(toSim(s.Total))
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))

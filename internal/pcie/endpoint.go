@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
 	"fpgavirtio/internal/telemetry"
@@ -30,6 +31,11 @@ type Endpoint struct {
 	bars  [6]BarHandlers
 	stats *Stats
 	met   *epMetrics
+
+	// Fault-injection state: end of the current stall window and the
+	// lazily-registered poisoned-completion counter (see faults.go).
+	stallUntil sim.Time
+	cplErrs    *telemetry.Counter
 
 	msixVectors int
 	msixMasked  []bool
@@ -157,6 +163,12 @@ func (ep *Endpoint) getReadOp() *dmaReadOp {
 		// MPS-sized CplDs.
 		op.stage = growBytes(op.stage, op.reqLen)
 		op.ep.rc.Mem.ReadInto(op.addr, op.stage[:op.reqLen])
+		if op.ep.rc.faults.Fire(faults.DMAReadErr) {
+			// Poisoned read completion: the device receives corrupted
+			// data for this request.
+			op.stage[0] ^= 0xa5
+			op.ep.cplError()
+		}
 		mps := op.ep.link.cfg.MPS
 		for off := 0; off < op.reqLen; off += mps {
 			c := op.reqLen - off
@@ -254,7 +266,13 @@ func (ep *Endpoint) getWriteOp() *dmaWriteOp {
 		if c > mps {
 			c = mps
 		}
-		op.ep.rc.Mem.Write(op.addr+mem.Addr(op.off), op.buf[op.off:op.off+c])
+		if op.ep.rc.faults.Fire(faults.DMAWriteErr) {
+			// Dropped posted write: this chunk never lands in host
+			// memory, leaving stale bytes behind.
+			op.ep.cplError()
+		} else {
+			op.ep.rc.Mem.Write(op.addr+mem.Addr(op.off), op.buf[op.off:op.off+c])
+		}
 		op.off += c
 		if op.off == len(op.buf) {
 			// Posted: the span closes when the final chunk lands, and
@@ -318,6 +336,23 @@ func (ep *Endpoint) RaiseMSIX(v int) {
 	if ep.msixMasked[v] {
 		return
 	}
+	if inj := ep.Faults(); inj != nil {
+		if inj.Fire(faults.IRQDrop) {
+			// The MSI message TLP is lost in the fabric: the device
+			// believes it interrupted the host, no handler ever runs.
+			// Drivers recover through their completion watchdogs.
+			return
+		}
+		if inj.Fire(faults.IRQSpurious) {
+			ep.raiseMSIX(v) // duplicate delivery ahead of the real one
+		}
+	}
+	ep.raiseMSIX(v)
+}
+
+// raiseMSIX performs the actual message-TLP send for vector v; the
+// fault checks have already been applied.
+func (ep *Endpoint) raiseMSIX(v int) {
 	ep.countUp(TLPMessage, 4)
 	ep.stats.Interrupts++
 	if ep.met != nil {

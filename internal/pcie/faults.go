@@ -1,0 +1,73 @@
+package pcie
+
+import (
+	"fpgavirtio/internal/faults"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
+)
+
+// Fault-injection timing constants. Real PCIe completion timeouts are
+// tens of milliseconds; the simulated values are scaled down so a
+// faulted sample inflates a round trip visibly without freezing a
+// 50k-packet sweep.
+const (
+	// cplTimeoutDelay is how long the root complex waits before
+	// synthesizing the all-ones completion for a lost read request.
+	cplTimeoutDelay = 10 * sim.Microsecond
+	// stallWindow is the length of a device stall: MMIO reads complete
+	// all-ones and MMIO writes are dropped until it elapses.
+	stallWindow = 25 * sim.Microsecond
+)
+
+// SetFaults installs a fault injector on the root complex. Like
+// SetMetrics it is session-scoped: every endpoint on this bus polls the
+// same injector. A nil injector (the default) is the zero-fault path.
+func (rc *RootComplex) SetFaults(inj *faults.Injector) { rc.faults = inj }
+
+// Faults returns the installed injector (nil when fault injection is
+// off). The injector is nil-safe, so callers use the result
+// unconditionally.
+func (rc *RootComplex) Faults() *faults.Injector { return rc.faults }
+
+// Faults returns the owning root complex's injector (nil when fault
+// injection is off). Device-side models that only hold an Endpoint use
+// this to poll their own fault classes.
+func (ep *Endpoint) Faults() *faults.Injector {
+	if ep.rc == nil {
+		return nil
+	}
+	return ep.rc.faults
+}
+
+// allOnes is the poisoned-completion value for a read of size bytes:
+// PCIe fabrics complete aborted/timed-out reads with all data bits set.
+func allOnes(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (8 * size)) - 1
+}
+
+// cplError counts one poisoned or timed-out completion on the
+// endpoint. The counter is registered lazily so fault-free sessions
+// keep today's exact metric snapshot.
+func (ep *Endpoint) cplError() {
+	if ep.cplErrs == nil {
+		reg := ep.Metrics()
+		if reg == nil {
+			return
+		}
+		ep.cplErrs = reg.Counter(telemetry.MetricPCIeCplErrors)
+	}
+	ep.cplErrs.Inc()
+}
+
+// beginStall opens (or extends) the endpoint's stall window.
+func (ep *Endpoint) beginStall() {
+	ep.stallUntil = ep.sim.Now().Add(stallWindow)
+}
+
+// stalled reports whether the endpoint is inside a stall window.
+func (ep *Endpoint) stalled() bool {
+	return ep.sim.Now() < ep.stallUntil
+}

@@ -3,6 +3,7 @@ package pcie
 import (
 	"fmt"
 
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/sim"
 	"fpgavirtio/internal/telemetry"
@@ -50,6 +51,7 @@ type RootComplex struct {
 	eps     []*Endpoint
 	irqSink func(ep *Endpoint, vector int)
 	metrics *telemetry.Registry
+	faults  *faults.Injector
 
 	nextBAR uint64
 	routes  []barRoute
@@ -168,6 +170,17 @@ func (rc *RootComplex) getMMIOWrite() *mmioWriteOp {
 	}
 	op := &mmioWriteOp{rc: rc}
 	op.deliver = func() {
+		// Fault hooks run only on faulted sessions (nil-safe Fire): a
+		// dropped TLP or a stall window swallows the write at device
+		// ingress — the link accounting above already happened, exactly
+		// like real posted-write loss.
+		if op.rc.faults.Fire(faults.TLPDrop) || op.ep.stalled() {
+			op.sp.End()
+			op.sp = sim.SpanRef{}
+			op.ep = nil
+			op.rc.mmioWriteOps = append(op.rc.mmioWriteOps, op)
+			return
+		}
 		op.ep.barWrite(op.bar, op.off, op.size, op.v)
 		op.sp.End()
 		op.sp = sim.SpanRef{}
@@ -205,6 +218,21 @@ func (rc *RootComplex) getMMIORead() *mmioReadOp {
 		op.rc.sim.After(op.rc.costs.RegReadLatency, "ep:reg", op.onReg)
 	}
 	op.onReg = func() {
+		if inj := op.rc.faults; inj != nil {
+			if inj.Fire(faults.Stall) {
+				op.ep.beginStall()
+			}
+			if op.ep.stalled() || inj.Fire(faults.CplPoison) {
+				// Poisoned completion: all-ones instead of register
+				// data, surfaced in pcie.completion.errors so a failed
+				// read is distinguishable from a register that reads 0.
+				op.v = allOnes(op.size)
+				op.ep.cplError()
+				op.ep.countUp(TLPCompletion, op.size)
+				op.ep.link.Up(op.size, "CplD", op.fire)
+				return
+			}
+		}
 		op.v = op.ep.barRead(op.bar, op.off, op.size)
 		op.ep.countUp(TLPCompletion, op.size)
 		op.ep.link.Up(op.size, "CplD", op.fire)
@@ -238,7 +266,15 @@ func (rc *RootComplex) MMIORead(p *sim.Proc, addr uint64, size int) uint64 {
 	op.ep, op.bar, op.off, op.size = ep, bar, off, size
 	sp := rc.sim.BeginSpan(telemetry.LayerPCIe, "mmio-read")
 	ep.countDown(TLPMemRead, 0)
-	ep.link.Down(0, "MRd", op.onMRd)
+	if rc.faults.Fire(faults.CplTimeout) {
+		// The read request vanishes in the fabric; the completion
+		// timeout expires and the host observes all-ones.
+		op.v = allOnes(size)
+		ep.cplError()
+		rc.sim.After(cplTimeoutDelay, "pcie:cpl-timeout", op.fire)
+	} else {
+		ep.link.Down(0, "MRd", op.onMRd)
+	}
 	op.done.Wait(p)
 	op.done.Reset()
 	v := op.v

@@ -77,6 +77,29 @@ type BenchPoint struct {
 	HWMeanNs   int64  `json:"hw_mean_ns"`
 	RGMeanNs   int64  `json:"rg_mean_ns"`
 	Interrupts int    `json:"interrupts"`
+	// Faulted counts round trips excluded from the percentile series
+	// because a fault was injected while they were in flight. Zero (and
+	// omitted from JSON) on fault-free runs, so the artifact stays
+	// byte-identical to pre-fault-injection builds.
+	Faulted int `json:"faulted,omitempty"`
+}
+
+// FaultSummary is the run-level fault-injection record of a bench
+// artifact: the armed plan and the aggregated injection/recovery
+// counters summed over every session the run opened.
+type FaultSummary struct {
+	// Plan is the canonical plan string the run was armed with.
+	Plan string `json:"plan"`
+	// Injected maps fault class -> total injections across the run.
+	Injected map[string]int64 `json:"injected"`
+	// Total is the sum of Injected.
+	Total int64 `json:"total"`
+	// Recovery maps recovery.* metric name -> total count across the
+	// run (driver resets, watchdog interventions, requeues, retries).
+	Recovery map[string]int64 `json:"recovery,omitempty"`
+	// FaultedSamples is the number of round trips flagged and excluded
+	// across all points.
+	FaultedSamples int `json:"faulted_samples"`
 }
 
 // ThroughputPoint is one (driver, payload, configuration) streaming
@@ -117,7 +140,10 @@ type BenchArtifact struct {
 	Mode       string            `json:"mode,omitempty"`
 	Points     []BenchPoint      `json:"points,omitempty"`
 	Throughput []ThroughputPoint `json:"throughput,omitempty"`
-	Metrics    []MetricSnapshot  `json:"metrics,omitempty"`
+	// Faults summarizes fault injection and driver recovery when the
+	// run was armed with a plan; nil (and absent from JSON) otherwise.
+	Faults  *FaultSummary    `json:"faults,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // WriteBenchJSON validates the artifact and writes it as indented JSON.
@@ -139,7 +165,7 @@ func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
 	if err := cw.Write([]string{
 		"driver", "payload_bytes", "count", "mean_ns", "std_ns", "min_ns",
 		"p25_ns", "p50_ns", "p75_ns", "p95_ns", "p99_ns", "p999_ns", "max_ns",
-		"sw_mean_ns", "hw_mean_ns", "rg_mean_ns", "interrupts",
+		"sw_mean_ns", "hw_mean_ns", "rg_mean_ns", "interrupts", "faulted",
 	}); err != nil {
 		return err
 	}
@@ -150,6 +176,7 @@ func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
 			d(p.MeanNs), d(p.StdNs), d(p.MinNs),
 			d(p.P25Ns), d(p.P50Ns), d(p.P75Ns), d(p.P95Ns), d(p.P99Ns), d(p.P999Ns), d(p.MaxNs),
 			d(p.SWMeanNs), d(p.HWMeanNs), d(p.RGMeanNs), strconv.Itoa(p.Interrupts),
+			strconv.Itoa(p.Faulted),
 		}); err != nil {
 			return err
 		}
@@ -244,6 +271,40 @@ func (a *BenchArtifact) Validate() error {
 		}
 		if p.SWMeanNs < 0 || p.HWMeanNs < 0 || p.RGMeanNs < 0 {
 			return fmt.Errorf("bench artifact: point %d: negative breakdown component", i)
+		}
+		if p.Faulted < 0 {
+			return fmt.Errorf("bench artifact: point %d: negative faulted count", i)
+		}
+		if p.Faulted > 0 && a.Faults == nil {
+			return fmt.Errorf("bench artifact: point %d: faulted samples without a fault summary", i)
+		}
+	}
+	if f := a.Faults; f != nil {
+		if f.Plan == "" {
+			return fmt.Errorf("bench artifact: fault summary without a plan")
+		}
+		var sum int64
+		for class, n := range f.Injected {
+			if n < 0 {
+				return fmt.Errorf("bench artifact: fault class %q: negative injection count", class)
+			}
+			sum += n
+		}
+		if f.Total != sum {
+			return fmt.Errorf("bench artifact: fault total %d != per-class sum %d", f.Total, sum)
+		}
+		for name, n := range f.Recovery {
+			if n < 0 {
+				return fmt.Errorf("bench artifact: recovery counter %q negative", name)
+			}
+		}
+		faulted := 0
+		for _, p := range a.Points {
+			faulted += p.Faulted
+		}
+		if f.FaultedSamples != faulted {
+			return fmt.Errorf("bench artifact: fault summary reports %d faulted samples, points carry %d",
+				f.FaultedSamples, faulted)
 		}
 	}
 	return nil

@@ -37,6 +37,18 @@ const (
 	MetricPCIeDownBytes  = "pcie.down.bytes"
 	MetricPCIeUpBytes    = "pcie.up.bytes"
 	MetricPCIeMSIXRaised = "pcie.msix.raised"
+	MetricPCIeCplErrors  = "pcie.completion.errors"
+
+	// Fault injection and driver recovery (internal/faults plus the
+	// recovery paths in both driver stacks).
+	MetricFaultsInjected        = "fault.injected.total"
+	MetricRecoveryVirtioResets  = "recovery.virtio.resets"
+	MetricRecoveryVirtioWatchd  = "recovery.virtio.watchdog"
+	MetricRecoveryVirtioRequeue = "recovery.virtio.requeued"
+	MetricRecoveryMMIORetries   = "recovery.mmio.retries"
+	MetricRecoveryXDMAResets    = "recovery.xdma.resets"
+	MetricRecoveryXDMAWatchdog  = "recovery.xdma.watchdog"
+	MetricRecoveryXDMAResubmits = "recovery.xdma.resubmits"
 
 	// In-sim network stack (internal/netstack).
 	MetricNetstackTxPackets = "netstack.tx.packets"
@@ -105,3 +117,6 @@ func MetricDMAEngineDescriptors(name string) string { return "dma-engine." + nam
 
 // MetricDMAEngineBytes names a DMA engine's payload byte counter.
 func MetricDMAEngineBytes(name string) string { return "dma-engine." + name + ".bytes" }
+
+// MetricFaultInjected names the per-class fault injection counter.
+func MetricFaultInjected(class string) string { return "fault." + class + ".injected" }

@@ -104,6 +104,7 @@ func TestMetricHelperGoldens(t *testing.T) {
 		{MetricDMAEngineRuns("h2c0"), "dma-engine.h2c0.runs"},
 		{MetricDMAEngineDescriptors("c2h0"), "dma-engine.c2h0.descriptors"},
 		{MetricDMAEngineBytes("h2c0"), "dma-engine.h2c0.bytes"},
+		{MetricFaultInjected("irqdrop"), "fault.irqdrop.injected"},
 	}
 	for _, c := range cases {
 		if c.got != c.want {

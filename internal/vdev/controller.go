@@ -20,6 +20,7 @@ package vdev
 import (
 	"fmt"
 
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/fpga"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
@@ -510,14 +511,34 @@ func (c *Controller) notify(qi int) {
 	q := c.queues[qi]
 	c.notifyCount++
 	c.met.notifies.Inc()
+	if q.dir == DriverToDevice && c.status&virtio.StatusDriverOK != 0 &&
+		c.status&virtio.StatusNeedsReset == 0 && c.ep.Faults().Fire(faults.NeedsReset) {
+		// Device-initiated failure: instead of servicing the doorbell,
+		// the controller latches DEVICE_NEEDS_RESET and interrupts the
+		// driver through the configuration vector. The doorbell is
+		// swallowed — the driver's reset path requeues the buffers.
+		c.enterNeedsReset()
+		return
+	}
 	q.kicked = true
 	q.cond.Broadcast()
+}
+
+// enterNeedsReset moves the device into the DEVICE_NEEDS_RESET state
+// (virtio 1.2 §2.1): engines stop picking up work until the driver
+// performs a full reset and re-initialization.
+func (c *Controller) enterNeedsReset() {
+	c.status |= virtio.StatusNeedsReset
+	c.isr |= virtio.ISRConfig
+	c.statusCond.Broadcast()
+	c.ep.RaiseMSIX(int(c.msixConfig))
 }
 
 // ---- queue engines ------------------------------------------------------
 
 func (c *Controller) ready(q *queue) bool {
-	return q.enabled && c.status&virtio.StatusDriverOK != 0
+	return q.enabled && c.status&virtio.StatusDriverOK != 0 &&
+		c.status&virtio.StatusNeedsReset == 0
 }
 
 // waitReady parks the fabric process until the queue is live.
@@ -540,7 +561,7 @@ func (c *Controller) interrupt(q *queue) {
 // and interrupts unless it says to hold off. Reading before the
 // used-index write would race the driver's re-enable-then-recheck
 // sequence in NAPI and lose completions.
-func (c *Controller) maybeInterrupt(p *sim.Proc, q *queue) {
+func (c *Controller) maybeInterrupt(p *sim.Proc, q *queue, dq virtio.DeviceRing) {
 	if c.opt.IRQCoalescePkts > 1 {
 		q.coalesced++
 		if q.coalesced < c.opt.IRQCoalescePkts {
@@ -552,14 +573,14 @@ func (c *Controller) maybeInterrupt(p *sim.Proc, q *queue) {
 		q.coalesced = 0
 		// The whole coalesced span counts: an event-index threshold
 		// crossed by any held completion must still interrupt.
-		if q.dq.ShouldInterruptSince(p, n) {
+		if dq.ShouldInterruptSince(p, n) {
 			c.interrupt(q)
 		} else {
 			c.met.irqSuppressed.Inc()
 		}
 		return
 	}
-	if q.dq.ShouldInterrupt(p) {
+	if dq.ShouldInterrupt(p) {
 		c.interrupt(q)
 	} else {
 		c.met.irqSuppressed.Inc()
@@ -601,15 +622,21 @@ func (c *Controller) flushCoalesced(p *sim.Proc, q *queue) {
 func (c *Controller) engineLoop(p *sim.Proc, q *queue) {
 	for {
 		c.waitReady(p, q)
+		// A fault-induced device reset can tear down and rebuild the
+		// ring while this process is parked or blocked mid-DMA: capture
+		// the ring once per wakeup so q.dq going nil (or being swapped
+		// for a rebuilt ring) cannot crash the engine. The old ring's
+		// host memory is never reused, so stale accesses are inert.
+		dq := q.dq
 		// Evaluate the ring state before the kicked flag: a doorbell can
 		// land while the availability fetch is in flight, and the flag
 		// is what keeps that wakeup from being lost.
-		if !q.dq.HasPending(p) && !q.kicked {
+		if !dq.HasPending(p) && !q.kicked {
 			// Going idle: publish the doorbell hint (avail_event or the
 			// packed event structure), then re-check for work added
 			// while we published.
-			q.dq.PublishIdleHint(p)
-			if q.dq.HasPending(p) || q.kicked {
+			dq.PublishIdleHint(p)
+			if dq.HasPending(p) || q.kicked {
 				continue
 			}
 			q.cond.Wait(p)
@@ -624,8 +651,8 @@ func (c *Controller) engineLoop(p *sim.Proc, q *queue) {
 		q.hw.Begin(p.Now())
 		sp := c.sim.BeginSpan(telemetry.LayerVirtIODevice, q.serviceSpan)
 		p.Sleep(c.clk.Cycles(notifyDecodeCycles))
-		for c.ready(q) && q.dq.HasPending(p) {
-			c.serviceChain(p, q)
+		for c.ready(q) && dq.HasPending(p) {
+			c.serviceChain(p, q, dq)
 		}
 		// The ring drained: flush any coalesced completions now rather
 		// than waiting out the timer.
@@ -637,14 +664,14 @@ func (c *Controller) engineLoop(p *sim.Proc, q *queue) {
 
 // serviceChain processes exactly one pending chain on a DriverToDevice
 // queue.
-func (c *Controller) serviceChain(p *sim.Proc, q *queue) {
+func (c *Controller) serviceChain(p *sim.Proc, q *queue, dq virtio.DeviceRing) {
 	c.met.chains.Inc()
 	p.Sleep(c.clk.Cycles(chainSetupCycles))
-	chain, tok, err := q.dq.NextChain(p)
+	chain, tok, err := dq.NextChain(p)
 	if err != nil {
 		panic(fmt.Sprintf("vdev: %s q%d: %v", c.ep.Name(), q.idx, err))
 	}
-	data := q.dq.ReadChainInto(p, chain, q.rdBuf)
+	data := dq.ReadChainInto(p, chain, q.rdBuf)
 	q.rdBuf = data
 	writable := 0
 	for _, d := range chain {
@@ -655,11 +682,11 @@ func (c *Controller) serviceChain(p *sim.Proc, q *queue) {
 	resp := c.pers.HandleDriverChain(p, q.idx, data, writable)
 	written := 0
 	if len(resp) > 0 {
-		written = q.dq.WriteChain(p, chain, resp)
+		written = dq.WriteChain(p, chain, resp)
 	}
 	p.Sleep(c.clk.Cycles(usedPublishCycles))
-	q.dq.Complete(p, tok, written)
-	c.maybeInterrupt(p, q)
+	dq.Complete(p, tok, written)
+	c.maybeInterrupt(p, q, dq)
 }
 
 // Deliver pushes data into the next available buffer of a
@@ -672,40 +699,44 @@ func (c *Controller) Deliver(p *sim.Proc, qi int, data []byte) error {
 		return fmt.Errorf("vdev: queue %d is not device-to-driver", qi)
 	}
 	c.waitReady(p, q)
-	for !q.dq.HasPending(p) {
+	// Capture the ring per wakeup for the same reset-safety reason as
+	// engineLoop: a mid-wait device reset swaps q.dq.
+	dq := q.dq
+	for !dq.HasPending(p) {
 		if q.kicked {
 			// A doorbell raced the availability fetch: re-read instead
 			// of parking.
 			q.kicked = false
 			continue
 		}
-		q.dq.PublishIdleHint(p)
-		if q.dq.HasPending(p) || q.kicked {
+		dq.PublishIdleHint(p)
+		if dq.HasPending(p) || q.kicked {
 			q.kicked = false
 			continue
 		}
 		q.cond.Wait(p)
 		c.waitReady(p, q)
+		dq = q.dq
 	}
 	q.kicked = false
 	q.hw.Begin(p.Now())
 	sp := c.sim.BeginSpan(telemetry.LayerVirtIODevice, q.deliverSpan)
 	p.Sleep(c.clk.Cycles(chainSetupCycles))
-	chain, tok, err := q.dq.NextChain(p)
+	chain, tok, err := dq.NextChain(p)
 	if err != nil {
 		q.hw.End(p.Now())
 		sp.End()
 		return err
 	}
-	written := q.dq.WriteChain(p, chain, data)
+	written := dq.WriteChain(p, chain, data)
 	if written < len(data) {
 		q.hw.End(p.Now())
 		sp.End()
 		return fmt.Errorf("vdev: queue %d buffer too small: %d < %d", qi, written, len(data))
 	}
 	p.Sleep(c.clk.Cycles(usedPublishCycles))
-	q.dq.Complete(p, tok, written)
-	c.maybeInterrupt(p, q)
+	dq.Complete(p, tok, written)
+	c.maybeInterrupt(p, q, dq)
 	q.hw.End(p.Now())
 	sp.End()
 	return nil

@@ -3,6 +3,7 @@ package xdmaip
 import (
 	"fmt"
 
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/fpga"
 	"fpgavirtio/internal/mem"
 	"fpgavirtio/internal/pcie"
@@ -199,48 +200,64 @@ func (ch *channel) run(p *sim.Proc) {
 		ch.runs.Inc()
 		ch.setStatus(StatusBusy)
 		p.Sleep(d.clk.Cycles(engineStartCycles))
-		descAddr := mem.Addr(uint64(d.regs.Get(ch.sgdma+RegDescLo)) | uint64(d.regs.Get(ch.sgdma+RegDescHi))<<32)
-		completed := uint32(0)
-		for {
-			p.Sleep(d.clk.Cycles(descFetchSetupCycles))
-			chunkedReadInto(p, d.ep, d.clk, descAddr, ch.descBuf[:])
-			desc, err := DecodeDescriptor(ch.descBuf[:])
-			if err != nil {
-				panic(fmt.Sprintf("xdmaip: %s: %v", ch.name, err))
+		// Fault hook: an injected engine error aborts the run before any
+		// descriptor is fetched, exactly like a descriptor decode error.
+		failed := d.ep.Faults().Fire(faults.EngineErr)
+		if !failed {
+			descAddr := mem.Addr(uint64(d.regs.Get(ch.sgdma+RegDescLo)) | uint64(d.regs.Get(ch.sgdma+RegDescHi))<<32)
+			completed := uint32(0)
+			for {
+				p.Sleep(d.clk.Cycles(descFetchSetupCycles))
+				chunkedReadInto(p, d.ep, d.clk, descAddr, ch.descBuf[:])
+				desc, err := DecodeDescriptor(ch.descBuf[:])
+				if err != nil {
+					if d.ep.Faults() != nil {
+						// A fault (e.g. a corrupted DMA read) mangled the
+						// descriptor: halt with the error status instead
+						// of crashing — the driver resets the channel.
+						failed = true
+						break
+					}
+					panic(fmt.Sprintf("xdmaip: %s: %v", ch.name, err))
+				}
+				n := int(desc.Len)
+				ch.descs.Inc()
+				ch.dataBytes.Add(int64(n))
+				p.Sleep(d.clk.Cycles(programCycles))
+				if cap(ch.dataBuf) < n {
+					ch.dataBuf = make([]byte, n)
+				}
+				data := ch.dataBuf[:n]
+				if ch.h2c {
+					chunkedReadInto(p, d.ep, d.clk, mem.Addr(desc.Src), data)
+					p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
+					d.bram.Write(mem.Addr(desc.Dst), data)
+				} else {
+					d.bram.ReadInto(mem.Addr(desc.Src), data)
+					p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
+					chunkedWrite(p, d.ep, d.clk, mem.Addr(desc.Dst), data)
+				}
+				completed++
+				d.regs.Set(ch.base+RegChanCompleted, completed)
+				if desc.Control&DescStop != 0 {
+					break
+				}
+				descAddr = mem.Addr(desc.Next)
 			}
-			n := int(desc.Len)
-			ch.descs.Inc()
-			ch.dataBytes.Add(int64(n))
-			p.Sleep(d.clk.Cycles(programCycles))
-			if cap(ch.dataBuf) < n {
-				ch.dataBuf = make([]byte, n)
-			}
-			data := ch.dataBuf[:n]
-			if ch.h2c {
-				chunkedReadInto(p, d.ep, d.clk, mem.Addr(desc.Src), data)
-				p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
-				d.bram.Write(mem.Addr(desc.Dst), data)
-			} else {
-				d.bram.ReadInto(mem.Addr(desc.Src), data)
-				p.Sleep(d.clk.Cycles(d.clk.CyclesFor(n, AXIWidthBytes)))
-				chunkedWrite(p, d.ep, d.clk, mem.Addr(desc.Dst), data)
-			}
-			completed++
-			d.regs.Set(ch.base+RegChanCompleted, completed)
-			if desc.Control&DescStop != 0 {
-				break
-			}
-			descAddr = mem.Addr(desc.Next)
 		}
 		p.Sleep(d.clk.Cycles(writebackCycles))
-		ch.setStatus(StatusDescStopped | StatusDescComplete)
+		if failed {
+			ch.setStatus(StatusDescStopped | StatusDescError)
+		} else {
+			ch.setStatus(StatusDescStopped | StatusDescComplete)
+		}
 		ch.counter.End(p.Now())
 		sp.End()
 		if ch.ctrl()&CtrlIEDescComplete != 0 &&
 			d.regs.Get(IRQBlockBase+RegIRQChanEnable)&ch.irqBit != 0 {
 			d.ep.RaiseMSIX(ch.vector)
 		}
-		if ch.h2c && d.cfg.NotifyOnH2CComplete {
+		if ch.h2c && d.cfg.NotifyOnH2CComplete && !failed {
 			delay := d.cfg.UserLogicDelayCycles
 			if delay == 0 {
 				delay = 250

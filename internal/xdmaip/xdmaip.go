@@ -64,6 +64,10 @@ const (
 	StatusBusy         = 1 << 0
 	StatusDescStopped  = 1 << 1
 	StatusDescComplete = 1 << 2
+	// StatusDescError reports a descriptor-engine error (PG195 calls
+	// this decode/magic-stopped); the engine halts the run without
+	// moving data and the driver must reset the channel.
+	StatusDescError = 1 << 19
 )
 
 // Descriptor control bits (dword 0, low byte).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fpgavirtio/internal/drivers/virtionet"
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/fvassert"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/netstack"
@@ -78,20 +79,30 @@ const (
 // with echo user logic, bound driver, configured routes/ARP, and an
 // open UDP socket.
 type NetSession struct {
-	s     *sim.Sim
-	host  *hostos.Host
-	stack *netstack.Stack
-	dev   *vdev.NetDevice
-	drv   *virtionet.Device
-	sock  *netstack.UDPSocket
+	s      *sim.Sim
+	host   *hostos.Host
+	stack  *netstack.Stack
+	dev    *vdev.NetDevice
+	drv    *virtionet.Device
+	sock   *netstack.UDPSocket
+	faults *faults.Injector
 }
 
 // OpenNet boots a network-device session: attach the FPGA, enumerate,
 // probe the virtio-net driver, add the route and ARP entries the paper
 // describes, and bind the test socket.
 func OpenNet(cfg NetConfig) (*NetSession, error) {
+	plan, err := faults.Parse(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	s := sim.New()
 	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
+	// Arm fault injection before the device attaches so the endpoint
+	// sees the injector from its first TLP. The injector draws from its
+	// own fork of the seed, leaving the host-noise stream untouched.
+	inj := faults.NewInjector(plan, sim.NewRNG(cfg.Seed).Fork("faults"), h.Metrics())
+	h.RC.SetFaults(inj)
 	dev := vdev.NewNet(s, h.RC, "fpga-vnet", vdev.NetOptions{
 		Link:             cfg.Link.config(),
 		MAC:              fpgaMAC,
@@ -104,7 +115,7 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 		IRQCoalesceTimer: sim.Ns(cfg.IRQCoalesceTimer.Nanoseconds()),
 	})
 	st := netstack.New(h, netstack.DefaultCosts())
-	ns := &NetSession{s: s, host: h, stack: st, dev: dev}
+	ns := &NetSession{s: s, host: h, stack: st, dev: dev, faults: inj}
 
 	var bootErr error
 	booted := false
@@ -345,6 +356,22 @@ func (ns *NetSession) QueuePairs() int { return ns.drv.QueuePairs() }
 // Registry returns the session's telemetry metrics registry, holding
 // the per-layer instruments every subsystem registered at boot.
 func (ns *NetSession) Registry() *telemetry.Registry { return ns.host.Metrics() }
+
+// FaultPlan reports the armed fault plan's canonical string (empty when
+// no injection is armed).
+func (ns *NetSession) FaultPlan() string {
+	if ns.faults == nil {
+		return ""
+	}
+	return ns.faults.Plan().String()
+}
+
+// FaultEvents reports the total number of faults injected so far.
+func (ns *NetSession) FaultEvents() int64 { return ns.faults.Total() }
+
+// FaultSummary reports per-class injected-fault counts (nil when no
+// injection is armed).
+func (ns *NetSession) FaultSummary() map[string]int64 { return ns.faults.Summary() }
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (ns *NetSession) BusStats() BusStats {

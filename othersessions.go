@@ -22,6 +22,9 @@ type ConsoleSession struct {
 
 // OpenConsole boots a console session with echo user logic.
 func OpenConsole(cfg Config) (*ConsoleSession, error) {
+	if cfg.Faults != "" {
+		return nil, fmt.Errorf("fpgavirtio: fault injection is not supported by console sessions")
+	}
 	s := sim.New()
 	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
 	vdev.NewConsole(s, h.RC, "fpga-vcon", vdev.ConsoleOptions{Link: cfg.Link.config()})
@@ -79,6 +82,9 @@ type BlkConfig struct {
 
 // OpenBlk boots a block-device session backed by card memory.
 func OpenBlk(cfg BlkConfig) (*BlkSession, error) {
+	if cfg.Faults != "" {
+		return nil, fmt.Errorf("fpgavirtio: fault injection is not supported by block sessions")
+	}
 	s := sim.New()
 	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
 	dev := vdev.NewBlk(s, h.RC, "fpga-vblk", vdev.BlkOptions{

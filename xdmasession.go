@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fpgavirtio/internal/drivers/xdmadrv"
+	"fpgavirtio/internal/faults"
 	"fpgavirtio/internal/hostos"
 	"fpgavirtio/internal/sim"
 	"fpgavirtio/internal/telemetry"
@@ -38,18 +39,28 @@ type XDMASession struct {
 	readyWQ   *hostos.WaitQueue
 	dataReady bool
 	bramBytes int
+	faults    *faults.Injector
 }
 
 // OpenXDMA boots the vendor baseline: attach the XDMA example design,
 // enumerate, probe the reference driver, open both device nodes.
 func OpenXDMA(cfg XDMAConfig) (*XDMASession, error) {
+	plan, err := faults.Parse(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	s := sim.New()
 	h := hostos.New(s, hostMemBytes, cfg.hostConfig(), cfg.Seed)
+	// Arm fault injection before the device attaches so the endpoint
+	// sees the injector from its first TLP. The injector draws from its
+	// own fork of the seed, leaving the host-noise stream untouched.
+	inj := faults.NewInjector(plan, sim.NewRNG(cfg.Seed).Fork("faults"), h.Metrics())
+	h.RC.SetFaults(inj)
 	devCfg := xdmaip.DefaultConfig()
 	devCfg.Link = cfg.Link.config()
 	devCfg.NotifyOnH2CComplete = cfg.WaitC2HReady
 	dev := xdmaip.NewVendor(s, h.RC, "xdma0", devCfg)
-	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady, bramBytes: devCfg.BRAMBytes}
+	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady, bramBytes: devCfg.BRAMBytes, faults: inj}
 
 	var bootErr error
 	booted := false
@@ -166,8 +177,31 @@ func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error
 }
 
 // roundTripInto is roundTripOnce with a caller-supplied read-back
-// buffer (len(back) must equal len(data)).
+// buffer (len(back) must equal len(data)). Under fault injection a
+// round trip whose read-back does not match (a corrupted DMA read or a
+// dropped DMA write) is retried end to end a bounded number of times —
+// the application-level recovery the character-device interface forces,
+// since the driver has no integrity information of its own.
 func (xs *XDMASession) roundTripInto(p *sim.Proc, data, back []byte) (RTTSample, error) {
+	sample, err := xs.roundTripAttempt(p, data, back)
+	if xs.faults == nil || err == nil || err != errDataMismatch {
+		return sample, err
+	}
+	for retry := 0; retry < 2; retry++ {
+		xs.drv.NoteDataRetry()
+		sample, err = xs.roundTripAttempt(p, data, back)
+		if err != errDataMismatch {
+			return sample, err
+		}
+	}
+	return sample, fmt.Errorf("fpgavirtio: xdma round-trip data mismatch persisted across retries")
+}
+
+// errDataMismatch flags a round trip whose read-back differed from the
+// written data.
+var errDataMismatch = fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
+
+func (xs *XDMASession) roundTripAttempt(p *sim.Proc, data, back []byte) (RTTSample, error) {
 	t0 := xs.host.ClockGettime(p)
 	// The app span brackets the same instants as the RTT timer, so
 	// span-derived totals agree with RTTSample.Total.
@@ -194,7 +228,7 @@ func (xs *XDMASession) roundTripInto(p *sim.Proc, data, back []byte) (RTTSample,
 	t1 := xs.host.ClockGettime(p)
 	sp.End()
 	if !bytes.Equal(back, data) {
-		return RTTSample{}, fmt.Errorf("fpgavirtio: xdma round-trip data mismatch")
+		return RTTSample{}, errDataMismatch
 	}
 	total := t1.Sub(t0)
 	var hw sim.Duration
@@ -214,6 +248,22 @@ func (xs *XDMASession) roundTripInto(p *sim.Proc, data, back []byte) (RTTSample,
 // Registry returns the session's telemetry metrics registry, holding
 // the per-layer instruments every subsystem registered at boot.
 func (xs *XDMASession) Registry() *telemetry.Registry { return xs.host.Metrics() }
+
+// FaultPlan reports the armed fault plan's canonical string (empty when
+// no injection is armed).
+func (xs *XDMASession) FaultPlan() string {
+	if xs.faults == nil {
+		return ""
+	}
+	return xs.faults.Plan().String()
+}
+
+// FaultEvents reports the total number of faults injected so far.
+func (xs *XDMASession) FaultEvents() int64 { return xs.faults.Total() }
+
+// FaultSummary reports per-class injected-fault counts (nil when no
+// injection is armed).
+func (xs *XDMASession) FaultSummary() map[string]int64 { return xs.faults.Summary() }
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (xs *XDMASession) BusStats() BusStats {
