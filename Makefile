@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint vuln fuzzseed flake chaos ci smoke bench benchcmp benchsmoke clean
+.PHONY: all build test race vet fmt lint vuln fuzzseed flake chaos ci smoke bench benchcmp benchsmoke tailcheck clean
 
 all: build
 
@@ -88,6 +88,24 @@ smoke:
 		-json $${TMPDIR:-/tmp}/fvbench-tp-smoke.json -csv $${TMPDIR:-/tmp}/fvbench-tp-smoke.csv > /dev/null
 	$(GO) run ./cmd/fvtrace -chrome $${TMPDIR:-/tmp}/fvtrace-smoke.json -summary virtio > /dev/null
 
+# tailcheck is the tail-attribution and flight-recorder gate: a faulted
+# fvbench sweep must (1) write a schema-valid artifact whose
+# tail_attribution block is present (fvbench re-reads and validates the
+# JSON, which checks every tail sample's layer sums against its RTT),
+# (2) produce flight-recorder post-mortem dumps under -flightdir, and
+# (3) keep the steady-state allocation budgets at exactly zero with the
+# always-on recorder installed.
+tailcheck:
+	@dir=$${TMPDIR:-/tmp}/fvbench-tailcheck; rm -rf $$dir; mkdir -p $$dir; \
+	$(GO) run ./cmd/fvbench -n 1500 -payloads 64 \
+		-faults "needsreset:every=120:count=4,engineerr:every=90:count=4,irqdrop:every=150:count=6,cplpoison:every=400:count=4" \
+		-json $$dir/tail.json -flightdir $$dir/flights table1 > /dev/null; \
+	grep -q '"tail_attribution"' $$dir/tail.json || { echo "tailcheck: artifact lacks tail_attribution"; exit 1; }; \
+	n=$$(ls $$dir/flights/flight_*.json 2>/dev/null | wc -l); \
+	[ "$$n" -ge 2 ] || { echo "tailcheck: expected flight dumps in $$dir/flights, found $$n"; exit 1; }; \
+	echo "tailcheck: tail_attribution present, $$n flight dumps"
+	$(GO) test -run 'SteadyStateZeroAlloc' -v .
+
 # chaos is the fault-injection soak gate: the full sweep runs under
 # the default chaos plan (experiments.DefaultChaosPlan) with the race
 # detector and the fvassert recovery invariants compiled in, and must
@@ -97,7 +115,7 @@ smoke:
 chaos:
 	$(GO) test -race -tags fvinvariants -run '^TestChaos' -v ./internal/experiments
 
-ci: build fmt lint vuln fuzzseed flake chaos smoke benchsmoke
+ci: build fmt lint vuln fuzzseed flake chaos smoke benchsmoke tailcheck
 	@echo "ci: all checks passed"
 
 clean:

@@ -2,6 +2,7 @@ package fpgavirtio
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fpgavirtio/internal/sim"
@@ -39,6 +40,16 @@ type BreakdownReport struct {
 
 	Layers  []LayerBreakdown
 	Samples []RTTSample // the counter-based decomposition, per round
+
+	// Critical is the per-layer critical-path attribution summed over
+	// all rounds: each round's app window partitioned by the innermost
+	// active span. Unlike Layers (occupancy, where nesting
+	// double-counts), these totals partition the app time exactly, so
+	// CriticalTotal == Total by construction and each layer's critical
+	// time is bounded by its occupancy — the structural cross-check
+	// between the two attributions.
+	Critical      []LayerBreakdown
+	CriticalTotal time.Duration
 
 	// OpenSpans counts spans begun but never closed during the run —
 	// always zero on a healthy round trip.
@@ -118,16 +129,75 @@ func foldBreakdown(driver string, rounds, payload int, rec *telemetry.Recorder, 
 	for _, st := range telemetry.Attribution(spans) {
 		layers = append(layers, LayerBreakdown{Layer: st.Layer, Time: toStd(st.Total), Spans: st.Spans})
 	}
+
+	// Critical-path fold: partition each round's app window and sum the
+	// per-layer shares across rounds. Accumulation stays in simulated
+	// picoseconds and converts once at the end — converting per round
+	// would truncate sub-ns residue per (round, layer) and the layer
+	// sums would drift below CriticalTotal.
+	type critSum struct {
+		total    sim.Duration
+		segments int
+	}
+	critAcc := make(map[string]*critSum)
+	var critTotal sim.Duration
+	for _, s := range spans {
+		if s.Layer != telemetry.LayerApp {
+			continue
+		}
+		cp := telemetry.AnalyzeCriticalPathAt(spans, s)
+		critTotal += cp.Total()
+		for _, st := range cp.Layers {
+			cs := critAcc[st.Layer]
+			if cs == nil {
+				cs = &critSum{}
+				critAcc[st.Layer] = cs
+			}
+			cs.total += st.Total
+			cs.segments += st.Segments
+		}
+	}
+	// Telescoping conversion in a fixed layer order (canonical first,
+	// leftovers sorted — never map order, so reports stay byte-stable):
+	// layer ns values are differences of truncated cumulative ps, hence
+	// sum exactly to toStd(critTotal).
+	critLayers := make([]string, 0, len(critAcc))
+	for _, l := range telemetry.CanonicalLayers {
+		if _, ok := critAcc[l]; ok {
+			critLayers = append(critLayers, l)
+		}
+	}
+	rest := make([]string, 0, len(critAcc))
+	for l := range critAcc {
+		if telemetry.LayerRank(l) >= len(telemetry.CanonicalLayers) {
+			rest = append(rest, l)
+		}
+	}
+	sort.Strings(rest)
+	critLayers = append(critLayers, rest...)
+	var critical []LayerBreakdown
+	var accPs sim.Duration
+	var prev time.Duration
+	for _, l := range critLayers {
+		cs := critAcc[l]
+		accPs += cs.total
+		cur := toStd(accPs)
+		critical = append(critical, LayerBreakdown{Layer: l, Time: cur - prev, Spans: cs.segments})
+		prev = cur
+	}
+
 	return BreakdownReport{
-		Driver:       driver,
-		Rounds:       rounds,
-		PayloadBytes: payload,
-		Total:        toStd(total),
-		Hardware:     toStd(hw),
-		RespGen:      toStd(rg),
-		Software:     toStd(total - hw - rg),
-		Layers:       layers,
-		Samples:      samples,
-		OpenSpans:    len(rec.OpenSpans()),
+		Driver:        driver,
+		Rounds:        rounds,
+		PayloadBytes:  payload,
+		Total:         toStd(total),
+		Hardware:      toStd(hw),
+		RespGen:       toStd(rg),
+		Software:      toStd(total - hw - rg),
+		Layers:        layers,
+		Samples:       samples,
+		Critical:      critical,
+		CriticalTotal: toStd(critTotal),
+		OpenSpans:     len(rec.OpenSpans()),
 	}
 }

@@ -44,6 +44,42 @@ func crossCheck(t *testing.T, r BreakdownReport) {
 		t.Errorf("%s/%dB: non-positive attribution: total %v hw %v sw %v",
 			r.Driver, r.PayloadBytes, r.Total, r.Hardware, r.Software)
 	}
+	crossCheckCritical(t, r)
+}
+
+// crossCheckCritical pins the structural relation between the two
+// span-derived views: the critical path partitions the app time exactly
+// (CriticalTotal == Total, layer sums with no residue), and no layer
+// can be on the critical path longer than it was occupied at all.
+func crossCheckCritical(t *testing.T, r BreakdownReport) {
+	t.Helper()
+	if r.CriticalTotal != r.Total {
+		t.Errorf("%s/%dB: critical total %v != app total %v (must partition exactly)",
+			r.Driver, r.PayloadBytes, r.CriticalTotal, r.Total)
+	}
+	var sum time.Duration
+	occupancy := map[string]time.Duration{}
+	for _, l := range r.Layers {
+		occupancy[l.Layer] = l.Time
+	}
+	for _, l := range r.Critical {
+		sum += l.Time
+		// Both views convert ps to ns independently (occupancy truncates
+		// per layer, the critical fold telescopes), so the bound holds
+		// to within 2 ns of rounding residue.
+		if occ, ok := occupancy[l.Layer]; !ok {
+			t.Errorf("%s/%dB: critical layer %q has no occupancy row", r.Driver, r.PayloadBytes, l.Layer)
+		} else if l.Time > occ+2*time.Nanosecond {
+			t.Errorf("%s/%dB: layer %q critical %v exceeds occupancy %v",
+				r.Driver, r.PayloadBytes, l.Layer, l.Time, occ)
+		}
+	}
+	if sum != r.CriticalTotal {
+		t.Errorf("%s/%dB: critical layers sum to %v, want %v", r.Driver, r.PayloadBytes, sum, r.CriticalTotal)
+	}
+	if len(r.Critical) < 4 {
+		t.Errorf("%s/%dB: critical path touches only %d layers", r.Driver, r.PayloadBytes, len(r.Critical))
+	}
 }
 
 func TestBreakdownCrossCheckVirtIO(t *testing.T) {

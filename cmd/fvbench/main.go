@@ -51,6 +51,12 @@
 //	-json     write the run as a validated bench artifact
 //	-csv      write the run as CSV
 //	-metrics  dump each point's telemetry metric snapshot to stdout
+//	-flightdir write each point's flight-recorder dumps (worst-RTT and
+//	          per-fault-class post-mortems) as Chrome trace JSON files
+//	          under this directory (sweep experiments only)
+//	-serve    serve live run metrics in Prometheus text format at this
+//	          address (e.g. :9090) while the sweep runs; each finished
+//	          point's counters merge into the exposition
 //	-parallel latency-mode sweep workers (default GOMAXPROCS); results
 //	          are byte-identical at any count, 1 is the serial path
 //	-cpuprofile / -memprofile / -blockprofile
@@ -84,6 +90,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write the run's bench artifact as JSON to this file")
 	csvPath := flag.String("csv", "", "write the run's bench artifact as CSV to this file")
 	metrics := flag.Bool("metrics", false, "dump per-point telemetry metric snapshots to stdout")
+	flightDir := flag.String("flightdir", "", "write each point's flight-recorder dumps as Chrome trace JSON under this directory")
+	serveAddr := flag.String("serve", "", "serve live run metrics in Prometheus text format at this address (e.g. :9090) for the duration of the sweep")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines; results are byte-identical at any count (1 = today's serial path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -153,13 +161,16 @@ func main() {
 		if set["window"] || set["qpairs"] || set["rate"] {
 			usageErr("-window/-qpairs/-rate apply to -mode=throughput")
 		}
-		runLatency(p, *parallel, *hist, *jsonPath, *csvPath, *metrics, usageErr, fail)
+		runLatency(p, *parallel, *hist, *jsonPath, *csvPath, *metrics, *flightDir, *serveAddr, usageErr, fail)
 	case "throughput":
 		if flag.NArg() != 0 {
 			usageErr("-mode=throughput takes no experiment argument (got %q)", flag.Arg(0))
 		}
 		if *hist || *metrics {
 			usageErr("-hist/-metrics apply to -mode=latency")
+		}
+		if *flightDir != "" || *serveAddr != "" {
+			usageErr("-flightdir/-serve apply to the latency-mode sweep experiments")
 		}
 		if p.Faults != "" {
 			usageErr("-faults applies to the latency-mode sweep experiments")
@@ -194,7 +205,7 @@ func payloadCount(p experiments.Params) int {
 
 // runLatency dispatches the default-mode experiments.
 func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath string, metrics bool,
-	usageErr func(string, ...any), fail func(error)) {
+	flightDir, serveAddr string, usageErr func(string, ...any), fail func(error)) {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -204,6 +215,9 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 	if (jsonPath != "" || csvPath != "" || metrics) && !isSweep {
 		usageErr("-json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
 	}
+	if (flightDir != "" || serveAddr != "") && !isSweep {
+		usageErr("-flightdir/-serve apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
+	}
 	if p.Faults != "" && !isSweep {
 		usageErr("-faults applies to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
 	}
@@ -211,14 +225,35 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 	needSweep := func() *experiments.Sweep {
 		fmt.Fprintf(os.Stderr, "fvbench: sweeping %d packets x %d payloads x 2 drivers (%d workers)...\n",
 			p.Packets, payloadCount(p), parallel)
-		sw, err := experiments.RunSweepParallel(p, parallel)
+		var progress func(experiments.SweepProgress)
+		var srv *metricsServer
+		if serveAddr != "" {
+			var err error
+			srv, err = startMetricsServer(serveAddr, 2*payloadCount(p))
+			if err != nil {
+				fail(err)
+			}
+			defer srv.stop()
+			progress = srv.observe
+		}
+		sw, err := experiments.RunSweepParallelWithProgress(p, parallel, progress)
 		if err != nil {
 			fail(err)
 		}
+		// Attribute tail samples before the export, so the JSON artifact
+		// carries the tail_attribution block. The replay runs outside
+		// every timed section and cannot perturb the measurements above.
+		if err := experiments.AttributeTails(sw); err != nil {
+			fail(err)
+		}
 		exportSweep(sw, experiment, jsonPath, csvPath, metrics, fail)
+		if flightDir != "" {
+			writeFlightDumps(sw, flightDir, fail)
+		}
 		if report := experiments.RenderFaultReport(sw); report != "" {
 			fmt.Fprint(os.Stderr, report)
 		}
+		fmt.Fprint(os.Stderr, experiments.RenderTailReport(sw))
 		return sw
 	}
 

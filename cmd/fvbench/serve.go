@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"fpgavirtio/internal/experiments"
+	"fpgavirtio/internal/telemetry"
+)
+
+// The live exposition endpoint behind -serve: a plain net/http server
+// (no dependencies) that renders the run's telemetry in Prometheus text
+// format. Worker goroutines deliver each finished sweep cell through
+// observe; /metrics merges every delivered snapshot on demand, so a
+// scraper watching a long sweep sees counters grow point by point.
+
+// metricsServer accumulates per-point metric snapshots and serves the
+// merged view over HTTP.
+type metricsServer struct {
+	mu     sync.Mutex
+	points [][]telemetry.MetricSnapshot
+	done   int
+	total  int
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startMetricsServer binds addr and begins serving /metrics (and /, as
+// an alias) immediately; before the first cell finishes the exposition
+// holds only the sweep progress gauges.
+func startMetricsServer(addr string, totalCells int) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve %s: %w", addr, err)
+	}
+	s := &metricsServer{ln: ln, total: totalCells}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	mux.HandleFunc("/metrics", s.handle)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on stop
+	fmt.Fprintf(os.Stderr, "fvbench: serving metrics at http://%s/metrics\n", ln.Addr())
+	return s, nil
+}
+
+// observe is the sweep progress callback; it runs on worker goroutines,
+// possibly concurrently.
+func (s *metricsServer) observe(p experiments.SweepProgress) {
+	s.mu.Lock()
+	s.points = append(s.points, p.Point.Metrics)
+	s.done, s.total = p.Done, p.Total
+	s.mu.Unlock()
+}
+
+func (s *metricsServer) handle(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snaps := mergeSnapshots(s.points)
+	snaps = append(snaps,
+		telemetry.MetricSnapshot{Name: "sweep.cells.done", Type: "gauge", Value: float64(s.done)},
+		telemetry.MetricSnapshot{Name: "sweep.cells.total", Type: "gauge", Value: float64(s.total)})
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, snaps) //nolint:errcheck // client went away
+}
+
+// stop closes the listener; in-flight scrapes are cut off, which is
+// fine for a process that is exiting anyway.
+func (s *metricsServer) stop() {
+	s.srv.Close()
+}
+
+// mergeSnapshots folds per-point snapshots into one exposition: values
+// and bucket counts sum across points (the merge is therefore
+// independent of cell completion order), histogram buckets align by
+// upper bound.
+func mergeSnapshots(points [][]telemetry.MetricSnapshot) []telemetry.MetricSnapshot {
+	merged := map[string]*telemetry.MetricSnapshot{}
+	for _, snaps := range points {
+		for _, s := range snaps {
+			m, ok := merged[s.Name]
+			if !ok {
+				c := s
+				c.Buckets = append([]telemetry.BucketSnapshot(nil), s.Buckets...)
+				merged[s.Name] = &c
+				continue
+			}
+			m.Value += s.Value
+			m.Count += s.Count
+			m.Sum += s.Sum
+			if len(s.Buckets) > 0 {
+				m.Buckets = mergeBuckets(m.Buckets, s.Buckets)
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names) // never map order: the exposition must be byte-stable
+	out := make([]telemetry.MetricSnapshot, 0, len(names)+2)
+	for _, name := range names {
+		out = append(out, *merged[name])
+	}
+	return out
+}
+
+// mergeBuckets sums two bucket lists by upper bound. Same-name
+// instruments share bucket layouts, so this is normally a zip; sparse
+// HDR snapshots may contribute bounds the other side lacks.
+func mergeBuckets(a, b []telemetry.BucketSnapshot) []telemetry.BucketSnapshot {
+	counts := map[float64]int64{}
+	for _, x := range a {
+		counts[x.UpperBound] += x.Count
+	}
+	for _, x := range b {
+		counts[x.UpperBound] += x.Count
+	}
+	bounds := make([]float64, 0, len(counts))
+	for ub := range counts {
+		bounds = append(bounds, ub)
+	}
+	sort.Float64s(bounds) // +Inf sorts last, as the exposition requires
+	out := make([]telemetry.BucketSnapshot, 0, len(bounds))
+	for _, ub := range bounds {
+		out = append(out, telemetry.BucketSnapshot{UpperBound: ub, Count: counts[ub]})
+	}
+	return out
+}

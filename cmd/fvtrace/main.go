@@ -5,14 +5,16 @@
 //
 // Usage:
 //
-//	fvtrace [-payload N] [-quiet=false] [-chrome out.json] [-layers a,b] [-summary] virtio|xdma
+//	fvtrace [-payload N] [-quiet=false] [-chrome out.json] [-layers a,b] [-summary] [-critical] virtio|xdma
 //
 // With -chrome the capture is written as Chrome trace-event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one
 // process track per layer plus a track of raw simulation events.
 // -layers filters the exported spans to the named layers (e.g.
 // driver,irq). -summary prints capture statistics instead of the
-// flat event log.
+// flat event log. -critical prints the round trip's critical path:
+// the partition of the app span's window by the innermost active
+// span, attributing every nanosecond to exactly one layer.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"strings"
 
 	fpgavirtio "fpgavirtio"
+	"fpgavirtio/internal/sim"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 	chrome := flag.String("chrome", "", "write the capture as Chrome trace-event JSON to this file")
 	layers := flag.String("layers", "", "comma-separated layer filter for -chrome/-summary (e.g. driver,irq)")
 	summary := flag.Bool("summary", false, "print capture statistics instead of the event log")
+	critical := flag.Bool("critical", false, "print the round trip's critical path (innermost-active-span partition by layer)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fvtrace [flags] virtio|xdma\n")
 		flag.PrintDefaults()
@@ -91,6 +95,12 @@ func main() {
 			*chrome, len(trace.Spans), len(trace.Events))
 	}
 
+	if *critical {
+		printCritical(trace)
+		if !*summary {
+			return
+		}
+	}
 	if *summary {
 		printSummary(trace)
 		return
@@ -99,6 +109,29 @@ func main() {
 		return // the JSON file is the output; skip the flat log
 	}
 	printEvents(trace.Events)
+}
+
+// printCritical renders the capture's critical path: the segment chain
+// (which span was innermost-active when), then the per-layer fold. The
+// segment durations partition the root span exactly, so the layer
+// totals sum to the round trip with no residue.
+func printCritical(t *fpgavirtio.Trace) {
+	cp, err := t.CriticalPath()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvtrace:", err)
+		os.Exit(1)
+	}
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	fmt.Printf("critical path of %s:%s (%.3fus)\n", cp.Root.Layer, cp.Root.Name, us(sim.Duration(cp.Root.End-cp.Root.Start)))
+	for _, seg := range cp.Segments {
+		fmt.Printf("  %10.3fus  +%8.3fus  %-14s %s\n",
+			us(sim.Duration(seg.Start-cp.Root.Start)), us(seg.Duration()), seg.Layer, seg.Name)
+	}
+	fmt.Printf("per-layer critical time:\n")
+	for _, st := range cp.Layers {
+		fmt.Printf("  %-14s %10.3fus  %5.1f%%  (%d segments)\n", st.Layer, us(st.Total), 100*st.Share, st.Segments)
+	}
+	fmt.Printf("  %-14s %10.3fus\n", "total", us(cp.Total()))
 }
 
 // printSummary reports capture statistics: sizes, simulated time, and

@@ -1,7 +1,9 @@
 // Package metricname keeps the telemetry namespace canonical: every
-// Registry instrument (Counter / Gauge / Histogram) must be named by a
-// constant from internal/telemetry/names.go or built by one of its
-// Metric* helper functions, every span must open under one of the
+// Registry instrument (Counter / Gauge / Histogram / HDR) must be named
+// by a constant from internal/telemetry/names.go or built by one of its
+// Metric* helper functions — including the tail.* and recorder.*
+// families the tail-attribution work added — every span must open under
+// one of the
 // telemetry Layer* constants, and a span opened in a function must
 // have its End reachable before every return (or be closed by a
 // defer). Ad-hoc name literals drift from the replay baselines and
@@ -36,7 +38,7 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-var instrumentMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+var instrumentMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "HDR": true}
 
 func run(pass *analysis.Pass) {
 	for _, f := range pass.Files {

@@ -31,8 +31,23 @@ func goodHelperName(reg *telemetry.Registry) {
 	reg.Counter(telemetry.MetricXDMATransfers("h2c")).Add(1)
 }
 
+func goodHDRName(reg *telemetry.Registry) {
+	// The tail.* and recorder.* families ride the same rule as every
+	// other instrument, including the HDR get-or-create path.
+	reg.HDR(telemetry.MetricTailRTTTotalNs).Observe(1)
+	reg.Counter(telemetry.MetricRecorderDumps).Add(1)
+}
+
 func badLiteralName(reg *telemetry.Registry) {
 	reg.Counter("stream.packets").Add(1) // want "metric name must be a telemetry constant or Metric"
+}
+
+func badHDRLiteralName(reg *telemetry.Registry) {
+	reg.HDR("tail.rtt.total.ns").Observe(1) // want "metric name must be a telemetry constant or Metric"
+}
+
+func badRecorderLiteralName(reg *telemetry.Registry) {
+	reg.Counter("recorder.dumps").Add(1) // want "metric name must be a telemetry constant or Metric"
 }
 
 func badBuiltName(reg *telemetry.Registry, dir string) {

@@ -56,8 +56,29 @@ func BuildArtifact(experiment string, sw *Sweep) *telemetry.BenchArtifact {
 			a.Points = append(a.Points, BuildPoint(sw.XDMA[i]))
 		}
 	}
+	// Tail attribution mirrors the point interleaving; points the
+	// replay pass never visited (or that had no clean samples)
+	// contribute nothing, keeping attribution-free artifacts
+	// byte-identical to earlier builds.
+	for i := range sw.VirtIO {
+		for _, pt := range [2]*PointResult{sw.VirtIO[i], xdmaAt(sw, i)} {
+			if pt != nil && len(pt.Tail) > 0 {
+				a.TailAttribution = append(a.TailAttribution, telemetry.TailPoint{
+					Driver: pt.Driver, Payload: pt.Payload, Samples: pt.Tail,
+				})
+			}
+		}
+	}
 	a.Faults = BuildFaultSummary(sw)
 	return a
+}
+
+// xdmaAt returns the i-th XDMA point, nil when the sweep has fewer.
+func xdmaAt(sw *Sweep, i int) *PointResult {
+	if i < len(sw.XDMA) {
+		return sw.XDMA[i]
+	}
+	return nil
 }
 
 // BuildFaultSummary aggregates the sweep's fault-injection and recovery

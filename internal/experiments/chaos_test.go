@@ -73,6 +73,33 @@ func TestChaosSoak(t *testing.T) {
 	if art.Faults == nil || art.Faults.FaultedSamples != fs.FaultedSamples {
 		t.Errorf("artifact fault summary = %+v, want %d faulted samples", art.Faults, fs.FaultedSamples)
 	}
+
+	// Flight recorder: every injected fault class must have produced a
+	// post-mortem dump in at least one session, and every session must
+	// have captured a worst-RTT dump with a non-empty span ring.
+	reasons := make(map[string]bool)
+	for _, pts := range [][]*PointResult{sw.VirtIO, sw.XDMA} {
+		for _, pt := range pts {
+			sawWorst := false
+			for _, d := range pt.FlightDumps {
+				reasons[d.Reason] = true
+				if len(d.Spans) == 0 {
+					t.Errorf("%s/%dB: dump %q has an empty span ring", pt.Driver, pt.Payload, d.Reason)
+				}
+				if d.Reason == "worst-rtt" {
+					sawWorst = true
+				}
+			}
+			if !sawWorst {
+				t.Errorf("%s/%dB: no worst-rtt flight dump", pt.Driver, pt.Payload)
+			}
+		}
+	}
+	for _, class := range []string{"needsreset", "engineerr", "irqdrop", "cplpoison"} {
+		if !reasons["fault:"+class] {
+			t.Errorf("no flight dump for injected class %s", class)
+		}
+	}
 }
 
 // TestChaosParallelDeterminism pins the fault-injection determinism

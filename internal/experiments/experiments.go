@@ -81,6 +81,21 @@ type PointResult struct {
 	Faulted int
 	// Metrics is the session's telemetry snapshot after the run.
 	Metrics []telemetry.MetricSnapshot
+	// Tail holds the critical-path attribution of this point's tail
+	// samples (p99, p99.9, max), filled by AttributeTails.
+	Tail []telemetry.TailSample
+	// FlightDumps are the session's flight-recorder snapshots: one per
+	// fault class that fired, plus the worst-RTT trigger.
+	FlightDumps []telemetry.FlightDump
+
+	// cleanLoops/cleanNs record, per clean (fault-excluded) sample in
+	// completion order, the raw series loop index and the measured RTT
+	// in nanoseconds. perf.Series sorts its samples in place the first
+	// time a percentile is read, so this pair — not the series — is the
+	// map from a tail rank back to the loop index AttributeTails must
+	// replay.
+	cleanLoops []int
+	cleanNs    []int64
 }
 
 func toSim(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) * sim.Nanosecond }
@@ -121,12 +136,15 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))
 		res.RG.Add(toSim(s.RespGen))
+		res.cleanLoops = append(res.cleanLoops, i)
+		res.cleanNs = append(res.cleanNs, s.Total.Nanoseconds())
 	})
 	if err != nil {
 		return nil, fmt.Errorf("virtio: %w", err)
 	}
 	res.Interrupts = ns.BusStats().Interrupts
 	res.Metrics = ns.Registry().Snapshot()
+	res.FlightDumps = ns.FlightDumps()
 	return res, nil
 }
 
@@ -163,12 +181,15 @@ func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*P
 		res.SW.Add(toSim(s.Software))
 		res.HW.Add(toSim(s.Hardware))
 		res.RG.Add(0)
+		res.cleanLoops = append(res.cleanLoops, i)
+		res.cleanNs = append(res.cleanNs, s.Total.Nanoseconds())
 	})
 	if err != nil {
 		return nil, fmt.Errorf("xdma: %w", err)
 	}
 	res.Interrupts = xs.BusStats().Interrupts
 	res.Metrics = xs.Registry().Snapshot()
+	res.FlightDumps = xs.FlightDumps()
 	return res, nil
 }
 

@@ -37,13 +37,34 @@ type sweepCell struct {
 	idx     int // payload index in Params.Payloads
 }
 
+// SweepProgress reports one completed sweep cell to a live observer.
+type SweepProgress struct {
+	Driver  string // "virtio" or "xdma"
+	Payload int
+	Done    int // cells completed so far, including this one
+	Total   int // total cells in the sweep
+	// Point is the completed cell's result. The observer may read it
+	// (e.g. snapshot its metrics) but must not mutate it.
+	Point *PointResult
+}
+
 // RunSweepParallel measures the same grid as RunSweep with up to
 // workers cells in flight at once. workers <= 1 delegates to RunSweep
 // (the exact serial code path); any other count produces byte-identical
 // results in a fraction of the wall-clock time.
 func RunSweepParallel(p Params, workers int) (*Sweep, error) {
+	return RunSweepParallelWithProgress(p, workers, nil)
+}
+
+// RunSweepParallelWithProgress is RunSweepParallel with a completion
+// callback, the hook behind fvbench's live exposition endpoint.
+// progress (optional) fires once per finished cell — from worker
+// goroutines, possibly concurrently, so the observer synchronizes its
+// own state. Results remain byte-identical to RunSweep at any worker
+// count; only the callback ordering varies.
+func RunSweepParallelWithProgress(p Params, workers int, progress func(SweepProgress)) (*Sweep, error) {
 	p = p.withDefaults()
-	if workers <= 1 {
+	if workers <= 1 && progress == nil {
 		return RunSweep(p)
 	}
 	cells := make([]sweepCell, 0, 2*len(p.Payloads))
@@ -55,6 +76,9 @@ func RunSweepParallel(p Params, workers int) (*Sweep, error) {
 			sweepCell{virtio: true, payload: size, idx: i},
 			sweepCell{virtio: false, payload: size, idx: i})
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > len(cells) {
 		workers = len(cells)
 	}
@@ -63,6 +87,22 @@ func RunSweepParallel(p Params, workers int) (*Sweep, error) {
 		Params: p,
 		VirtIO: make([]*PointResult, len(p.Payloads)),
 		XDMA:   make([]*PointResult, len(p.Payloads)),
+	}
+	var mu sync.Mutex
+	done := 0
+	report := func(c sweepCell, pt *PointResult) {
+		if progress == nil || pt == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		driver := "xdma"
+		if c.virtio {
+			driver = "virtio"
+		}
+		progress(SweepProgress{Driver: driver, Payload: c.payload, Done: d, Total: len(cells), Point: pt})
 	}
 	errs := make([]error, len(cells))
 	var next atomic.Int64
@@ -79,8 +119,10 @@ func RunSweepParallel(p Params, workers int) (*Sweep, error) {
 				c := cells[i]
 				if c.virtio {
 					sw.VirtIO[c.idx], errs[i] = MeasureVirtIO(p, c.payload, nil)
+					report(c, sw.VirtIO[c.idx])
 				} else {
 					sw.XDMA[c.idx], errs[i] = MeasureXDMA(p, c.payload, nil)
+					report(c, sw.XDMA[c.idx])
 				}
 			}
 		}()

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/telemetry"
+)
+
+// TestAttributeTails checks the tentpole invariant end to end: every
+// tail-ranked sample's critical path partitions its replayed RTT
+// exactly, the partition agrees with the measured RTT to within the
+// counter quantum, and the artifact block validates.
+func TestAttributeTails(t *testing.T) {
+	p := Params{Seed: 1, Packets: 400, Payloads: []int{64, 256}}
+	sw, err := RunSweep(p)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if err := AttributeTails(sw); err != nil {
+		t.Fatalf("AttributeTails: %v", err)
+	}
+
+	points := append(append([]*PointResult{}, sw.VirtIO...), sw.XDMA...)
+	for _, pt := range points {
+		if len(pt.Tail) != 3 {
+			t.Fatalf("%s/%dB: %d tail samples, want 3", pt.Driver, pt.Payload, len(pt.Tail))
+		}
+		wantRanks := []string{"p99", "p99.9", "max"}
+		for i, ts := range pt.Tail {
+			if ts.Rank != wantRanks[i] {
+				t.Errorf("%s/%dB sample %d: rank %q, want %q", pt.Driver, pt.Payload, i, ts.Rank, wantRanks[i])
+			}
+			var sum int64
+			for _, l := range ts.Layers {
+				if l.Ns < 0 {
+					t.Errorf("%s/%dB %s: layer %s negative (%d ns)", pt.Driver, pt.Payload, ts.Rank, l.Layer, l.Ns)
+				}
+				sum += l.Ns
+			}
+			if sum != ts.SumNs {
+				t.Errorf("%s/%dB %s: layers sum %d != SumNs %d", pt.Driver, pt.Payload, ts.Rank, sum, ts.SumNs)
+			}
+			if d := ts.SumNs - ts.RTTNs; d > 8 || d < -8 {
+				t.Errorf("%s/%dB %s: SumNs %d vs RTTNs %d exceeds 8ns quantum",
+					pt.Driver, pt.Payload, ts.Rank, ts.SumNs, ts.RTTNs)
+			}
+			// A round trip's critical path must involve more than the
+			// app layer: the wait for the device shows up as driver /
+			// irq / wire / device time.
+			if len(ts.Layers) < 2 {
+				t.Errorf("%s/%dB %s: only %d layers on the critical path", pt.Driver, pt.Payload, ts.Rank, len(ts.Layers))
+			}
+		}
+		// The max-rank sample must reproduce the series maximum.
+		maxNs := int64(0)
+		for _, v := range pt.cleanNs {
+			if v > maxNs {
+				maxNs = v
+			}
+		}
+		if got := pt.Tail[2].RTTNs; got != maxNs {
+			t.Errorf("%s/%dB: max tail RTT %d != series max %d", pt.Driver, pt.Payload, got, maxNs)
+		}
+	}
+
+	// The artifact block must round-trip through the validator.
+	a := BuildArtifact("latency", sw)
+	if len(a.TailAttribution) != 4 {
+		t.Fatalf("artifact has %d tail points, want 4", len(a.TailAttribution))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("artifact validation: %v", err)
+	}
+}
+
+// TestAttributeTailsDeterministic: the replay pass is pure, so running
+// it twice yields identical attributions.
+func TestAttributeTailsDeterministic(t *testing.T) {
+	p := Params{Seed: 7, Packets: 200, Payloads: []int{128}}
+	run := func() []telemetry.TailSample {
+		sw, err := RunSweep(p)
+		if err != nil {
+			t.Fatalf("RunSweep: %v", err)
+		}
+		if err := AttributeTails(sw); err != nil {
+			t.Fatalf("AttributeTails: %v", err)
+		}
+		return append(append([]telemetry.TailSample{}, sw.VirtIO[0].Tail...), sw.XDMA[0].Tail...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("tail sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Rank != b[i].Rank || a[i].Index != b[i].Index || a[i].RTTNs != b[i].RTTNs || a[i].SumNs != b[i].SumNs {
+			t.Errorf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if len(a[i].Layers) != len(b[i].Layers) {
+			t.Errorf("sample %d layer counts differ", i)
+			continue
+		}
+		for j := range a[i].Layers {
+			if a[i].Layers[j] != b[i].Layers[j] {
+				t.Errorf("sample %d layer %d differs: %+v vs %+v", i, j, a[i].Layers[j], b[i].Layers[j])
+			}
+		}
+	}
+}

@@ -155,7 +155,7 @@ type hostMetrics struct {
 	wakeups     *telemetry.Counter
 	wakeTails   *telemetry.Counter
 	irqs        *telemetry.Counter
-	wakeLatNs   *telemetry.Histogram
+	wakeLatNs   *telemetry.HDRHistogram
 }
 
 type irqKey struct {
@@ -187,8 +187,12 @@ func New(s *sim.Sim, memBytes int, cfg Config, seed uint64) *Host {
 		wakeups:     h.metrics.Counter(telemetry.MetricHostWakeups),
 		wakeTails:   h.metrics.Counter(telemetry.MetricHostWakeTailHits),
 		irqs:        h.metrics.Counter(telemetry.MetricHostIRQsDelivered),
-		wakeLatNs: h.metrics.Histogram(telemetry.MetricHostWakeLatencyNs,
-			[]float64{1000, 2000, 4000, 8000, 16000, 32000, 64000}),
+		// HDR (log-bucketed): wake latency is exactly the kind of
+		// long-tailed distribution fixed bounds misrepresent — the
+		// waketail path stretches wakes well past any preset bound,
+		// and the HDR layout resolves those to ~1.6% instead of
+		// lumping them into +Inf.
+		wakeLatNs: h.metrics.HDR(telemetry.MetricHostWakeLatencyNs),
 	}
 	h.RC = pcie.NewRootComplex(s, m, pcie.DefaultCosts())
 	h.RC.SetMetrics(h.metrics)
@@ -343,7 +347,7 @@ func (wq *WaitQueue) Wake() {
 			h.met.wakeTails.Inc()
 		}
 		h.met.wakeups.Inc()
-		h.met.wakeLatNs.Observe(float64(d.Nanoseconds()))
+		h.met.wakeLatNs.Observe(int64(d.Nanoseconds()))
 		h.Sim.ResumeAfter(d, wq.wakeName, p)
 		wq.waiters[i] = nil
 	}

@@ -117,13 +117,21 @@ func (l *Link) serTime(payload int) sim.Duration {
 // carries deliver directly — no wrapper closure and no composed name —
 // so a TLP costs zero heap allocations on the steady-state path.
 func (l *Link) transmit(dir *direction, payload int, what string, deliver func()) sim.Time {
-	start := l.sim.Now()
+	now := l.sim.Now()
+	start := now
 	if dir.busyUntil > start {
 		start = dir.busyUntil
 	}
 	serEnd := start.Add(l.serTime(payload))
 	dir.busyUntil = serEnd
 	arrive := serEnd.Add(l.cfg.Prop)
+	// Flight recorder: the endpoints are already known here, so the
+	// TLP is logged as a closed interval without touching the span
+	// machinery (and without composing a name — dir and kind travel as
+	// separate static strings). Stays on with zero allocations.
+	if l.sim.FlightRecording() {
+		l.sim.FlightClosed(telemetry.LayerWire, dir.name, what, now, arrive)
+	}
 	if l.sim.TracingSpans() || l.sim.Traced() {
 		// Wire-layer span: queue + serialization + flight of this TLP.
 		sp := l.sim.BeginSpan(telemetry.LayerWire, dir.name+":"+what)

@@ -88,6 +88,7 @@ type Sim struct {
 	stopped  bool
 	tracer   Tracer
 	spans    SpanSink
+	flight   FlightSink
 	procs    int // live (not yet finished) processes
 	parked   map[*Proc]string
 	free     []*event // recycled events

@@ -67,26 +67,75 @@ func (s *Sim) SetSpanSink(ss SpanSink) { s.spans = ss }
 // that would allocate to build span attributes should check it first.
 func (s *Sim) TracingSpans() bool { return s.spans != nil }
 
+// FlightSink is the always-on sibling of SpanSink: a bounded,
+// allocation-free recorder of recent spans (a flight recorder).
+// Unlike SpanSink — whose installation flips TracingSpans() and lets
+// hot paths take allocating verbose branches — a FlightSink stays
+// installed for a session's whole life, so every method MUST be
+// allocation-free in steady state. BeginSpan/End feed both sinks;
+// FlightClosed additionally receives the closed wire-layer spans the
+// fast TLP path composes without strings.
+type FlightSink interface {
+	FlightBegin(at Time, layer, name string) uint64
+	FlightEnd(at Time, id uint64)
+	// FlightClosed records an already-closed span. dir is an optional
+	// direction qualifier ("down"/"up" for wire spans), "" otherwise.
+	FlightClosed(at Time, layer, dir, name string, start, end Time)
+}
+
+// SetFlightSink installs fs as the flight sink (nil disables flight
+// recording). Like span emission, flight recording is a pure hook: it
+// never schedules events and cannot perturb simulation timing.
+func (s *Sim) SetFlightSink(fs FlightSink) { s.flight = fs }
+
+// FlightRecording reports whether a flight sink is installed.
+func (s *Sim) FlightRecording() bool { return s.flight != nil }
+
+// FlightClosed forwards an already-closed span to the flight sink, if
+// one is installed. Hot paths that know a span's endpoints up front
+// (the wire layer prices queue+serialization+flight when the TLP is
+// queued) use it to feed the flight recorder without the allocating
+// name composition the verbose span path performs.
+func (s *Sim) FlightClosed(layer, dir, name string, start, end Time) {
+	if s.flight != nil {
+		s.flight.FlightClosed(s.now, layer, dir, name, start, end)
+	}
+}
+
 // SpanRef is a handle to an in-flight span. The zero value (returned
 // when no sink is installed) is valid and End on it is a no-op.
 type SpanRef struct {
-	s  *Sim
-	id uint64
+	s   *Sim
+	id  uint64
+	fid uint64
 }
 
 // BeginSpan opens a span at the current simulation time. attrs are
-// alternating key/value pairs.
+// alternating key/value pairs. The span is emitted to the span sink
+// and the flight sink independently; either may be absent.
 func (s *Sim) BeginSpan(layer, name string, attrs ...string) SpanRef {
-	if s.spans == nil {
-		return SpanRef{}
+	var r SpanRef
+	if s.spans != nil {
+		r.s = s
+		r.id = s.spans.SpanBegin(s.now, layer, name, attrs...)
 	}
-	return SpanRef{s: s, id: s.spans.SpanBegin(s.now, layer, name, attrs...)}
+	if s.flight != nil {
+		r.s = s
+		r.fid = s.flight.FlightBegin(s.now, layer, name)
+	}
+	return r
 }
 
 // End closes the span at the current simulation time. Safe to call on
 // the zero SpanRef or after the sink was removed.
 func (r SpanRef) End() {
-	if r.s != nil && r.s.spans != nil {
+	if r.s == nil {
+		return
+	}
+	if r.s.spans != nil && r.id != 0 {
 		r.s.spans.SpanEnd(r.s.now, r.id)
+	}
+	if r.s.flight != nil && r.fid != 0 {
+		r.s.flight.FlightEnd(r.s.now, r.fid)
 	}
 }

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgavirtio/internal/sim"
+)
+
+// Critical-path analysis: turn one round trip's span tree into a
+// partition of the application window, attributing every picosecond of
+// the RTT to exactly one layer. Attribution() sums occupancy — nested
+// spans double-count, so its totals exceed the RTT and answer "how
+// busy was each layer". The critical path instead answers the tail
+// question "what was the packet WAITING on": at every instant inside
+// the app span it charges the innermost span active at that instant,
+// and instants covered by no span fall back to the root (the
+// application itself, spinning between syscalls). The segments
+// partition the root window exactly, so per-layer totals sum to the
+// measured RTT with no tolerance beyond the counters' own quantum.
+
+// CritSegment is one maximal interval of the partition: the innermost
+// span active over [Start, End) and the layer the interval is charged
+// to.
+type CritSegment struct {
+	Layer string
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration is the segment's extent.
+func (s CritSegment) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// CritStat is the per-layer fold of the partition.
+type CritStat struct {
+	Layer    string
+	Total    sim.Duration
+	Segments int
+	// Share is Total over the root span's duration, in [0, 1]; shares
+	// sum to 1 because the segments partition the root window.
+	Share float64
+}
+
+// CriticalPath is the analyzed blocking chain of one round trip.
+type CriticalPath struct {
+	// Root is the application span whose window was partitioned.
+	Root     Span
+	Segments []CritSegment
+	Layers   []CritStat
+}
+
+// Total is the partitioned window's extent — the measured RTT when the
+// root span brackets the caller's clock reads.
+func (cp *CriticalPath) Total() sim.Duration { return cp.Root.Duration() }
+
+// AnalyzeCriticalPath analyzes the round trip whose app-layer span
+// closed last in spans — the natural choice for a capture that ends
+// right after the packet of interest. Errors when no app span exists.
+func AnalyzeCriticalPath(spans []Span) (*CriticalPath, error) {
+	var root Span
+	found := false
+	for _, s := range spans {
+		if s.Layer != LayerApp {
+			continue
+		}
+		if !found || s.Start > root.Start || (s.Start == root.Start && s.ID > root.ID) {
+			root = s
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("telemetry: critical path needs an %q span, none recorded", LayerApp)
+	}
+	return AnalyzeCriticalPathAt(spans, root), nil
+}
+
+// AnalyzeCriticalPathAt partitions root's window by the innermost
+// active span. Spans outside the window are ignored; spans straddling
+// it are clipped. Deterministic: ties between equally-nested spans
+// break toward the later start, then the higher span ID.
+func AnalyzeCriticalPathAt(spans []Span, root Span) *CriticalPath {
+	cp := &CriticalPath{Root: root}
+	if root.End <= root.Start {
+		return cp
+	}
+
+	// Clip candidates to the root window.
+	type cand struct {
+		sp    Span
+		start sim.Time
+		end   sim.Time
+		depth int
+	}
+	var cands []cand
+	for _, s := range spans {
+		if s.ID == root.ID && s.Layer == root.Layer && s.Start == root.Start && s.End == root.End {
+			continue
+		}
+		start, end := s.Start, s.End
+		if start < root.Start {
+			start = root.Start
+		}
+		if end > root.End {
+			end = root.End
+		}
+		if end <= start {
+			continue
+		}
+		cands = append(cands, cand{sp: s, start: start, end: end})
+	}
+
+	// Nesting depth: how many other candidates contain this one. Equal
+	// intervals contain each other symmetrically; the start/ID
+	// tie-break below keeps the choice deterministic.
+	for i := range cands {
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			if cands[j].start <= cands[i].start && cands[j].end >= cands[i].end {
+				cands[i].depth++
+			}
+		}
+	}
+
+	// Elementary intervals between the sorted unique boundaries.
+	bounds := make([]sim.Time, 0, 2*len(cands)+2)
+	bounds = append(bounds, root.Start, root.End)
+	for _, c := range cands {
+		bounds = append(bounds, c.start, c.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+
+	for k := 0; k+1 < len(uniq); k++ {
+		a, b := uniq[k], uniq[k+1]
+		layer, name := root.Layer, root.Name
+		best := -1
+		for i := range cands {
+			if cands[i].start > a || cands[i].end < b {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			// Innermost wins: strictly more nested, else the later
+			// start, else the higher span ID. All three deterministic.
+			c, w := &cands[i], &cands[best]
+			if c.depth != w.depth {
+				if c.depth > w.depth {
+					best = i
+				}
+				continue
+			}
+			if c.sp.Start != w.sp.Start {
+				if c.sp.Start > w.sp.Start {
+					best = i
+				}
+				continue
+			}
+			if c.sp.ID > w.sp.ID {
+				best = i
+			}
+		}
+		if best >= 0 {
+			layer, name = cands[best].sp.Layer, cands[best].sp.Name
+		}
+		n := len(cp.Segments)
+		if n > 0 && cp.Segments[n-1].End == a &&
+			cp.Segments[n-1].Layer == layer && cp.Segments[n-1].Name == name {
+			cp.Segments[n-1].End = b
+			continue
+		}
+		cp.Segments = append(cp.Segments, CritSegment{Layer: layer, Name: name, Start: a, End: b})
+	}
+
+	// Per-layer fold; shares are exact because segments partition the
+	// window.
+	byLayer := map[string]*CritStat{}
+	for _, seg := range cp.Segments {
+		st := byLayer[seg.Layer]
+		if st == nil {
+			st = &CritStat{Layer: seg.Layer}
+			byLayer[seg.Layer] = st
+		}
+		st.Total += seg.Duration()
+		st.Segments++
+	}
+	total := root.Duration()
+	for _, st := range byLayer {
+		st.Share = float64(st.Total) / float64(total)
+		cp.Layers = append(cp.Layers, *st)
+	}
+	sort.Slice(cp.Layers, func(i, j int) bool {
+		ri, rj := LayerRank(cp.Layers[i].Layer), LayerRank(cp.Layers[j].Layer)
+		if ri != rj {
+			return ri < rj
+		}
+		return cp.Layers[i].Layer < cp.Layers[j].Layer
+	})
+	return cp
+}

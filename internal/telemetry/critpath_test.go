@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"fpgavirtio/internal/sim"
+)
+
+// span builds a test span with picosecond endpoints given in ns.
+func span(id uint64, layer, name string, startNs, endNs int64) Span {
+	return Span{ID: id, Layer: layer, Name: name, Start: ps(startNs), End: ps(endNs)}
+}
+
+// renderSegments flattens a critical path for golden comparison:
+// "layer:name@start-end" in ns, space-separated.
+func renderSegments(cp *CriticalPath) string {
+	var parts []string
+	for _, seg := range cp.Segments {
+		parts = append(parts, strings.Join([]string{
+			seg.Layer, ":", seg.Name, "@",
+			sim.Duration(seg.Start).String(), "-", sim.Duration(seg.End).String(),
+		}, ""))
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestCriticalPathNested is the canonical shape: a driver span inside
+// the app window, a pcie span inside the driver. The innermost span
+// wins each instant; uncovered time falls back to the app layer.
+func TestCriticalPathNested(t *testing.T) {
+	spans := []Span{
+		span(1, LayerApp, "ping", 0, 100),
+		span(2, LayerDriver, "xmit", 10, 40),
+		span(3, LayerPCIe, "mmio", 20, 30),
+	}
+	cp, err := AnalyzeCriticalPath(spans)
+	if err != nil {
+		t.Fatalf("AnalyzeCriticalPath: %v", err)
+	}
+	want := "app:ping@0ps-10ns driver:xmit@10ns-20ns pcie:mmio@20ns-30ns driver:xmit@30ns-40ns app:ping@40ns-100ns"
+	if got := renderSegments(cp); got != want {
+		t.Errorf("segments:\n got %s\nwant %s", got, want)
+	}
+	wantLayers := map[string]sim.Duration{
+		LayerApp:    70 * sim.Nanosecond,
+		LayerDriver: 20 * sim.Nanosecond,
+		LayerPCIe:   10 * sim.Nanosecond,
+	}
+	if len(cp.Layers) != len(wantLayers) {
+		t.Fatalf("got %d layers, want %d", len(cp.Layers), len(wantLayers))
+	}
+	for _, st := range cp.Layers {
+		if st.Total != wantLayers[st.Layer] {
+			t.Errorf("layer %s total = %v, want %v", st.Layer, st.Total, wantLayers[st.Layer])
+		}
+	}
+}
+
+// TestCriticalPathPartitionExact: layer totals and shares sum to the
+// root duration with no residue, the tentpole's core invariant.
+func TestCriticalPathPartitionExact(t *testing.T) {
+	spans := []Span{
+		span(1, LayerApp, "ping", 0, 1000),
+		span(2, LayerSyscall, "enter", 3, 17),
+		span(3, LayerDriver, "xmit", 17, 120),
+		span(4, LayerPCIe, "mmio", 40, 77),
+		span(5, LayerWire, "down:MWr", 77, 99),
+		span(6, LayerVirtIODevice, "dma", 120, 800),
+		span(7, LayerIRQ, "isr", 800, 890),
+		span(8, LayerDriver, "napi", 890, 997),
+	}
+	cp, err := AnalyzeCriticalPath(spans)
+	if err != nil {
+		t.Fatalf("AnalyzeCriticalPath: %v", err)
+	}
+	var total sim.Duration
+	var share float64
+	for _, st := range cp.Layers {
+		total += st.Total
+		share += st.Share
+	}
+	if total != cp.Total() {
+		t.Errorf("layer totals sum to %v, want root duration %v", total, cp.Total())
+	}
+	if share < 0.999999 || share > 1.000001 {
+		t.Errorf("shares sum to %v, want 1", share)
+	}
+	var segTotal sim.Duration
+	for _, seg := range cp.Segments {
+		segTotal += seg.Duration()
+	}
+	if segTotal != cp.Total() {
+		t.Errorf("segment durations sum to %v, want %v", segTotal, cp.Total())
+	}
+}
+
+// TestCriticalPathOverlap: two spans overlap without nesting; in the
+// shared region the later-started span is the innermost.
+func TestCriticalPathOverlap(t *testing.T) {
+	spans := []Span{
+		span(1, LayerApp, "ping", 0, 100),
+		span(2, LayerDriver, "xmit", 10, 60),
+		span(3, LayerVirtIODevice, "dma", 40, 90),
+	}
+	cp, err := AnalyzeCriticalPath(spans)
+	if err != nil {
+		t.Fatalf("AnalyzeCriticalPath: %v", err)
+	}
+	want := "app:ping@0ps-10ns driver:xmit@10ns-40ns virtio-device:dma@40ns-90ns app:ping@90ns-100ns"
+	if got := renderSegments(cp); got != want {
+		t.Errorf("segments:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCriticalPathClipping: spans straddling the root window only
+// contribute their overlap; spans fully outside are ignored.
+func TestCriticalPathClipping(t *testing.T) {
+	root := span(1, LayerApp, "ping", 100, 200)
+	spans := []Span{
+		root,
+		span(2, LayerDriver, "early", 50, 120), // clipped to [100,120]
+		span(3, LayerDriver, "late", 180, 250), // clipped to [180,200]
+		span(4, LayerVirtIODevice, "outside", 10, 90), // ignored
+	}
+	cp := AnalyzeCriticalPathAt(spans, root)
+	want := "driver:early@100ns-120ns app:ping@120ns-180ns driver:late@180ns-200ns"
+	if got := renderSegments(cp); got != want {
+		t.Errorf("segments:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCriticalPathNoApp: a capture without an app span cannot be
+// attributed.
+func TestCriticalPathNoApp(t *testing.T) {
+	if _, err := AnalyzeCriticalPath([]Span{span(1, LayerDriver, "xmit", 0, 10)}); err == nil {
+		t.Fatal("expected an error for a capture without an app span")
+	}
+	if _, err := AnalyzeCriticalPath(nil); err == nil {
+		t.Fatal("expected an error for an empty capture")
+	}
+}
+
+// TestCriticalPathPicksLastApp: with several app spans (a multi-packet
+// capture) the analyzer attributes the last round trip.
+func TestCriticalPathPicksLastApp(t *testing.T) {
+	spans := []Span{
+		span(1, LayerApp, "ping", 0, 50),
+		span(2, LayerApp, "ping", 60, 90),
+		span(3, LayerDriver, "xmit", 70, 80),
+	}
+	cp, err := AnalyzeCriticalPath(spans)
+	if err != nil {
+		t.Fatalf("AnalyzeCriticalPath: %v", err)
+	}
+	if cp.Root.ID != 2 {
+		t.Fatalf("root span ID = %d, want 2 (the later app span)", cp.Root.ID)
+	}
+	want := "app:ping@60ns-70ns driver:xmit@70ns-80ns app:ping@80ns-90ns"
+	if got := renderSegments(cp); got != want {
+		t.Errorf("segments:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCriticalPathEmptyRoot: a zero-length root yields an empty
+// partition rather than dividing by zero.
+func TestCriticalPathEmptyRoot(t *testing.T) {
+	root := span(1, LayerApp, "ping", 50, 50)
+	cp := AnalyzeCriticalPathAt([]Span{root}, root)
+	if len(cp.Segments) != 0 || len(cp.Layers) != 0 {
+		t.Errorf("zero-length root produced %d segments, %d layers", len(cp.Segments), len(cp.Layers))
+	}
+}
+
+// TestCriticalPathMergesAdjacent: consecutive elementary intervals won
+// by the same span fold into one segment.
+func TestCriticalPathMergesAdjacent(t *testing.T) {
+	spans := []Span{
+		span(1, LayerApp, "ping", 0, 100),
+		span(2, LayerDriver, "xmit", 10, 90),
+		// Two back-to-back inner spans split the driver interval's
+		// boundary set but leave one driver segment on each side.
+		span(3, LayerPCIe, "a", 20, 30),
+		span(4, LayerPCIe, "a", 30, 40),
+	}
+	cp, err := AnalyzeCriticalPath(spans)
+	if err != nil {
+		t.Fatalf("AnalyzeCriticalPath: %v", err)
+	}
+	// The two pcie:a spans merge (same layer and name, adjacent).
+	want := "app:ping@0ps-10ns driver:xmit@10ns-20ns pcie:a@20ns-40ns driver:xmit@40ns-90ns app:ping@90ns-100ns"
+	if got := renderSegments(cp); got != want {
+		t.Errorf("segments:\n got %s\nwant %s", got, want)
+	}
+}

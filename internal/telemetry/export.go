@@ -29,7 +29,7 @@ func WriteMetricsCSV(w io.Writer, snaps []MetricSnapshot) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, s := range snaps {
 		switch s.Type {
-		case "histogram":
+		case "histogram", "hdrhistogram":
 			if err := cw.Write([]string{s.Name, s.Type, "", strconv.FormatInt(s.Count, 10), f(s.Sum), ""}); err != nil {
 				return err
 			}
@@ -126,6 +126,46 @@ type ThroughputPoint struct {
 	Interrupts    int     `json:"interrupts"`
 }
 
+// TailLayer is one layer's share of a tail sample's critical path.
+type TailLayer struct {
+	Layer string `json:"layer"`
+	Ns    int64  `json:"ns"`
+	// Share is Ns over the sample's critical-path total, in [0, 1].
+	Share float64 `json:"share"`
+}
+
+// TailSample is the full critical-path attribution of one tail-ranked
+// round trip: where every nanosecond of that specific packet's RTT
+// went, layer by layer.
+type TailSample struct {
+	// Rank names the tail position: "p99", "p99.9", or "max".
+	Rank string `json:"rank"`
+	// Index is the 0-based series loop index of the replayed round
+	// trip — the same index a deterministic re-run reproduces it at.
+	Index int `json:"index"`
+	// RTTNs is the round trip's measured latency from the percentile
+	// series.
+	RTTNs int64 `json:"rtt_ns"`
+	// SumNs is the critical-path partition total. It must match RTTNs
+	// to within the sim's nanosecond counter quantum.
+	SumNs  int64       `json:"sum_ns"`
+	Layers []TailLayer `json:"layers"`
+}
+
+// TailPoint groups the attributed tail samples of one (driver,
+// payload) latency point.
+type TailPoint struct {
+	Driver  string       `json:"driver"`
+	Payload int          `json:"payload_bytes"`
+	Samples []TailSample `json:"samples"`
+}
+
+// tailQuantumNs is the tolerance (in ns) allowed between a tail
+// sample's measured RTT and its critical-path sum: the sessions
+// quantize clock reads to sim.Nanosecond, so replayed span windows can
+// differ from counter deltas by at most a few quanta of rounding.
+const tailQuantumNs = 8
+
 // BenchArtifact is the machine-readable record of one fvbench run.
 // Latency experiments fill Points; the throughput mode fills Throughput
 // (and, via its window=1 arm, may fill Points too). Both extensions
@@ -142,8 +182,12 @@ type BenchArtifact struct {
 	Throughput []ThroughputPoint `json:"throughput,omitempty"`
 	// Faults summarizes fault injection and driver recovery when the
 	// run was armed with a plan; nil (and absent from JSON) otherwise.
-	Faults  *FaultSummary    `json:"faults,omitempty"`
-	Metrics []MetricSnapshot `json:"metrics,omitempty"`
+	Faults *FaultSummary `json:"faults,omitempty"`
+	// TailAttribution carries the per-point critical-path decomposition
+	// of the tail samples (p99, p99.9, max) when the run performed the
+	// tail-replay pass; empty otherwise.
+	TailAttribution []TailPoint      `json:"tail_attribution,omitempty"`
+	Metrics         []MetricSnapshot `json:"metrics,omitempty"`
 }
 
 // WriteBenchJSON validates the artifact and writes it as indented JSON.
@@ -305,6 +349,55 @@ func (a *BenchArtifact) Validate() error {
 		if f.FaultedSamples != faulted {
 			return fmt.Errorf("bench artifact: fault summary reports %d faulted samples, points carry %d",
 				f.FaultedSamples, faulted)
+		}
+	}
+	for i, tp := range a.TailAttribution {
+		if tp.Driver == "" {
+			return fmt.Errorf("bench artifact: tail point %d: empty driver", i)
+		}
+		if tp.Payload <= 0 {
+			return fmt.Errorf("bench artifact: tail point %d: payload %d", i, tp.Payload)
+		}
+		if len(tp.Samples) == 0 {
+			return fmt.Errorf("bench artifact: tail point %d: no samples", i)
+		}
+		for j, ts := range tp.Samples {
+			switch ts.Rank {
+			case "p99", "p99.9", "max":
+			default:
+				return fmt.Errorf("bench artifact: tail point %d sample %d: unknown rank %q", i, j, ts.Rank)
+			}
+			if ts.Index < 0 {
+				return fmt.Errorf("bench artifact: tail point %d sample %d: negative index", i, j)
+			}
+			if ts.RTTNs <= 0 || ts.SumNs <= 0 {
+				return fmt.Errorf("bench artifact: tail point %d sample %d: non-positive latency", i, j)
+			}
+			if len(ts.Layers) == 0 {
+				return fmt.Errorf("bench artifact: tail point %d sample %d: no layers", i, j)
+			}
+			var sum int64
+			for _, l := range ts.Layers {
+				if l.Layer == "" {
+					return fmt.Errorf("bench artifact: tail point %d sample %d: empty layer", i, j)
+				}
+				if l.Ns < 0 {
+					return fmt.Errorf("bench artifact: tail point %d sample %d: layer %q negative", i, j, l.Layer)
+				}
+				sum += l.Ns
+			}
+			// The critical path partitions the app window exactly, so
+			// the layer sum must reproduce SumNs with no slack at all.
+			if sum != ts.SumNs {
+				return fmt.Errorf("bench artifact: tail point %d sample %d: layers sum %d != sum_ns %d",
+					i, j, sum, ts.SumNs)
+			}
+			// SumNs vs the measured RTT may differ by clock quantization
+			// only.
+			if d := ts.SumNs - ts.RTTNs; d > tailQuantumNs || d < -tailQuantumNs {
+				return fmt.Errorf("bench artifact: tail point %d sample %d: sum_ns %d vs rtt_ns %d exceeds %dns quantum",
+					i, j, ts.SumNs, ts.RTTNs, tailQuantumNs)
+			}
 		}
 	}
 	return nil

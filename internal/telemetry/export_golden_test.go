@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMetricsCSVGolden pins the exporter's byte-exact output for a
+// registry built in deliberately scrambled insertion order: emission is
+// sorted by name (never map iteration order), so the golden holds on
+// every run and Go release.
+func TestMetricsCSVGolden(t *testing.T) {
+	const golden = `name,type,value,count,sum,le
+driver.virtio.doorbells,counter,2,,,
+recorder.dumps,counter,1,,,
+stream.window,gauge,8,,,
+tail.rtt.total.ns,hdrhistogram,,2,133,
+tail.rtt.total.ns,bucket,,1,,5
+tail.rtt.total.ns,bucket,,1,,129
+`
+	for round := 0; round < 5; round++ {
+		reg := NewRegistry()
+		if round%2 == 0 { // vary insertion order round to round
+			reg.Counter(MetricRecorderDumps).Add(1)
+			reg.Gauge(MetricStreamWindow).Set(8)
+			reg.Counter(MetricVirtioDoorbells).Add(2)
+		} else {
+			reg.Counter(MetricVirtioDoorbells).Add(2)
+			reg.Counter(MetricRecorderDumps).Add(1)
+			reg.Gauge(MetricStreamWindow).Set(8)
+		}
+		h := reg.HDR(MetricTailRTTTotalNs)
+		h.Observe(5)   // exact bucket, bound 5
+		h.Observe(128) // log bucket, inclusive bound 129
+		var b bytes.Buffer
+		if err := WriteMetricsCSV(&b, reg.Snapshot()); err != nil {
+			t.Fatalf("WriteMetricsCSV: %v", err)
+		}
+		if b.String() != golden {
+			t.Fatalf("round %d: CSV diverges from golden:\n got:\n%s\nwant:\n%s", round, b.String(), golden)
+		}
+	}
+}

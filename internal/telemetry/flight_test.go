@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestFlightRingWrap: a full ring evicts oldest-first and the snapshot
+// comes out in chronological order across the wrap point.
+func TestFlightRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(4, 2, reg)
+	for i := int64(0); i < 6; i++ {
+		fr.FlightClosed(ps(i), LayerWire, "down", "MWr", ps(i), ps(i+1))
+	}
+	if fr.Len() != 4 {
+		t.Fatalf("ring holds %d spans, want 4", fr.Len())
+	}
+	if fr.Captured() != 6 {
+		t.Fatalf("captured = %d, want 6", fr.Captured())
+	}
+	if !fr.Snapshot("test", ps(10)) {
+		t.Fatal("snapshot refused with free slots")
+	}
+	dumps := fr.Dumps()
+	if len(dumps) != 1 || len(dumps[0].Spans) != 4 {
+		t.Fatalf("got %d dumps / %d spans, want 1 / 4", len(dumps), len(dumps[0].Spans))
+	}
+	for i, sp := range dumps[0].Spans {
+		if want := ps(int64(i) + 2); sp.Start != want {
+			t.Errorf("span %d starts at %v, want %v (chronological across the wrap)", i, sp.Start, want)
+		}
+	}
+}
+
+// TestFlightOpenSpans: begun-but-unfinished spans appear in a dump
+// marked Open with End at the dump instant, and close normally
+// afterwards.
+func TestFlightOpenSpans(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(16, 2, reg)
+	id := fr.FlightBegin(ps(5), LayerDriver, "xmit")
+	if !fr.Snapshot("mid", ps(9)) {
+		t.Fatal("snapshot refused")
+	}
+	d := fr.Dumps()[0]
+	if len(d.Spans) != 1 {
+		t.Fatalf("dump has %d spans, want 1 open span", len(d.Spans))
+	}
+	if !d.Spans[0].Open || d.Spans[0].End != ps(9) {
+		t.Errorf("open span = %+v, want Open=true End=9ns", d.Spans[0])
+	}
+	// The span still closes into the ring afterwards.
+	fr.FlightEnd(ps(12), id)
+	if fr.Len() != 1 {
+		t.Fatalf("ring holds %d spans after close, want 1", fr.Len())
+	}
+}
+
+// TestFlightOpenTableOverflow: more concurrently-open spans than side
+// table slots count as dropped, and the overflow id's FlightEnd is a
+// harmless no-op.
+func TestFlightOpenTableOverflow(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(16, 2, reg)
+	ids := make([]uint64, 0, flightOpenSlots+1)
+	for i := 0; i <= flightOpenSlots; i++ {
+		ids = append(ids, fr.FlightBegin(ps(int64(i)), LayerDriver, "deep"))
+	}
+	if got := reg.Counter(MetricRecorderSpansDropped).Value(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	fr.FlightEnd(ps(100), ids[len(ids)-1]) // dropped open: no-op
+	if fr.Len() != 0 {
+		t.Fatalf("ring holds %d spans, want 0 (overflow span was dropped)", fr.Len())
+	}
+	fr.FlightEnd(ps(100), ids[0]) // tracked open still closes
+	if fr.Len() != 1 {
+		t.Fatalf("ring holds %d spans, want 1", fr.Len())
+	}
+}
+
+// TestFlightSameReasonOverwrite: a repeated trigger reuses its slot and
+// keeps the freshest context.
+func TestFlightSameReasonOverwrite(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(8, 2, reg)
+	fr.FlightClosed(ps(1), LayerWire, "down", "MWr", ps(1), ps(2))
+	fr.Snapshot("fault:needsreset", ps(2))
+	fr.FlightClosed(ps(3), LayerWire, "up", "CplD", ps(3), ps(4))
+	fr.Snapshot("fault:needsreset", ps(4))
+
+	dumps := fr.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1 (same reason overwrites)", len(dumps))
+	}
+	if dumps[0].Seq != 2 || dumps[0].At != ps(4) {
+		t.Errorf("dump seq/at = %d/%v, want 2/4ns (the later occurrence)", dumps[0].Seq, dumps[0].At)
+	}
+	if len(dumps[0].Spans) != 2 {
+		t.Errorf("dump has %d spans, want 2", len(dumps[0].Spans))
+	}
+	if got := reg.Counter(MetricRecorderDumps).Value(); got != 2 {
+		t.Errorf("recorder.dumps = %d, want 2 (both snapshots counted)", got)
+	}
+}
+
+// TestFlightDumpSlotExhaustion: distinct reasons beyond the slot count
+// are refused and counted, never evicting another reason's dump.
+func TestFlightDumpSlotExhaustion(t *testing.T) {
+	reg := NewRegistry()
+	fr := NewFlightRecorder(8, 2, reg)
+	if !fr.Snapshot("a", ps(1)) || !fr.Snapshot("b", ps(2)) {
+		t.Fatal("first two snapshots refused")
+	}
+	if fr.Snapshot("c", ps(3)) {
+		t.Fatal("third distinct reason took a slot; want refusal")
+	}
+	if got := reg.Counter(MetricRecorderDumpsDropped).Value(); got != 1 {
+		t.Fatalf("recorder.dumps.dropped = %d, want 1", got)
+	}
+	dumps := fr.Dumps()
+	if len(dumps) != 2 || dumps[0].Reason != "a" || dumps[1].Reason != "b" {
+		t.Fatalf("dumps = %+v, want reasons a, b intact", dumps)
+	}
+	// The established reasons still refresh.
+	if !fr.Snapshot("a", ps(5)) {
+		t.Fatal("existing reason refused after exhaustion")
+	}
+}
+
+// TestFlightDumpSpans: the Chrome-export conversion prefixes wire
+// direction and tags open spans.
+func TestFlightDumpSpans(t *testing.T) {
+	d := FlightDump{Spans: []FlightSpan{
+		{Layer: LayerWire, Dir: "down", Name: "MWr", Start: ps(0), End: ps(2)},
+		{Layer: LayerDriver, Name: "xmit", Start: ps(1), End: ps(5), Open: true},
+	}}
+	spans := DumpSpans(d)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "down:MWr" || spans[0].ID != 1 {
+		t.Errorf("wire span = %+v, want name down:MWr id 1", spans[0])
+	}
+	if spans[1].Name != "xmit" || len(spans[1].Attrs) != 2 || spans[1].Attrs[0] != "open" {
+		t.Errorf("open span = %+v, want open attr", spans[1])
+	}
+}

@@ -20,6 +20,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	hdrs       map[string]*HDRHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -28,6 +29,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		hdrs:       make(map[string]*HDRHistogram),
 	}
 }
 
@@ -173,6 +175,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// HDR returns the HDR histogram registered under name, creating it on
+// first use. Nil-registry safe like Counter.
+func (r *Registry) HDR(name string) *HDRHistogram {
+	if r == nil {
+		return NewHDRHistogram(name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hdrs[name]; ok {
+		return h
+	}
+	r.checkFree(name, "hdrhistogram")
+	h := NewHDRHistogram(name)
+	r.hdrs[name] = h
+	return h
+}
+
 // checkFree panics if name is already taken by a different kind.
 // Caller holds r.mu.
 func (r *Registry) checkFree(name, kind string) {
@@ -184,6 +203,9 @@ func (r *Registry) checkFree(name, kind string) {
 	}
 	if _, ok := r.histograms[name]; ok && kind != "histogram" {
 		panic(fmt.Sprintf("telemetry: %q already registered as histogram", name))
+	}
+	if _, ok := r.hdrs[name]; ok && kind != "hdrhistogram" {
+		panic(fmt.Sprintf("telemetry: %q already registered as hdrhistogram", name))
 	}
 }
 
@@ -207,7 +229,7 @@ func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
 // MetricSnapshot is a point-in-time reading of one instrument.
 type MetricSnapshot struct {
 	Name    string           `json:"name"`
-	Type    string           `json:"type"` // "counter" | "gauge" | "histogram"
+	Type    string           `json:"type"` // "counter" | "gauge" | "histogram" | "hdrhistogram"
 	Value   float64          `json:"value,omitempty"`
 	Count   int64            `json:"count,omitempty"`
 	Sum     float64          `json:"sum,omitempty"`
@@ -236,6 +258,14 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		}
 		s.Buckets = append(s.Buckets, BucketSnapshot{UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)]})
 		out = append(out, s)
+	}
+	for name, h := range r.hdrs {
+		// Only the non-empty log buckets are exported: a full HDR table
+		// is 4096 entries, nearly all zero for any one instrument.
+		out = append(out, MetricSnapshot{
+			Name: name, Type: "hdrhistogram",
+			Count: h.count, Sum: h.sum, Buckets: h.Buckets(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -88,6 +88,24 @@ const (
 	MetricVdevIRQsRaised     = "virtio-device.interrupts.raised"
 	MetricVdevIRQsSuppressed = "virtio-device.interrupts.suppressed"
 	MetricVdevIRQsCoalesced  = "virtio-device.interrupts.coalesced"
+
+	// Tail-latency attribution: per-sample RTT decomposition recorded
+	// into HDR histograms by both session types (netsession.go,
+	// xdmasession.go), so percentile estimates stay trustworthy at
+	// sweep scale without retaining every sample.
+	MetricTailRTTTotalNs = "tail.rtt.total.ns"
+	MetricTailRTTSWNs    = "tail.rtt.sw.ns"
+	MetricTailRTTHWNs    = "tail.rtt.hw.ns"
+	MetricTailRTTRGNs    = "tail.rtt.rg.ns"
+
+	// Flight recorder (internal/telemetry/flight.go): the always-on
+	// bounded span ring each session installs at boot and the
+	// post-mortem dumps it takes on fault recoveries and new
+	// worst-case samples.
+	MetricRecorderSpansCaptured = "recorder.spans.captured"
+	MetricRecorderSpansDropped  = "recorder.spans.dropped"
+	MetricRecorderDumps         = "recorder.dumps"
+	MetricRecorderDumpsDropped  = "recorder.dumps.dropped"
 )
 
 // Per-instance metric families. The helpers keep the dynamic part (a

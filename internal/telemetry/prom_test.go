@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: counters and gauges
+// as single samples, histograms as cumulative buckets with the
+// mandatory +Inf close, HDR snapshots (sparse, no +Inf of their own)
+// closed with the total count.
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricStreamPackets).Add(7)
+	reg.Gauge(MetricStreamWindow).Set(16)
+	h := reg.HDR(MetricHostWakeLatencyNs)
+	h.Observe(10)
+	h.Observe(10)
+	h.Observe(5000)
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE stream_packets counter\nstream_packets 7\n",
+		"# TYPE stream_window gauge\nstream_window 16\n",
+		"# TYPE hostos_wake_latency_ns histogram\n",
+		`hostos_wake_latency_ns_bucket{le="10"} 2`,
+		`hostos_wake_latency_ns_bucket{le="+Inf"} 3`,
+		"hostos_wake_latency_ns_sum 5020\n",
+		"hostos_wake_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: the 5000-ish bucket includes the two
+	// earlier observations.
+	var last string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "hostos_wake_latency_ns_bucket") {
+			last = line
+		}
+	}
+	if !strings.HasSuffix(last, " 3") {
+		t.Errorf("final bucket %q not cumulative", last)
+	}
+}
+
+// TestWritePrometheusDeterministic: two registries built in different
+// insertion orders produce byte-identical expositions — the exporters
+// never leak map iteration order.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func(reverse bool) string {
+		reg := NewRegistry()
+		names := []string{MetricStreamPackets, MetricStreamDrops, MetricVirtioDoorbells,
+			MetricRecorderDumps, MetricPCIeMSIXRaised}
+		if reverse {
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+		for i, n := range names {
+			reg.Counter(n).Add(int64(i%2) + 1)
+		}
+		reg.HDR(MetricTailRTTTotalNs).Observe(4242)
+		var b bytes.Buffer
+		if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return b.String()
+	}
+	a := build(false)
+	for i := 0; i < 10; i++ {
+		if b := build(false); b != a {
+			t.Fatalf("same registry, different exposition:\n%s\nvs\n%s", a, b)
+		}
+	}
+	// Insertion order must not matter for ordering (values differ by
+	// construction above, so compare the emitted name sequence).
+	lines := func(s string) []string {
+		var out []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "# TYPE ") {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	la, lb := lines(a), lines(build(true))
+	if strings.Join(la, "|") != strings.Join(lb, "|") {
+		t.Errorf("emission order depends on insertion order:\n%v\nvs\n%v", la, lb)
+	}
+}

@@ -86,6 +86,7 @@ type NetSession struct {
 	drv    *virtionet.Device
 	sock   *netstack.UDPSocket
 	faults *faults.Injector
+	flight *flightWatch
 }
 
 // OpenNet boots a network-device session: attach the FPGA, enumerate,
@@ -116,6 +117,11 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 	})
 	st := netstack.New(h, netstack.DefaultCosts())
 	ns := &NetSession{s: s, host: h, stack: st, dev: dev, faults: inj}
+	// Always-on flight recorder: installed before boot so the ring
+	// already holds context when the first trigger fires. Rides the
+	// FlightSink channel, so TracingSpans() stays false and the
+	// 0-alloc hot path is unaffected.
+	ns.flight = newFlightWatch(s, inj, h.Metrics())
 
 	var bootErr error
 	booted := false
@@ -279,6 +285,7 @@ func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, 
 		RespGen:  toStd(respGen),
 		Software: toStd(total - hw - respGen),
 	}
+	ns.flight.note(sample)
 	return got, sample, nil
 }
 
@@ -372,6 +379,67 @@ func (ns *NetSession) FaultEvents() int64 { return ns.faults.Total() }
 // FaultSummary reports per-class injected-fault counts (nil when no
 // injection is armed).
 func (ns *NetSession) FaultSummary() map[string]int64 { return ns.faults.Summary() }
+
+// FlightDumps returns the post-mortem snapshots the always-on flight
+// recorder has taken so far (fault recoveries, new worst-case round
+// trips), oldest trigger first.
+func (ns *NetSession) FlightDumps() []telemetry.FlightDump { return ns.flight.dumps() }
+
+// CaptureCriticalPaths replays the deterministic ping series up to the
+// largest target index and returns the critical-path analysis of each
+// targeted round trip. It must be called on a freshly opened session
+// with the same config as the measured run: sessions are pure
+// functions of their seed, so round trip i here is the same round
+// trip i the measurement saw. The span recorder is installed only
+// around targeted indices — span emission is a pure recording hook,
+// so the replayed timing is identical either way.
+func (ns *NetSession) CaptureCriticalPaths(payload []byte, targets []int) ([]CapturedPath, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	want := make(map[int]bool, len(targets))
+	maxT := 0
+	for _, t := range targets {
+		if t < 0 {
+			return nil, fmt.Errorf("fpgavirtio: negative capture target %d", t)
+		}
+		want[t] = true
+		if t > maxT {
+			maxT = t
+		}
+	}
+	rec := telemetry.NewRecorder(0)
+	out := make([]CapturedPath, 0, len(targets))
+	err := ns.run(func(p *sim.Proc) error {
+		for i := 0; i <= maxT; i++ {
+			capture := want[i]
+			if capture {
+				rec.Reset()
+				ns.s.SetSpanSink(rec)
+			}
+			echo, s, err := ns.pingOnce(p, payload)
+			if capture {
+				ns.s.SetSpanSink(nil)
+			}
+			if err != nil {
+				return fmt.Errorf("fpgavirtio: replay ping %d: %w", i, err)
+			}
+			ns.sock.Recycle(echo)
+			if capture {
+				cp, err := telemetry.AnalyzeCriticalPath(rec.Spans())
+				if err != nil {
+					return fmt.Errorf("fpgavirtio: replay ping %d: %w", i, err)
+				}
+				out = append(out, CapturedPath{Index: i, RTT: sim.Ns(s.Total.Nanoseconds()), Path: cp})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (ns *NetSession) BusStats() BusStats {

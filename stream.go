@@ -228,6 +228,9 @@ func (ns *NetSession) Stream(cfg StreamConfig) (StreamResult, error) {
 			if _, _, _, err := ns.sock.RecvFrom(p); err != nil {
 				return err
 			}
+			// Windowed streaming has no per-packet RTTSample, so the
+			// flight recorder's fault trigger is checked per completion.
+			ns.flight.noteFaults()
 			occ.update(p.Now(), -1)
 			recvd++
 			if sent < cfg.Packets {
@@ -400,6 +403,9 @@ func (xs *XDMASession) Stream(cfg StreamConfig) (StreamResult, error) {
 					}
 				}
 			}
+			// Batched streaming has no per-packet RTTSample, so the
+			// flight recorder's fault trigger is checked per batch.
+			xs.flight.noteFaults()
 			occ.update(p.Now(), -n)
 			readDone++
 			cond.Broadcast()

@@ -121,6 +121,15 @@ func (t *Trace) FilterLayers(layers ...string) *Trace {
 	return out
 }
 
+// CriticalPath analyzes the traced operation's blocking chain: the
+// partition of the app span's window by the innermost active span,
+// attributing every nanosecond of the round trip to one layer. Errors
+// when the capture holds no app-layer span (e.g. after FilterLayers
+// dropped it).
+func (t *Trace) CriticalPath() (*telemetry.CriticalPath, error) {
+	return telemetry.AnalyzeCriticalPath(t.spans)
+}
+
 // WriteChrome writes the trace as Chrome trace-event JSON, loadable in
 // Perfetto (ui.perfetto.dev) or chrome://tracing: one process track
 // per layer, plus a "sim-events" track of flat-event instants.

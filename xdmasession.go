@@ -40,6 +40,7 @@ type XDMASession struct {
 	dataReady bool
 	bramBytes int
 	faults    *faults.Injector
+	flight    *flightWatch
 }
 
 // OpenXDMA boots the vendor baseline: attach the XDMA example design,
@@ -61,6 +62,9 @@ func OpenXDMA(cfg XDMAConfig) (*XDMASession, error) {
 	devCfg.NotifyOnH2CComplete = cfg.WaitC2HReady
 	dev := xdmaip.NewVendor(s, h.RC, "xdma0", devCfg)
 	xs := &XDMASession{s: s, host: h, dev: dev, waitReady: cfg.WaitC2HReady, bramBytes: devCfg.BRAMBytes, faults: inj}
+	// Always-on flight recorder: installed before boot so the ring
+	// already holds context when the first trigger fires.
+	xs.flight = newFlightWatch(s, inj, h.Metrics())
 
 	var bootErr error
 	booted := false
@@ -185,15 +189,24 @@ func (xs *XDMASession) roundTripOnce(p *sim.Proc, data []byte) (RTTSample, error
 func (xs *XDMASession) roundTripInto(p *sim.Proc, data, back []byte) (RTTSample, error) {
 	sample, err := xs.roundTripAttempt(p, data, back)
 	if xs.faults == nil || err == nil || err != errDataMismatch {
+		if err == nil {
+			xs.flight.note(sample)
+		} else {
+			xs.flight.noteFaults()
+		}
 		return sample, err
 	}
 	for retry := 0; retry < 2; retry++ {
 		xs.drv.NoteDataRetry()
 		sample, err = xs.roundTripAttempt(p, data, back)
 		if err != errDataMismatch {
+			if err == nil {
+				xs.flight.note(sample)
+			}
 			return sample, err
 		}
 	}
+	xs.flight.noteFaults()
 	return sample, fmt.Errorf("fpgavirtio: xdma round-trip data mismatch persisted across retries")
 }
 
@@ -264,6 +277,65 @@ func (xs *XDMASession) FaultEvents() int64 { return xs.faults.Total() }
 // FaultSummary reports per-class injected-fault counts (nil when no
 // injection is armed).
 func (xs *XDMASession) FaultSummary() map[string]int64 { return xs.faults.Summary() }
+
+// FlightDumps returns the post-mortem snapshots the always-on flight
+// recorder has taken so far (fault recoveries, new worst-case round
+// trips), oldest trigger first.
+func (xs *XDMASession) FlightDumps() []telemetry.FlightDump { return xs.flight.dumps() }
+
+// CaptureCriticalPaths replays the deterministic round-trip series up
+// to the largest target index and returns the critical-path analysis
+// of each targeted exchange. It must be called on a freshly opened
+// session with the same config as the measured run: sessions are pure
+// functions of their seed, so round trip i here is the same round
+// trip i the measurement saw.
+func (xs *XDMASession) CaptureCriticalPaths(data []byte, targets []int) ([]CapturedPath, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	want := make(map[int]bool, len(targets))
+	maxT := 0
+	for _, t := range targets {
+		if t < 0 {
+			return nil, fmt.Errorf("fpgavirtio: negative capture target %d", t)
+		}
+		want[t] = true
+		if t > maxT {
+			maxT = t
+		}
+	}
+	rec := telemetry.NewRecorder(0)
+	back := make([]byte, len(data))
+	out := make([]CapturedPath, 0, len(targets))
+	err := xs.run(func(p *sim.Proc) error {
+		for i := 0; i <= maxT; i++ {
+			capture := want[i]
+			if capture {
+				rec.Reset()
+				xs.s.SetSpanSink(rec)
+			}
+			s, err := xs.roundTripInto(p, data, back)
+			if capture {
+				xs.s.SetSpanSink(nil)
+			}
+			if err != nil {
+				return fmt.Errorf("fpgavirtio: replay round trip %d: %w", i, err)
+			}
+			if capture {
+				cp, err := telemetry.AnalyzeCriticalPath(rec.Spans())
+				if err != nil {
+					return fmt.Errorf("fpgavirtio: replay round trip %d: %w", i, err)
+				}
+				out = append(out, CapturedPath{Index: i, RTT: sim.Ns(s.Total.Nanoseconds()), Path: cp})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // BusStats returns the FPGA endpoint's accumulated bus counters.
 func (xs *XDMASession) BusStats() BusStats {
