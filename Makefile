@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint vuln fuzzseed flake chaos ci smoke bench benchcmp benchsmoke tailcheck clean
+.PHONY: all build test race vet fmt lint vuln fuzzseed flake chaos ci smoke bench benchcmp benchsmoke tailcheck cover coverbase clean
 
 all: build
 
@@ -106,6 +106,27 @@ tailcheck:
 	echo "tailcheck: tail_attribution present, $$n flight dumps"
 	$(GO) test -run 'SteadyStateZeroAlloc' -v .
 
+# cover is the per-package coverage gate: the full test suite runs with
+# statement coverage, fvcover rolls the merged profile up per package,
+# writes the coverage summary artifact, and fails if any package under
+# internal/drivers/... or internal/sim drops below its committed floor
+# in COVERAGE_baseline.json.
+cover:
+	@dir=$${TMPDIR:-/tmp}/fvcover; mkdir -p $$dir; \
+	$(GO) test -count=1 -coverpkg=./... -coverprofile=$$dir/cover.out ./... > /dev/null || exit 1; \
+	$(GO) run ./cmd/fvcover -profile $$dir/cover.out \
+		-baseline COVERAGE_baseline.json -summary $$dir/coverage_summary.json
+
+# coverbase deliberately re-records the coverage floors (current
+# per-package coverage minus a 2-point margin). Run it only when a PR
+# intentionally moves coverage; the diff to COVERAGE_baseline.json is
+# the reviewable record.
+coverbase:
+	@dir=$${TMPDIR:-/tmp}/fvcover; mkdir -p $$dir; \
+	$(GO) test -count=1 -coverpkg=./... -coverprofile=$$dir/cover.out ./... > /dev/null || exit 1; \
+	$(GO) run ./cmd/fvcover -profile $$dir/cover.out \
+		-baseline COVERAGE_baseline.json -write
+
 # chaos is the fault-injection soak gate: the full sweep runs under
 # the default chaos plan (experiments.DefaultChaosPlan) with the race
 # detector and the fvassert recovery invariants compiled in, and must
@@ -115,7 +136,7 @@ tailcheck:
 chaos:
 	$(GO) test -race -tags fvinvariants -run '^TestChaos' -v ./internal/experiments
 
-ci: build fmt lint vuln fuzzseed flake chaos smoke benchsmoke tailcheck
+ci: build fmt lint vuln fuzzseed flake chaos cover smoke benchsmoke tailcheck
 	@echo "ci: all checks passed"
 
 clean:

@@ -83,3 +83,41 @@ func TestXDMARoundTripSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("xdma round trip allocates %.3f objects/packet in steady state, budget is 0", perPkt)
 	}
 }
+
+// The poll-mode datapaths hold to the same ceiling: the spin loop runs
+// a pre-bound readiness closure per iteration (no per-spin or
+// per-packet closures, no timer arming, no wait-queue churn), so
+// busy-polling must be exactly as allocation-free as the interrupt
+// path it replaces.
+
+func TestVirtIOPollPingSteadyStateZeroAlloc(t *testing.T) {
+	ns, err := fpgavirtio.OpenNet(fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: 1, PollMode: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	perPkt := marginalAllocsPerPacket(t, func(n int) {
+		if err := ns.PingSeries(buf, n, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPkt > 0 {
+		t.Fatalf("virtio poll-mode ping allocates %.3f objects/packet in steady state, budget is 0", perPkt)
+	}
+}
+
+func TestXDMAPollRoundTripSteadyStateZeroAlloc(t *testing.T) {
+	xs, err := fpgavirtio.OpenXDMA(fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: 1, PollMode: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256+54)
+	perPkt := marginalAllocsPerPacket(t, func(n int) {
+		if err := xs.RoundTripSeries(buf, n, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perPkt > 0 {
+		t.Fatalf("xdma poll-mode round trip allocates %.3f objects/packet in steady state, budget is 0", perPkt)
+	}
+}

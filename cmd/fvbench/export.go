@@ -97,6 +97,47 @@ func exportThroughput(m *experiments.ThroughputMode, jsonPath, csvPath string, f
 	}
 }
 
+// exportPollTrade writes the E13 four-way study's artifacts. The JSON
+// file is re-read and schema-validated after writing, like exportSweep.
+func exportPollTrade(r *experiments.PollTradeStudy, jsonPath, csvPath string, fail func(error)) {
+	art := experiments.BuildPollTradeArtifact(r)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteBenchJSON(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.ValidateBenchJSON(data); err != nil {
+			fail(fmt.Errorf("artifact %s failed schema validation: %w", jsonPath, err))
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d points, schema %s)\n", jsonPath, len(art.Points), art.Schema)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := telemetry.WriteBenchCSV(f, art); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvbench: wrote %s (%d points)\n", csvPath, len(art.Points))
+	}
+}
+
 func writeMetrics(sw *experiments.Sweep, fail func(error)) {
 	{
 		dump := func(pt *experiments.PointResult) {

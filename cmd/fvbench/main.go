@@ -22,6 +22,7 @@
 //	osprofiles E10: desktop/server/PREEMPT_RT host comparison
 //	throughput E11: pipelined (VirtIO) vs serial (XDMA) throughput
 //	ringformat E12: split vs packed virtqueue format
+//	polltrade E13: poll vs interrupt datapaths, latency-vs-CPU trade
 //
 // Throughput mode streams a fixed packet count through a window of
 // in-flight requests per driver: the VirtIO path with and without kick
@@ -35,6 +36,10 @@
 //	-n        packets per point (default 50000, the paper's count)
 //	-packets  alias of -n
 //	-seed     RNG seed (default 1)
+//	-poll     run every measured session on the busy-poll datapath
+//	          (no MSI-X / used-ring interrupts; spin-loop completion
+//	          detection). Points are tagged datapath="poll" in the
+//	          artifacts. Applies to both modes.
 //	-gen3     use a Gen3 x4 link instead of the testbed's Gen2 x2
 //	-hist     print per-point latency histograms with fig3
 //	-payloads comma-separated payload sizes (default: the paper's sweep)
@@ -78,6 +83,7 @@ func main() {
 	n := flag.Int("n", 50000, "packets per measurement point")
 	packets := flag.Int("packets", 0, "alias of -n")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	poll := flag.Bool("poll", false, "busy-poll datapath: no interrupts, spin-loop completion detection")
 	gen3 := flag.Bool("gen3", false, "use a Gen3 x4 link")
 	hist := flag.Bool("hist", false, "print latency histograms (fig3)")
 	payloads := flag.String("payloads", "", "comma-separated payload sizes overriding the paper's 64..1024 sweep (e.g. 64,512,1458)")
@@ -97,7 +103,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat\n")
+		fmt.Fprintf(os.Stderr, "usage: fvbench [flags] fig3|fig4|fig5|table1|all|offload|ablate-irq|bypass|porta|eventidx|osprofiles|throughput|ringformat|polltrade\n")
 		fmt.Fprintf(os.Stderr, "       fvbench -mode=throughput [flags]\n")
 		flag.PrintDefaults()
 	}
@@ -125,7 +131,7 @@ func main() {
 		usageErr("%v", err)
 	}
 
-	p := experiments.Params{Seed: *seed, Packets: *n}
+	p := experiments.Params{Seed: *seed, Packets: *n, PollMode: *poll}
 	if *gen3 {
 		p.Link = fpgavirtio.Gen3x4
 	}
@@ -212,8 +218,11 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 	}
 	experiment := flag.Arg(0)
 	isSweep := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table1": true, "all": true}[experiment]
-	if (jsonPath != "" || csvPath != "" || metrics) && !isSweep {
-		usageErr("-json/-csv/-metrics apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
+	if (jsonPath != "" || csvPath != "") && !isSweep && experiment != "polltrade" {
+		usageErr("-json/-csv apply to the sweep experiments (fig3|fig4|fig5|table1|all) and polltrade, not %q", experiment)
+	}
+	if metrics && !isSweep {
+		usageErr("-metrics applies to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
 	}
 	if (flightDir != "" || serveAddr != "") && !isSweep {
 		usageErr("-flightdir/-serve apply to the sweep experiments (fig3|fig4|fig5|table1|all), not %q", experiment)
@@ -323,6 +332,13 @@ func runLatency(p experiments.Params, parallel int, hist bool, jsonPath, csvPath
 		if err != nil {
 			fail(err)
 		}
+		fmt.Print(r.Render())
+	case "polltrade":
+		r, err := experiments.RunPollTrade(p)
+		if err != nil {
+			fail(err)
+		}
+		exportPollTrade(r, jsonPath, csvPath, fail)
 		fmt.Print(r.Render())
 	default:
 		flag.Usage()

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CoverSchema identifies the coverage summary / baseline layout.
+const CoverSchema = "fvcover/v1"
+
+// PkgCoverage is one package's statement-coverage roll-up.
+type PkgCoverage struct {
+	Package    string  `json:"package"`
+	Statements int     `json:"statements"`
+	Covered    int     `json:"covered"`
+	Percent    float64 `json:"percent"`
+}
+
+// Summary is the machine-readable coverage artifact `make cover`
+// leaves next to the bench artifacts.
+type Summary struct {
+	Schema       string        `json:"schema"`
+	Packages     []PkgCoverage `json:"packages"`
+	TotalPercent float64       `json:"total_percent"`
+}
+
+// Baseline is the committed per-package floor file. A package listed
+// here must meet its floor on every `make ci` run; a listed package
+// missing from the profile (deleted or renamed without updating the
+// baseline) is also a gate failure.
+type Baseline struct {
+	Schema string             `json:"schema"`
+	Floors map[string]float64 `json:"floors"`
+}
+
+// coverageByPackage parses a merged `go test -coverprofile` file and
+// rolls statement counts up per package (the directory part of each
+// block's file path). Blocks for the same source range from different
+// test binaries merge by max count, matching `go tool cover` semantics
+// closely enough for a floor gate: a statement is covered if any block
+// covering it ran.
+func coverageByPackage(profile string) ([]PkgCoverage, error) {
+	type acc struct{ total, covered int }
+	pkgs := map[string]*acc{}
+	lines := strings.Split(profile, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "mode:") {
+		return nil, fmt.Errorf("cover profile missing mode: header")
+	}
+	// Merge duplicate blocks (same file:range) first so set-mode
+	// profiles from overlapping test runs don't double-count.
+	type blockKey struct{ pos string }
+	blocks := map[blockKey][2]int{} // numStmts, hitCount(max)
+	for i, line := range lines[1:] {
+		if line = strings.TrimSpace(line); line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: malformed block %q", i+2, line)
+		}
+		numStmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || numStmts < 0 || count < 0 {
+			return nil, fmt.Errorf("line %d: malformed counts in %q", i+2, line)
+		}
+		k := blockKey{fields[0]}
+		cur, ok := blocks[k]
+		if !ok {
+			blocks[k] = [2]int{numStmts, count}
+			continue
+		}
+		if count > cur[1] {
+			cur[1] = count
+		}
+		blocks[k] = cur
+	}
+	for k, v := range blocks {
+		file := k.pos[:strings.LastIndexByte(k.pos, ':')]
+		pkg := path.Dir(file)
+		a := pkgs[pkg]
+		if a == nil {
+			a = &acc{}
+			pkgs[pkg] = a
+		}
+		a.total += v[0]
+		if v[1] > 0 {
+			a.covered += v[0]
+		}
+	}
+	out := make([]PkgCoverage, 0, len(pkgs))
+	for pkg, a := range pkgs {
+		pc := PkgCoverage{Package: pkg, Statements: a.total, Covered: a.covered}
+		if a.total > 0 {
+			pc.Percent = 100 * float64(a.covered) / float64(a.total)
+		}
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package < out[j].Package })
+	return out, nil
+}
+
+// gated reports whether pkg falls under one of the baseline prefixes
+// (exact package or any subpackage).
+func gated(pkg string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if pkg == pre || strings.HasPrefix(pkg, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func writeSummary(file string, pkgs []PkgCoverage) error {
+	s := Summary{Schema: CoverSchema, Packages: pkgs}
+	var total, covered int
+	for _, pc := range pkgs {
+		total += pc.Statements
+		covered += pc.Covered
+	}
+	if total > 0 {
+		s.TotalPercent = 100 * float64(covered) / float64(total)
+	}
+	return writeJSON(file, s)
+}
+
+func writeBaseline(file string, pkgs []PkgCoverage, prefixes []string, margin float64) (int, error) {
+	b := Baseline{Schema: CoverSchema, Floors: map[string]float64{}}
+	for _, pc := range pkgs {
+		if !gated(pc.Package, prefixes) {
+			continue
+		}
+		floor := pc.Percent - margin
+		if floor < 0 {
+			floor = 0
+		}
+		// Round down to one decimal so the committed file is stable.
+		b.Floors[pc.Package] = float64(int(floor*10)) / 10
+	}
+	if len(b.Floors) == 0 {
+		return 0, fmt.Errorf("no packages matched gate prefixes %v", prefixes)
+	}
+	return len(b.Floors), writeJSON(file, b)
+}
+
+func readBaseline(file string) (*Baseline, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", file, err)
+	}
+	if b.Schema != CoverSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", file, b.Schema, CoverSchema)
+	}
+	if len(b.Floors) == 0 {
+		return nil, fmt.Errorf("baseline %s: no floors", file)
+	}
+	return &b, nil
+}
+
+// gateAgainst enforces every baseline floor, reporting all failures at
+// once so a multi-package regression reads as one actionable list.
+func gateAgainst(base *Baseline, pkgs []PkgCoverage) error {
+	byPkg := map[string]PkgCoverage{}
+	for _, pc := range pkgs {
+		byPkg[pc.Package] = pc
+	}
+	names := make([]string, 0, len(base.Floors))
+	for pkg := range base.Floors {
+		names = append(names, pkg)
+	}
+	sort.Strings(names)
+	var fails []string
+	for _, pkg := range names {
+		floor := base.Floors[pkg]
+		pc, ok := byPkg[pkg]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: no coverage in profile (floor %.1f%%) — package removed or untested", pkg, floor))
+			continue
+		}
+		if pc.Percent < floor {
+			fails = append(fails, fmt.Sprintf("%s: %.1f%% below the %.1f%% floor", pkg, pc.Percent, floor))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("coverage regressed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+func writeJSON(file string, v any) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

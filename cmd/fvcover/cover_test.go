@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+fpgavirtio/internal/sim/time.go:10.2,12.10 3 1
+fpgavirtio/internal/sim/time.go:14.2,20.3 5 0
+fpgavirtio/internal/sim/sim.go:30.2,31.5 2 7
+fpgavirtio/internal/drivers/xdmadrv/xdmadrv.go:5.1,9.2 4 1
+fpgavirtio/internal/drivers/xdmadrv/xdmadrv.go:11.1,15.2 6 0
+fpgavirtio/internal/perf/perf.go:8.1,9.2 10 1
+`
+
+func TestCoverageByPackage(t *testing.T) {
+	pkgs, err := coverageByPackage(sampleProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]PkgCoverage{}
+	for _, pc := range pkgs {
+		got[pc.Package] = pc
+	}
+	sim := got["fpgavirtio/internal/sim"]
+	if sim.Statements != 10 || sim.Covered != 5 || sim.Percent != 50 {
+		t.Errorf("sim coverage = %+v, want 5/10 = 50%%", sim)
+	}
+	drv := got["fpgavirtio/internal/drivers/xdmadrv"]
+	if drv.Statements != 10 || drv.Covered != 4 || drv.Percent != 40 {
+		t.Errorf("xdmadrv coverage = %+v, want 4/10 = 40%%", drv)
+	}
+	if len(pkgs) != 3 {
+		t.Errorf("parsed %d packages, want 3", len(pkgs))
+	}
+}
+
+func TestCoverageByPackageMergesDuplicateBlocks(t *testing.T) {
+	// The same source block appearing covered in one test binary and
+	// uncovered in another counts once, as covered.
+	profile := `mode: set
+fpgavirtio/internal/sim/time.go:10.2,12.10 3 0
+fpgavirtio/internal/sim/time.go:10.2,12.10 3 1
+`
+	pkgs, err := coverageByPackage(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Statements != 3 || pkgs[0].Covered != 3 {
+		t.Fatalf("merged coverage = %+v, want 3/3", pkgs)
+	}
+}
+
+func TestCoverageByPackageRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",                              // no header
+		"not a profile\n",               // no mode header
+		"mode: set\nfoo bar\n",          // malformed block
+		"mode: set\nf.go:1.1,2.2 x 1\n", // non-numeric
+	} {
+		if _, err := coverageByPackage(bad); err == nil {
+			t.Errorf("malformed profile %q accepted", bad)
+		}
+	}
+}
+
+func TestGatePrefixes(t *testing.T) {
+	prefixes := splitPrefixes(defaultGate)
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"fpgavirtio/internal/drivers/xdmadrv", true},
+		{"fpgavirtio/internal/drivers/virtionet", true},
+		{"fpgavirtio/internal/sim", true},
+		{"fpgavirtio/internal/simulator", false}, // prefix must match a path segment
+		{"fpgavirtio/internal/perf", false},
+		{"fpgavirtio/cmd/fvbench", false},
+	}
+	for _, tc := range cases {
+		if got := gated(tc.pkg, prefixes); got != tc.want {
+			t.Errorf("gated(%q) = %v, want %v", tc.pkg, got, tc.want)
+		}
+	}
+}
+
+func TestGateAgainst(t *testing.T) {
+	pkgs := []PkgCoverage{
+		{Package: "fpgavirtio/internal/sim", Percent: 80},
+		{Package: "fpgavirtio/internal/drivers/xdmadrv", Percent: 75},
+	}
+	ok := &Baseline{Schema: CoverSchema, Floors: map[string]float64{
+		"fpgavirtio/internal/sim":             78,
+		"fpgavirtio/internal/drivers/xdmadrv": 74.5,
+	}}
+	if err := gateAgainst(ok, pkgs); err != nil {
+		t.Errorf("coverage above floors rejected: %v", err)
+	}
+	drop := &Baseline{Schema: CoverSchema, Floors: map[string]float64{
+		"fpgavirtio/internal/sim": 81,
+	}}
+	if err := gateAgainst(drop, pkgs); err == nil {
+		t.Error("coverage below floor passed")
+	} else if !strings.Contains(err.Error(), "below the 81.0% floor") {
+		t.Errorf("unhelpful gate error: %v", err)
+	}
+	missing := &Baseline{Schema: CoverSchema, Floors: map[string]float64{
+		"fpgavirtio/internal/drivers/gone": 10,
+	}}
+	if err := gateAgainst(missing, pkgs); err == nil {
+		t.Error("baseline package missing from profile passed")
+	}
+}

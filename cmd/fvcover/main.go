@@ -1,0 +1,106 @@
+// Command fvcover is the per-package test-coverage gate behind `make
+// cover`. It reads a merged Go cover profile, computes statement
+// coverage per package, writes a machine-readable summary artifact,
+// and — given a committed baseline — fails when any gated package
+// drops below its recorded floor.
+//
+// Regenerating the baseline is a deliberate act (`make coverbase`):
+// floors are recorded a small margin below the measured coverage so
+// incidental test refactors don't flap the gate, while a deleted test
+// file or a large untested addition still trips it.
+//
+// Flags:
+//
+//	-profile  merged cover profile from `go test -coverprofile` (required)
+//	-baseline baseline JSON with per-package floors; gate mode
+//	-summary  write the per-package coverage summary artifact here
+//	-write    (re)write -baseline from the profile instead of gating
+//	-margin   floor headroom in percentage points for -write (default 2)
+//	-gate     comma-separated package prefixes the baseline covers
+//	          (default: the driver stacks and the simulation core)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+const defaultGate = "fpgavirtio/internal/drivers,fpgavirtio/internal/sim"
+
+func main() {
+	profile := flag.String("profile", "", "merged cover profile from go test -coverprofile")
+	baseline := flag.String("baseline", "", "per-package floor baseline JSON to gate against")
+	summary := flag.String("summary", "", "write the coverage summary artifact to this file")
+	write := flag.Bool("write", false, "rewrite -baseline from the profile instead of gating")
+	margin := flag.Float64("margin", 2, "floor headroom in percentage points when writing the baseline")
+	gate := flag.String("gate", defaultGate, "comma-separated package prefixes the baseline covers")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fvcover:", err)
+		os.Exit(1)
+	}
+	if *profile == "" {
+		fail(fmt.Errorf("-profile is required"))
+	}
+	if *write && *baseline == "" {
+		fail(fmt.Errorf("-write needs -baseline"))
+	}
+	if *margin < 0 {
+		fail(fmt.Errorf("-margin must be >= 0 (got %g)", *margin))
+	}
+
+	data, err := os.ReadFile(*profile)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := coverageByPackage(string(data))
+	if err != nil {
+		fail(err)
+	}
+	if len(pkgs) == 0 {
+		fail(fmt.Errorf("profile %s contains no coverage blocks", *profile))
+	}
+	prefixes := splitPrefixes(*gate)
+
+	if *summary != "" {
+		if err := writeSummary(*summary, pkgs); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvcover: wrote %s (%d packages)\n", *summary, len(pkgs))
+	}
+
+	switch {
+	case *write:
+		n, err := writeBaseline(*baseline, pkgs, prefixes, *margin)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvcover: wrote %s (%d package floors, %.1fpt margin)\n", *baseline, n, *margin)
+	case *baseline != "":
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		if err := gateAgainst(base, pkgs); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvcover: %d gated packages at or above their floors\n", len(base.Floors))
+	}
+
+	for _, pc := range pkgs {
+		fmt.Printf("%-55s %6.1f%%  (%d/%d statements)\n", pc.Package, pc.Percent, pc.Covered, pc.Statements)
+	}
+}
+
+func splitPrefixes(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -110,6 +110,9 @@ func main() {
 		if err := experiments.CompareSweepBench(base, b, *tolerance, *minSpeedup); err != nil {
 			fail(fmt.Errorf("regression vs %s: %w", *check, err))
 		}
+		if skip := experiments.SpeedupGateSkip(b, *minSpeedup); skip != "" {
+			fmt.Fprintf(os.Stderr, "fvsweepbench: %s\n", skip)
+		}
 		fmt.Fprintf(os.Stderr, "fvsweepbench: within budget vs %s (baseline %.0f ns/packet)\n",
 			*check, base.SerialNsPerPacket)
 	}

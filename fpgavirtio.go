@@ -107,6 +107,17 @@ type Config struct {
 	// injections are replayable for a given Seed and do not perturb the
 	// host-noise stream.
 	Faults string
+	// PollMode switches the session's driver stack to its busy-poll
+	// datapath: no MSI-X interrupts are armed and completions are
+	// discovered by spinning — the virtio-net driver on the used-ring
+	// index (EVENT_IDX disabled), the XDMA driver on a host-memory
+	// status writeback. The spin loop is costed in simulated time
+	// (hostos.DefaultPollPolicy: ~80 ns per empty poll, a ~700 ns
+	// yield slot every 64 spins), so poll-mode runs replay exactly
+	// like interrupt-mode ones. Latency drops — the IRQ entry,
+	// softirq and scheduler-wake segments vanish — at the price of a
+	// core burning cycles, which the poll.* metrics quantify.
+	PollMode bool
 }
 
 func (c Config) hostConfig() hostos.Config {

@@ -1,0 +1,197 @@
+package virtioconsole_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fpgavirtio/internal/drivers/virtioconsole"
+	"fpgavirtio/internal/drivers/virtiopci"
+	"fpgavirtio/internal/hostos"
+	"fpgavirtio/internal/pcie"
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/vdev"
+	"fpgavirtio/internal/virtio"
+)
+
+// TestRingSetupTable checks queue geometry negotiation on the console's
+// two-queue layout: both the RX and TX queues honour the requested size
+// up to the device's queue_size_max, oversized requests clamp, and the
+// first index past NumQueues reads queue_size == 0 and fails setup.
+func TestRingSetupTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		index    int
+		req      int
+		wantSize int
+		wantErr  bool
+	}{
+		{"rx small", 0, 16, 16, false},
+		{"rx driver default", 0, 64, 64, false},
+		{"tx driver default", 1, 64, 64, false},
+		{"tx clamped to device max", 1, 512, 256, false},
+		{"missing queue", 2, 64, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, h := testbed(t, nil)
+			run(t, s, func(p *sim.Proc) {
+				infos := h.RC.Enumerate(p)
+				tr, err := virtiopci.Probe(p, h, infos[0])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tr.Negotiate(p, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				vq, err := tr.SetupQueue(p, tc.index, tc.req)
+				if tc.wantErr {
+					if err == nil {
+						t.Errorf("SetupQueue(%d, %d) succeeded, want error", tc.index, tc.req)
+					}
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if vq.Size() != tc.wantSize {
+					t.Errorf("ring size = %d, want %d", vq.Size(), tc.wantSize)
+				}
+				if vq.NumFree() != tc.wantSize {
+					t.Errorf("fresh ring NumFree = %d, want %d", vq.NumFree(), tc.wantSize)
+				}
+			})
+		})
+	}
+}
+
+// TestResetWalkTable walks the VirtIO 1.2 §3.1 status sequence on the
+// console personality, asserting after each stage that driver-read and
+// device-latched status agree — through a mid-life reset back to 0 and
+// a second bring-up.
+func TestResetWalkTable(t *testing.T) {
+	s := sim.New()
+	cfg := hostos.DefaultConfig()
+	cfg.JitterSigma = 0
+	cfg.PreemptMeanGap = 0
+	cfg.WakeTailProb = 0
+	h := hostos.New(s, 4<<20, cfg, 3)
+	dev := vdev.NewConsole(s, h.RC, "vcon", vdev.ConsoleOptions{Link: pcie.DefaultGen2x2()})
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		tr, err := virtiopci.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		const negotiated = virtio.StatusAcknowledge | virtio.StatusDriver | virtio.StatusFeaturesOK
+		steps := []struct {
+			name string
+			do   func() error
+			want byte
+		}{
+			{"fresh device", func() error { return nil }, 0},
+			{"negotiate", func() error { _, err := tr.Negotiate(p, 0); return err }, negotiated},
+			{"driver-ok", func() error { tr.DriverOK(p); return nil }, negotiated | virtio.StatusDriverOK},
+			{"reset", func() error { tr.Reset(p); return nil }, 0},
+			{"re-negotiate", func() error { _, err := tr.Negotiate(p, 0); return err }, negotiated},
+			{"re-driver-ok", func() error { tr.DriverOK(p); return nil }, negotiated | virtio.StatusDriverOK},
+		}
+		for _, st := range steps {
+			if err := st.do(); err != nil {
+				t.Errorf("%s: %v", st.name, err)
+				return
+			}
+			if got := tr.ReadStatus(p); got != st.want {
+				t.Errorf("%s: driver reads status %#x, want %#x", st.name, got, st.want)
+			}
+			if got := dev.Controller().Status(); got != st.want {
+				t.Errorf("%s: device latched status %#x, want %#x", st.name, got, st.want)
+			}
+		}
+	})
+}
+
+// TestResetWalkThenIO re-probes the console after a completed session
+// and proves the rebuilt rings still move bytes both ways.
+func TestResetWalkThenIO(t *testing.T) {
+	s, h := testbed(t, nil) // default echo
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		con, err := virtioconsole.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := con.Write(p, []byte("before reset")); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := con.Read(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Second probe resets the device and rebuilds both rings.
+		con2, err := virtioconsole.Probe(p, h, infos[0])
+		if err != nil {
+			t.Errorf("re-probe after reset: %v", err)
+			return
+		}
+		if err := con2.Write(p, []byte("after reset")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := con2.Read(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, []byte("after reset")) {
+			t.Errorf("echo after reset = %q", got)
+		}
+	})
+}
+
+// TestIORoundTripTable sweeps payload shapes through the echo device:
+// from a single byte to a full RX buffer, every write comes back
+// byte-identical and in order.
+func TestIORoundTripTable(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"single byte", 1},
+		{"cacheline", 64},
+		{"one sector", 512},
+		{"page minus header", 4000},
+		{"full rx buffer", 4096},
+	}
+	s, h := testbed(t, nil)
+	run(t, s, func(p *sim.Proc) {
+		infos := h.RC.Enumerate(p)
+		con, err := virtioconsole.Probe(p, h, infos[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rng := sim.NewRNG(23)
+		for _, tc := range cases {
+			data := make([]byte, tc.n)
+			rng.Bytes(data)
+			if err := con.Write(p, data); err != nil {
+				t.Errorf("%s: write: %v", tc.name, err)
+				continue
+			}
+			got, err := con.Read(p)
+			if err != nil {
+				t.Errorf("%s: read: %v", tc.name, err)
+				continue
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("%s: echo mismatch (%d bytes in, %d out)", tc.name, len(data), len(got))
+			}
+		}
+	})
+}

@@ -83,6 +83,15 @@ type Options struct {
 	// thresholds, batching): one doorbell per ring update. This is the
 	// suppression-off arm of the throughput comparison.
 	ForceKicks bool
+	// PollMode runs the datapath without interrupts: every queue
+	// interrupt stays suppressed and completions are discovered by
+	// spinning on the used rings from the consuming process's context
+	// (BusyPoll / the internal spin helpers). EVENT_IDX is rejected —
+	// the poll loop never arms a notification threshold.
+	PollMode bool
+	// Poll tunes the PollMode spin loop; zero fields take
+	// hostos.DefaultPollPolicy.
+	Poll hostos.PollPolicy
 }
 
 // DefaultOptions matches the paper's test configuration.
@@ -178,6 +187,10 @@ type Device struct {
 
 	txPkts, rxPkts, rxIRQs *telemetry.Counter
 
+	// spinner executes PollMode's busy loops under the host's poll
+	// cost model; nil outside poll mode.
+	spinner *hostos.Spinner
+
 	// Recovery state. want/qsize/maxPairs are the bring-up parameters a
 	// device reset must replay; resetting gates every IRQ path while the
 	// rings are being rebuilt. The rec* counters are registered only when
@@ -214,6 +227,9 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 	if opt.Name == "" {
 		opt.Name = "eth-virtio"
 	}
+	if opt.PollMode && opt.WantEventIdx {
+		return nil, fmt.Errorf("virtionet: poll mode disables EVENT_IDX (no notification thresholds are armed)")
+	}
 	tr, err := virtiopci.Probe(p, h, info)
 	if err != nil {
 		return nil, err
@@ -231,6 +247,9 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 		txPkts: reg.Counter(telemetry.MetricVirtionetTxPackets),
 		rxPkts: reg.Counter(telemetry.MetricVirtionetRxPackets),
 		rxIRQs: reg.Counter(telemetry.MetricVirtionetRxIRQs),
+	}
+	if opt.PollMode {
+		d.spinner = h.NewSpinner(opt.Poll)
 	}
 
 	// MQ is always requested; Negotiate intersects with the device
@@ -309,12 +328,21 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 			return nil, err
 		}
 		d.ctrlq.RegisterIRQ(d.onCtrlIRQ)
+		if opt.PollMode {
+			d.ctrlq.SetNoInterrupt(true)
+		}
 	}
 	for _, pq := range d.pairs {
 		pq := pq
 		pq.rx.RegisterIRQ(func(p *sim.Proc) { d.onRxIRQ(p, pq) })
 		pq.tx.RegisterIRQ(func(p *sim.Proc) { d.onTxIRQ(p, pq) })
-		if opt.SuppressTxInterrupts {
+		if opt.PollMode {
+			// No IRQ arming: every queue interrupt stays suppressed for
+			// the session's lifetime; the handlers registered above are
+			// never reached (the device honors the suppression flags).
+			pq.rx.SetNoInterrupt(true)
+			pq.tx.SetNoInterrupt(true)
+		} else if opt.SuppressTxInterrupts {
 			pq.tx.SetNoInterrupt(true)
 		}
 	}
@@ -353,8 +381,17 @@ func Probe(p *sim.Proc, h *hostos.Host, stack *netstack.Stack, info *pcie.Device
 		d.recResets = reg.Counter(telemetry.MetricRecoveryVirtioResets)
 		d.recWatchdog = reg.Counter(telemetry.MetricRecoveryVirtioWatchd)
 		d.recRequeued = reg.Counter(telemetry.MetricRecoveryVirtioRequeue)
-		h.RegisterIRQ(tr.EP, 0, d.onConfigIRQ)
-		h.Sim.Go(opt.Name+".watchdog", d.watchdog)
+		if opt.PollMode {
+			// Watchdog-less recovery: the config vector is claimed so a
+			// NEEDS_RESET announcement is not a fatal unhandled IRQ, but
+			// detection happens in the spin loops' yield slow path
+			// (PollYield reads device status) — never from IRQ context,
+			// and no watchdog process exists.
+			h.RegisterIRQ(tr.EP, 0, func(p *sim.Proc) {})
+		} else {
+			h.RegisterIRQ(tr.EP, 0, d.onConfigIRQ)
+			h.Sim.Go(opt.Name+".watchdog", d.watchdog)
+		}
 	}
 	if feats.Has(virtio.NetFMQ) {
 		if err := d.ctrlCommand(p, virtio.NetCtrlMQ, virtio.NetCtrlMQPairs,
@@ -403,6 +440,18 @@ func (d *Device) Xmit(p *sim.Proc, pkt netstack.TxPacket) error {
 	// Reclaim finished TX chains (free_old_xmit_skbs).
 	pq.reclaimTx(p)
 	for len(pq.txFree) == 0 {
+		if d.opt.PollMode {
+			// Ring full under poll mode: no completion interrupt will
+			// ever fire, so spin-reclaim until the device frees a chain.
+			// Flush any batched doorbell first — the device has not seen
+			// those chains yet.
+			if pq.unkicked > 0 {
+				pq.tx.KickIfNeeded(p)
+				pq.unkicked = 0
+			}
+			d.spin(p, func(p *sim.Proc) bool { return pq.reclaimTx(p) > 0 })
+			continue
+		}
 		// Ring full: netif_stop_queue. Any doorbell still batched under
 		// TxKickBatch must go out now — the device has never seen those
 		// chains, and with TX interrupts suppressed nothing else would
@@ -537,49 +586,9 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 	sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.napi")
 	defer sp.End()
 	for {
-		if d.resetting {
+		if d.resetting || d.drainRx(p, pq) < 0 {
 			pq.polling = false
 			return
-		}
-		used := pq.rx.HarvestInto(p, pq.rxUsed)
-		pq.rxUsed = used
-		for _, u := range used {
-			tok := u.Token.(rxToken)
-			d.host.CPUWork(p, napiPerPktCost)
-			if cap(pq.rxBuf) < u.Written {
-				pq.rxBuf = make([]byte, u.Written)
-			}
-			raw := pq.rxBuf[:u.Written]
-			d.host.Mem.ReadInto(tok.addr, raw)
-			hdr, err := virtio.DecodeNetHdr(raw)
-			if err == nil {
-				frame := raw[virtio.NetHdrSize:]
-				rx := netstack.RxPacket{
-					Frame:     frame,
-					CsumValid: hdr.Flags&virtio.NetHdrFDataValid != 0,
-				}
-				d.RxPackets++
-				d.rxPkts.Inc()
-				// Delivery errors (stray ports, bad checksums) drop the
-				// packet, as the stack does.
-				_ = d.stack.Input(p, rx)
-			}
-			// A reset that began at one of the yields above owns the
-			// buffers now: recoverReset reposts the full RX set itself.
-			if d.resetting {
-				pq.polling = false
-				return
-			}
-			// Repost the buffer, reusing the token the harvest returned.
-			d.host.CPUWork(p, refillCost)
-			if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}, u.Token); err != nil {
-				panic("virtionet: repost: " + err.Error())
-			}
-		}
-		if d.opt.ForceKicks {
-			pq.rx.Kick(p)
-		} else {
-			pq.rx.KickIfNeeded(p) // tell the device buffers were returned
 		}
 		pq.rx.SetNoInterrupt(false)
 		if !pq.rx.HasUsed() {
@@ -590,6 +599,104 @@ func (d *Device) napiPoll(p *sim.Proc, pq *pairQueues) {
 		pq.rx.SetNoInterrupt(true)
 	}
 }
+
+// drainRx harvests one batch of RX completions, delivers the frames to
+// the stack and reposts their buffers — the body shared by the
+// interrupt pipeline (napiPoll) and the poll-mode busy loop (BusyPoll).
+// It returns the number of frames harvested, or -1 when a device reset
+// claimed the ring mid-drain (the caller must bail out; recoverReset
+// owns the buffers now).
+func (d *Device) drainRx(p *sim.Proc, pq *pairQueues) int {
+	used := pq.rx.HarvestInto(p, pq.rxUsed)
+	pq.rxUsed = used
+	for _, u := range used {
+		tok := u.Token.(rxToken)
+		d.host.CPUWork(p, napiPerPktCost)
+		if cap(pq.rxBuf) < u.Written {
+			pq.rxBuf = make([]byte, u.Written)
+		}
+		raw := pq.rxBuf[:u.Written]
+		d.host.Mem.ReadInto(tok.addr, raw)
+		hdr, err := virtio.DecodeNetHdr(raw)
+		if err == nil {
+			frame := raw[virtio.NetHdrSize:]
+			rx := netstack.RxPacket{
+				Frame:     frame,
+				CsumValid: hdr.Flags&virtio.NetHdrFDataValid != 0,
+			}
+			d.RxPackets++
+			d.rxPkts.Inc()
+			// Delivery errors (stray ports, bad checksums) drop the
+			// packet, as the stack does.
+			_ = d.stack.Input(p, rx)
+		}
+		// A reset that began at one of the yields above owns the
+		// buffers now: recoverReset reposts the full RX set itself.
+		if d.resetting {
+			return -1
+		}
+		// Repost the buffer, reusing the token the harvest returned.
+		d.host.CPUWork(p, refillCost)
+		if err := pq.rx.AddChain1(p, virtio.BufSeg{Addr: tok.addr, Len: d.rxBufSize, DeviceWritten: true}, u.Token); err != nil {
+			panic("virtionet: repost: " + err.Error())
+		}
+	}
+	if d.opt.ForceKicks {
+		pq.rx.Kick(p)
+	} else {
+		pq.rx.KickIfNeeded(p) // tell the device buffers were returned
+	}
+	return len(used)
+}
+
+// BusyPoll drains pending RX completions inline from the calling
+// process — poll mode's replacement for the interrupt → softirq → NAPI
+// pipeline. The suppression flags are never touched (poll mode keeps
+// every queue interrupt off for the session's lifetime). Returns the
+// number of frames delivered to the stack.
+func (d *Device) BusyPoll(p *sim.Proc) int {
+	total := 0
+	for _, pq := range d.pairs {
+		if pq.polling || d.resetting || !pq.rx.HasUsed() {
+			continue
+		}
+		pq.polling = true
+		sp := p.Sim().BeginSpan(telemetry.LayerDriver, "virtionet.busypoll")
+		n := d.drainRx(p, pq)
+		sp.End()
+		pq.polling = false
+		if n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+// PollYield is the spin loops' yield-time slow path: with fault
+// injection armed it reads device status and triggers the reset walk
+// on DEVICE_NEEDS_RESET — poll mode's watchdog-less detection (no
+// config-IRQ recovery, no watchdog process). Without faults armed it
+// costs nothing beyond the yield itself.
+func (d *Device) PollYield(p *sim.Proc) {
+	if d.recResets == nil || d.resetting {
+		return
+	}
+	if d.tr.ReadStatus(p)&virtio.StatusNeedsReset != 0 {
+		d.recWatchdog.Inc()
+		d.recoverReset(p)
+	}
+}
+
+// spin busy-waits on ready under the driver's poll policy, folding the
+// fault-detection slow path into each yield slot.
+func (d *Device) spin(p *sim.Proc, ready func(p *sim.Proc) bool) {
+	d.spinner.Spin(p, ready, d.PollYield)
+}
+
+// Spinner exposes the poll-mode spin executor (nil outside poll mode);
+// sessions share it so the whole datapath spins under one policy and
+// one set of poll.* instruments.
+func (d *Device) Spinner() *hostos.Spinner { return d.spinner }
 
 // onCtrlIRQ completes a pending control command.
 func (d *Device) onCtrlIRQ(p *sim.Proc) {
@@ -618,8 +725,14 @@ func (d *Device) ctrlCommand(p *sim.Proc, class, cmd byte, payload []byte) error
 		return err
 	}
 	d.ctrlq.Kick(p)
-	for !d.ctrlq.HasUsed() {
-		d.ctrlWQ.Wait(p)
+	if d.opt.PollMode {
+		// Control completions are polled like everything else (the ctrl
+		// queue's interrupt is suppressed for the session's lifetime).
+		d.spin(p, func(p *sim.Proc) bool { return d.ctrlq.HasUsed() })
+	} else {
+		for !d.ctrlq.HasUsed() {
+			d.ctrlWQ.Wait(p)
+		}
 	}
 	d.ctrlq.Harvest(p)
 	if st := d.host.Mem.U8(ack); st != virtio.NetCtrlAckOK {
@@ -699,7 +812,10 @@ func (d *Device) recoverReset(p *sim.Proc) {
 			panic("virtionet: reset TX rebuild: " + err.Error())
 		}
 		pq.rx, pq.tx = rx, tx
-		if d.opt.SuppressTxInterrupts {
+		if d.opt.PollMode {
+			pq.rx.SetNoInterrupt(true)
+			pq.tx.SetNoInterrupt(true)
+		} else if d.opt.SuppressTxInterrupts {
 			pq.tx.SetNoInterrupt(true)
 		}
 	}
@@ -713,6 +829,9 @@ func (d *Device) recoverReset(p *sim.Proc) {
 			panic("virtionet: reset ctrl rebuild: " + err.Error())
 		}
 		d.ctrlq = cq
+		if d.opt.PollMode {
+			d.ctrlq.SetNoInterrupt(true)
+		}
 	}
 	// The IRQ registrations survive: the handler closures dereference
 	// pq.rx / pq.tx / d.ctrlq at delivery time and the vector numbers

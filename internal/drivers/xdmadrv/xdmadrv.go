@@ -60,11 +60,28 @@ func xferTimeout(n int) sim.Duration {
 	return sim.Ms(1) + sim.Duration(n)*20*sim.Nanosecond
 }
 
+// Options selects optional driver behaviours at probe time.
+type Options struct {
+	// PollMode runs the driver without completion interrupts: channel
+	// IRQs stay disabled in the IRQ block and every submit programs the
+	// engine's poll-mode writeback (CtrlPollModeWB), then busy-spins on
+	// the 4-byte status word the engine DMA-writes into host memory.
+	// This is the poll_mode=1 variant of the reference driver.
+	PollMode bool
+	// Poll tunes the spin loop; zero fields take
+	// hostos.DefaultPollPolicy values.
+	Poll hostos.PollPolicy
+}
+
 // Driver is a bound XDMA function exposing H2C and C2H device nodes.
 type Driver struct {
 	host *hostos.Host
 	ep   *pcie.Endpoint
 	bar1 uint64
+	opt  Options
+
+	// spinner drives poll-mode completion waits (nil in interrupt mode).
+	spinner *hostos.Spinner
 
 	h2c *channelState
 	c2h *channelState
@@ -88,9 +105,14 @@ type channelState struct {
 	buf      mem.Addr // bounce buffer
 	descSlot mem.Addr // single descriptor in host memory
 	descList mem.Addr // chained descriptor ring for batch submissions
-	wq       *hostos.WaitQueue
-	complete bool
-	busy     bool
+	// wbSlot is the poll-mode writeback word (own cache line); wbReadyFn
+	// is the spin predicate over it, bound once at probe so the
+	// steady-state poll path does not allocate.
+	wbSlot    mem.Addr
+	wbReadyFn func(p *sim.Proc) bool
+	wq        *hostos.WaitQueue
+	complete  bool
+	busy      bool
 	// errSeen records a StatusDescError observed by the ISR; timedOut
 	// records a completion-watchdog expiry. Both only change under
 	// fault injection.
@@ -106,15 +128,30 @@ type channelState struct {
 // Probe binds the driver to an enumerated XDMA function and registers
 // its character devices as /dev/<name>_h2c_0 and /dev/<name>_c2h_0.
 func Probe(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo, name string) (*Driver, error) {
+	return ProbeWithOptions(p, h, info, name, Options{})
+}
+
+// ProbeWithOptions is Probe with explicit driver options.
+func ProbeWithOptions(p *sim.Proc, h *hostos.Host, info *pcie.DeviceInfo, name string, opt Options) (*Driver, error) {
 	if info.VendorID != xdmaip.XilinxVendorID || info.DeviceID != xdmaip.XDMADeviceID {
 		return nil, fmt.Errorf("xdmadrv: not an XDMA function: %04x:%04x", info.VendorID, info.DeviceID)
 	}
-	d := &Driver{host: h, ep: info.EP, bar1: info.BAR[1]}
+	d := &Driver{host: h, ep: info.EP, bar1: info.BAR[1], opt: opt}
+	if opt.PollMode {
+		d.spinner = h.NewSpinner(opt.Poll)
+	}
 	d.h2c = d.newChannel(p, name+"_h2c_0", true, xdmaip.H2CChannelBase, xdmaip.H2CSGDMABase, xdmaip.VecH2C, 1<<0)
 	d.c2h = d.newChannel(p, name+"_c2h_0", false, xdmaip.C2HChannelBase, xdmaip.C2HSGDMABase, xdmaip.VecC2H, 1<<1)
 
-	// Enable both channel interrupts in the IRQ block.
-	h.RC.MMIOWrite(p, d.bar1+xdmaip.IRQBlockBase+xdmaip.RegIRQChanEnable, 4, 0x3)
+	if opt.PollMode {
+		// No completion interrupts: the IRQ block's channel enables stay
+		// 0, so the engines never raise VecH2C/VecC2H and the critical
+		// path carries no irq-layer time at all.
+		h.RC.MMIOWrite(p, d.bar1+xdmaip.IRQBlockBase+xdmaip.RegIRQChanEnable, 4, 0)
+	} else {
+		// Enable both channel interrupts in the IRQ block.
+		h.RC.MMIOWrite(p, d.bar1+xdmaip.IRQBlockBase+xdmaip.RegIRQChanEnable, 4, 0x3)
+	}
 
 	if d.ep.Faults() != nil {
 		reg := h.Metrics()
@@ -152,8 +189,22 @@ func (d *Driver) newChannel(p *sim.Proc, name string, h2c bool, chanBase, sgdma 
 		irqs:      reg.Counter(telemetry.MetricXDMAIRQs(dir)),
 	}
 	d.host.RegisterIRQ(d.ep, vector, ch.isr)
+	if d.opt.PollMode {
+		// One writeback word per channel on its own cache line, plus the
+		// one-time programming of the engine's writeback address.
+		ch.wbSlot = d.host.Alloc.Alloc(64, 64)
+		ch.wbReadyFn = func(p *sim.Proc) bool {
+			return d.host.Mem.U32(ch.wbSlot)&xdmaip.WbDone != 0
+		}
+		d.host.RC.MMIOWrite(p, d.bar1+chanBase+xdmaip.RegPollWbLo, 4, uint64(uint32(ch.wbSlot)))
+		d.host.RC.MMIOWrite(p, d.bar1+chanBase+xdmaip.RegPollWbHi, 4, uint64(ch.wbSlot)>>32)
+	}
 	return ch
 }
+
+// Spinner exposes the poll-mode spin accounting (nil in interrupt
+// mode), so sessions and tests can read the spin policy in effect.
+func (d *Driver) Spinner() *hostos.Spinner { return d.spinner }
 
 // NoteDataRetry records a session-level end-to-end retry (a round trip
 // whose data integrity check failed under fault injection and was
@@ -249,18 +300,29 @@ func (ch *channelState) submit(p *sim.Proc, descAddr mem.Addr, n int) error {
 		d.host.RC.MMIOWrite(p, d.bar1+ch.sgdma+xdmaip.RegDescAdj, 4, 0)
 		ch.complete = false
 		ch.errSeen = false
-		d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
-			xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
-
-		if !faulted {
-			// Block until the completion interrupt.
-			for !ch.complete {
-				ch.wq.Wait(p)
+		if d.opt.PollMode {
+			// Clear the writeback word, then start the run with poll-mode
+			// writeback instead of the interrupt enables.
+			d.host.Mem.PutU32(ch.wbSlot, 0)
+			d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
+				xdmaip.CtrlRun|xdmaip.CtrlPollModeWB)
+			if ch.pollAwait(p, n, faulted) {
+				return nil
 			}
-			return nil
-		}
-		if ch.await(p, n) {
-			return nil
+		} else {
+			d.host.RC.MMIOWrite(p, d.bar1+ch.chanBase+xdmaip.RegChanControl, 4,
+				xdmaip.CtrlRun|xdmaip.CtrlIEDescComplete|xdmaip.CtrlIEDescStopped)
+
+			if !faulted {
+				// Block until the completion interrupt.
+				for !ch.complete {
+					ch.wq.Wait(p)
+				}
+				return nil
+			}
+			if ch.await(p, n) {
+				return nil
+			}
 		}
 		// Engine error or lost run: reset the channel (clear Run) and
 		// resubmit after a backoff.
@@ -325,6 +387,66 @@ func (ch *channelState) await(p *sim.Proc, n int) bool {
 			return false
 		}
 	}
+}
+
+// pollAwait spins on the channel's poll-writeback word until the
+// engine reports the run's outcome, charging spin and yield costs
+// through the driver's spinner. It reports true when the transfer
+// completed and false when the channel needs a reset and resubmit.
+//
+// Without fault injection the writeback always arrives and its error
+// bit never sets, so the wait is a bare spin on the pre-bound
+// predicate (allocation-free). With faults armed the writeback itself
+// can be lost or the run can fail, so deadline triage rides the
+// spinner's yield slots: past the watchdog deadline the loop reads the
+// engine's status mirror and applies the same triage the interrupt
+// watchdog does — no timer, no interrupt, just the poll loop noticing.
+func (ch *channelState) pollAwait(p *sim.Proc, n int, faulted bool) bool {
+	d := ch.drv
+	if !faulted {
+		d.spinner.Spin(p, ch.wbReadyFn, nil)
+		return true
+	}
+	outcome := 0 // 0 spinning, >0 complete, <0 reset-and-resubmit
+	deadline := p.Now().Add(xferTimeout(n))
+	d.spinner.Spin(p, func(p *sim.Proc) bool {
+		if outcome != 0 {
+			return true
+		}
+		wb := d.host.Mem.U32(ch.wbSlot)
+		if wb&xdmaip.WbDone == 0 {
+			return false
+		}
+		if wb&xdmaip.WbErr != 0 {
+			outcome = -1
+		} else {
+			outcome = 1
+		}
+		return true
+	}, func(p *sim.Proc) {
+		if outcome != 0 || p.Now() < deadline {
+			return
+		}
+		d.recWatchdog.Inc()
+		st := d.host.RC.MMIORead(p, d.bar1+ch.chanBase+xdmaip.RegChanStatus+4, 4)
+		switch {
+		case st == 1<<32-1:
+			// Poisoned/stalled readback: assume the worst and resubmit.
+			outcome = -1
+		case st&xdmaip.StatusDescError != 0:
+			outcome = -1
+		case st&xdmaip.StatusDescComplete != 0:
+			// The run finished but its writeback never landed.
+			outcome = 1
+		case st&xdmaip.StatusBusy != 0:
+			// An honestly slow transfer: extend the deadline, keep spinning.
+			deadline = p.Now().Add(xferTimeout(n))
+		default:
+			// The engine never started — the Run write was lost.
+			outcome = -1
+		}
+	})
+	return outcome > 0
 }
 
 // xferSeg is one entry of a chained descriptor list: n bytes between

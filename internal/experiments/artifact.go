@@ -19,6 +19,7 @@ func BuildPoint(pt *PointResult) telemetry.BenchPoint {
 	s := pt.Total.Summarize()
 	return telemetry.BenchPoint{
 		Driver:     pt.Driver,
+		Datapath:   pt.Datapath,
 		Payload:    pt.Payload,
 		Count:      s.Count,
 		MeanNs:     nsOf(s.Mean),

@@ -102,6 +102,75 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosPollModeSoak runs the same soak with every session on the
+// busy-poll datapath. With MSI-X out of the picture, fault detection
+// has no interrupt watchdog to lean on: the virtio driver notices
+// DEVICE_NEEDS_RESET by reading the status byte from its spin loop's
+// yield points, and the XDMA driver triages a wedged transfer from its
+// writeback poll loop. Every fault class the plan can land in poll mode
+// must still recover. (irqdrop is the exception by construction — with
+// no queue interrupts raised there may be nothing to drop — so the
+// soak asserts only the counters poll mode can reach.)
+func TestChaosPollModeSoak(t *testing.T) {
+	p := chaosParams()
+	p.PollMode = true
+	sw, err := RunSweepParallel(p, 4)
+	if err != nil {
+		t.Fatalf("poll-mode chaos sweep failed: %v", err)
+	}
+	for _, pts := range [][]*PointResult{sw.VirtIO, sw.XDMA} {
+		for _, pt := range pts {
+			if pt == nil {
+				t.Fatal("chaos sweep returned a nil point")
+			}
+			if pt.Datapath != "poll" {
+				t.Errorf("%s/%dB: datapath = %q, want poll", pt.Driver, pt.Payload, pt.Datapath)
+			}
+			clean := pt.Total.Summarize().Count
+			if clean+pt.Faulted != sw.Params.Packets {
+				t.Errorf("%s/%dB: %d clean + %d faulted != %d packets",
+					pt.Driver, pt.Payload, clean, pt.Faulted, sw.Params.Packets)
+			}
+			if clean == 0 {
+				t.Errorf("%s/%dB: every sample flagged faulted", pt.Driver, pt.Payload)
+			}
+		}
+	}
+
+	fs := BuildFaultSummary(sw)
+	if fs == nil {
+		t.Fatal("faulted sweep produced no fault summary")
+	}
+	// The classes that do not depend on an interrupt being in flight
+	// must still land under poll mode.
+	for _, class := range []string{"needsreset", "engineerr", "cplpoison"} {
+		if fs.Injected[class] == 0 {
+			t.Errorf("class %s never injected in poll mode", class)
+		}
+	}
+	// Recovery without interrupts: device resets on both stacks, requeue
+	// of in-flight virtio buffers, and the spin-loop triage counters
+	// that replace the interrupt watchdogs.
+	for _, name := range []string{
+		telemetry.MetricRecoveryVirtioResets,
+		telemetry.MetricRecoveryVirtioRequeue,
+		telemetry.MetricRecoveryXDMAResets,
+	} {
+		if fs.Recovery[name] == 0 {
+			t.Errorf("recovery counter %s is zero in poll mode", name)
+		}
+	}
+	if fs.Recovery[telemetry.MetricRecoveryVirtioWatchd]+
+		fs.Recovery[telemetry.MetricRecoveryXDMAWatchdog] == 0 {
+		t.Error("no spin-loop fault triage on either stack (watchdog counters zero)")
+	}
+
+	art := BuildArtifact("all", sw)
+	if err := art.Validate(); err != nil {
+		t.Errorf("poll-mode chaos artifact invalid: %v", err)
+	}
+}
+
 // TestChaosParallelDeterminism pins the fault-injection determinism
 // contract to the parallel engine: a faulted sweep's artifact and every
 // point's metric snapshot are byte-identical at any worker count.

@@ -51,6 +51,10 @@ type Params struct {
 	// counted in PointResult.Faulted and excluded from the latency
 	// series, so percentiles describe only clean round trips.
 	Faults string
+	// PollMode runs every session on its busy-poll datapath (no MSI-X,
+	// spin-costed completion discovery) instead of the interrupt one.
+	// Points measured this way carry datapath="poll" in artifacts.
+	PollMode bool
 }
 
 // withDefaults fills unset fields.
@@ -69,10 +73,13 @@ func (p Params) withDefaults() Params {
 type PointResult struct {
 	Driver  string
 	Payload int
-	Total   *perf.Series
-	SW      *perf.Series
-	HW      *perf.Series
-	RG      *perf.Series
+	// Datapath is "poll" for busy-poll measurements, "" for the default
+	// interrupt-driven path — mirrored into the artifact point.
+	Datapath string
+	Total    *perf.Series
+	SW       *perf.Series
+	HW       *perf.Series
+	RG       *perf.Series
 	// Interrupts is the device's total MSI-X count over the run.
 	Interrupts int
 	// Faulted counts round trips excluded from the series because a
@@ -100,11 +107,20 @@ type PointResult struct {
 
 func toSim(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) * sim.Nanosecond }
 
+// datapathName is the artifact spelling of the datapath axis: "poll"
+// for busy-poll sessions, "" (omitted from JSON) for interrupt mode.
+func datapathName(poll bool) string {
+	if poll {
+		return "poll"
+	}
+	return ""
+}
+
 // MeasureVirtIO runs the paper's VirtIO test for one payload size:
 // UDP echo through the socket API and the virtio-net driver.
 func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*PointResult, error) {
 	p = p.withDefaults()
-	cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
+	cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults, PollMode: p.PollMode}}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -113,12 +129,13 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 		return nil, err
 	}
 	res := &PointResult{
-		Driver:  "virtio",
-		Payload: payload,
-		Total:   perf.NewSeriesCap(fmt.Sprintf("virtio/%d/total", payload), p.Packets),
-		SW:      perf.NewSeriesCap("sw", p.Packets),
-		HW:      perf.NewSeriesCap("hw", p.Packets),
-		RG:      perf.NewSeriesCap("rg", p.Packets),
+		Driver:   "virtio",
+		Payload:  payload,
+		Datapath: datapathName(cfg.PollMode),
+		Total:    perf.NewSeriesCap(fmt.Sprintf("virtio/%d/total", payload), p.Packets),
+		SW:       perf.NewSeriesCap("sw", p.Packets),
+		HW:       perf.NewSeriesCap("hw", p.Packets),
+		RG:       perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload)
 	// A sample that overlapped an injection measured the recovery path,
@@ -153,7 +170,7 @@ func MeasureVirtIO(p Params, payload int, mutate func(*fpgavirtio.NetConfig)) (*
 // payload+headers bytes so the link carries the same traffic.
 func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*PointResult, error) {
 	p = p.withDefaults()
-	cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
+	cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults, PollMode: p.PollMode}}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -162,12 +179,13 @@ func MeasureXDMA(p Params, payload int, mutate func(*fpgavirtio.XDMAConfig)) (*P
 		return nil, err
 	}
 	res := &PointResult{
-		Driver:  "xdma",
-		Payload: payload,
-		Total:   perf.NewSeriesCap(fmt.Sprintf("xdma/%d/total", payload), p.Packets),
-		SW:      perf.NewSeriesCap("sw", p.Packets),
-		HW:      perf.NewSeriesCap("hw", p.Packets),
-		RG:      perf.NewSeriesCap("rg", p.Packets),
+		Driver:   "xdma",
+		Payload:  payload,
+		Datapath: datapathName(cfg.PollMode),
+		Total:    perf.NewSeriesCap(fmt.Sprintf("xdma/%d/total", payload), p.Packets),
+		SW:       perf.NewSeriesCap("sw", p.Packets),
+		HW:       perf.NewSeriesCap("hw", p.Packets),
+		RG:       perf.NewSeriesCap("rg", p.Packets),
 	}
 	buf := make([]byte, payload+HeaderOverhead)
 	faultMark := xs.FaultEvents()

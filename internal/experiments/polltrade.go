@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fpgavirtio/internal/perf"
+	"fpgavirtio/internal/telemetry"
+)
+
+// ---- E13: poll-mode latency-vs-CPU trade study -------------------------------
+
+// PollTradeStudy is the four-way (stack × datapath) comparison: both
+// driver stacks measured interrupt-driven and busy-polling over the
+// same payload grid, with the CPU price of polling quantified from the
+// poll.* counters. This is the trade the kernel's NAPI-busy-poll and
+// DPDK-style userspace drivers argue about: latency bought with a
+// burning core.
+type PollTradeStudy struct {
+	Params Params
+	Rows   []PollTradeRow
+	// Points holds all four arms' latency points per payload, in
+	// (virtio-irq, virtio-poll, xdma-irq, xdma-poll) order — the
+	// artifact's flat view of the grid.
+	Points []*PointResult
+}
+
+// PollTradeRow is one payload's four-way comparison plus the poll
+// arms' CPU accounting.
+type PollTradeRow struct {
+	Payload                                  int
+	VirtIOIRQ, VirtIOPoll, XDMAIRQ, XDMAPoll perf.Summary
+	// Interrupt totals of the interrupt arms (the poll arms are zero by
+	// construction — asserted, not assumed).
+	VirtIOIRQs, XDMAIRQs int
+	// SpinsPerPkt and BurnNsPerPkt are the poll arms' spin-loop
+	// iterations and modeled CPU burn per round trip, from the poll.*
+	// counters.
+	VirtIOSpinsPerPkt, XDMASpinsPerPkt   float64
+	VirtIOBurnNsPerPkt, XDMABurnNsPerPkt float64
+}
+
+// metricValue reads one counter out of a point's metric snapshot.
+func metricValue(pt *PointResult, name string) float64 {
+	for _, m := range pt.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// RunPollTrade measures the full four-way grid across the payload
+// sweep.
+func RunPollTrade(p Params) (*PollTradeStudy, error) {
+	p = p.withDefaults()
+	res := &PollTradeStudy{Params: p}
+	irqP, pollP := p, p
+	irqP.PollMode = false
+	pollP.PollMode = true
+	for _, payload := range p.Payloads {
+		vIRQ, err := MeasureVirtIO(irqP, payload, nil)
+		if err != nil {
+			return nil, fmt.Errorf("virtio irq %dB: %w", payload, err)
+		}
+		vPoll, err := MeasureVirtIO(pollP, payload, nil)
+		if err != nil {
+			return nil, fmt.Errorf("virtio poll %dB: %w", payload, err)
+		}
+		xIRQ, err := MeasureXDMA(irqP, payload, nil)
+		if err != nil {
+			return nil, fmt.Errorf("xdma irq %dB: %w", payload, err)
+		}
+		xPoll, err := MeasureXDMA(pollP, payload, nil)
+		if err != nil {
+			return nil, fmt.Errorf("xdma poll %dB: %w", payload, err)
+		}
+		for _, pt := range []*PointResult{vPoll, xPoll} {
+			if pt.Interrupts != 0 {
+				return nil, fmt.Errorf("%s poll %dB: %d interrupts on a poll-mode run", pt.Driver, payload, pt.Interrupts)
+			}
+		}
+		n := float64(p.Packets)
+		res.Rows = append(res.Rows, PollTradeRow{
+			Payload:            payload,
+			VirtIOIRQ:          vIRQ.Total.Summarize(),
+			VirtIOPoll:         vPoll.Total.Summarize(),
+			XDMAIRQ:            xIRQ.Total.Summarize(),
+			XDMAPoll:           xPoll.Total.Summarize(),
+			VirtIOIRQs:         vIRQ.Interrupts,
+			XDMAIRQs:           xIRQ.Interrupts,
+			VirtIOSpinsPerPkt:  metricValue(vPoll, telemetry.MetricPollSpins) / n,
+			XDMASpinsPerPkt:    metricValue(xPoll, telemetry.MetricPollSpins) / n,
+			VirtIOBurnNsPerPkt: metricValue(vPoll, telemetry.MetricPollBurnNs) / n,
+			XDMABurnNsPerPkt:   metricValue(xPoll, telemetry.MetricPollBurnNs) / n,
+		})
+		res.Points = append(res.Points, vIRQ, vPoll, xIRQ, xPoll)
+	}
+	return res, nil
+}
+
+// BuildPollTradeArtifact renders the study as a fvbench/v1 artifact:
+// all four arms appear as points, distinguished by the driver and
+// datapath fields.
+func BuildPollTradeArtifact(r *PollTradeStudy) *telemetry.BenchArtifact {
+	a := &telemetry.BenchArtifact{
+		Schema:     telemetry.BenchSchema,
+		Experiment: "polltrade",
+		Mode:       "polltrade",
+		Seed:       r.Params.Seed,
+		Packets:    r.Params.Packets,
+		Link:       r.Params.Link.String(),
+	}
+	for _, pt := range r.Points {
+		a.Points = append(a.Points, BuildPoint(pt))
+	}
+	return a
+}
+
+// Render prints the four-way table plus the CPU price of polling.
+func (r *PollTradeStudy) Render() string {
+	t := perf.Table{
+		Title: fmt.Sprintf("E13 — Poll vs interrupt datapaths, both stacks (us, %d packets/arm)",
+			r.Params.Packets),
+		Headers: []string{"payload", "arm", "mean", "p50", "p99", "p99.9",
+			"irqs/pkt", "spins/pkt", "burn ns/pkt"},
+	}
+	for _, row := range r.Rows {
+		perPkt := func(n int) string { return fmt.Sprintf("%.2f", float64(n)/float64(r.Params.Packets)) }
+		add := func(arm string, s perf.Summary, irqs, spins, burn string) {
+			t.AddRow(fmt.Sprint(row.Payload), arm, perf.Us(s.Mean), perf.Us(s.P50),
+				perf.Us(s.P99), perf.Us(s.P999), irqs, spins, burn)
+		}
+		add("virtio irq", row.VirtIOIRQ, perPkt(row.VirtIOIRQs), "-", "-")
+		add("virtio poll", row.VirtIOPoll, "0.00",
+			fmt.Sprintf("%.1f", row.VirtIOSpinsPerPkt), fmt.Sprintf("%.0f", row.VirtIOBurnNsPerPkt))
+		add("xdma irq", row.XDMAIRQ, perPkt(row.XDMAIRQs), "-", "-")
+		add("xdma poll", row.XDMAPoll, "0.00",
+			fmt.Sprintf("%.1f", row.XDMASpinsPerPkt), fmt.Sprintf("%.0f", row.XDMABurnNsPerPkt))
+	}
+	return t.String()
+}

@@ -87,6 +87,41 @@ func TestParallelSweepArtifactBytesIdentical(t *testing.T) {
 	}
 }
 
+// TestPollSweepParallelArtifactBytesIdentical extends the byte-identity
+// contract to the poll-mode datapath: a poll sweep — including the
+// tail-attribution replay, which must re-open its capture sessions in
+// poll mode — serializes identically at any worker count.
+func TestPollSweepParallelArtifactBytesIdentical(t *testing.T) {
+	p := Params{Seed: 42, Packets: 40, Payloads: []int{64, 256}, PollMode: true}
+	render := func(workers int) []byte {
+		sw, err := RunSweepParallel(p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AttributeTails(sw); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteBenchJSON(&buf, BuildArtifact("all", sw)); err != nil {
+			t.Fatal(err)
+		}
+		if err := telemetry.ValidateBenchJSON(buf.Bytes()); err != nil {
+			t.Fatalf("workers=%d poll artifact failed validation: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if !bytes.Contains(serial, []byte(`"datapath": "poll"`)) {
+		t.Fatal("poll sweep artifact is missing datapath tags")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("poll JSON artifact at %d workers differs from serial (%d vs %d bytes)",
+				workers, len(serial), len(got))
+		}
+	}
+}
+
 func TestParallelSweepWorkerCountEdgeCases(t *testing.T) {
 	p := Params{Seed: 7, Packets: 10, Payloads: []int{64}}
 	// More workers than cells, and zero/negative counts, must not

@@ -187,11 +187,27 @@ func CompareSweepBench(base, cur *SweepBench, tolerance, minSpeedup float64) err
 			100*(cur.SerialNsPerPacket/base.SerialNsPerPacket-1),
 			cur.SerialNsPerPacket, base.SerialNsPerPacket, 100*tolerance)
 	}
-	if minSpeedup > 1 && cur.Workers > 1 && cur.NumCPU >= 4 {
-		if cur.Speedup < minSpeedup {
-			return fmt.Errorf("parallel speedup %.2fx below the %.1fx floor on a %d-CPU host",
-				cur.Speedup, minSpeedup, cur.NumCPU)
-		}
+	if SpeedupGateSkip(cur, minSpeedup) == "" && cur.Speedup < minSpeedup {
+		return fmt.Errorf("parallel speedup %.2fx below the %.1fx floor on a %d-CPU host",
+			cur.Speedup, minSpeedup, cur.NumCPU)
 	}
 	return nil
+}
+
+// SpeedupGateSkip reports why the parallel-speedup floor does NOT
+// apply to cur — empty string when the gate is enforced. The reason
+// always records the host context (num_cpu) so a benchcmp log that
+// skipped the gate is auditable: "passed" and "never judged" must not
+// read the same.
+func SpeedupGateSkip(cur *SweepBench, minSpeedup float64) string {
+	switch {
+	case minSpeedup <= 1:
+		return fmt.Sprintf("speedup gate disabled (minspeedup=%g, num_cpu=%d)", minSpeedup, cur.NumCPU)
+	case cur.Workers <= 1:
+		return fmt.Sprintf("speedup gate skipped: serial-only run (workers=%d, num_cpu=%d)", cur.Workers, cur.NumCPU)
+	case cur.NumCPU < 4:
+		return fmt.Sprintf("speedup gate skipped: num_cpu=%d is below the 4-CPU floor (%.2fx recorded, not judged)",
+			cur.NumCPU, cur.Speedup)
+	}
+	return ""
 }

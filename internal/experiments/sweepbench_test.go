@@ -104,6 +104,61 @@ func TestCompareSweepBench(t *testing.T) {
 	}
 }
 
+// TestSpeedupGateSkipTable pins the >=4-CPU gating predicate and its
+// audit trail: every combination of host width, worker count, and
+// floor either enforces the speedup gate (skip reason empty, slow runs
+// rejected) or skips it with a reason that records num_cpu — the
+// silent-skip failure mode this table exists to prevent.
+func TestSpeedupGateSkipTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		numCPU     int
+		workers    int
+		minSpeedup float64
+		speedup    float64
+		wantSkip   string // required substring of the skip reason; "" = gate enforced
+		wantErr    bool   // CompareSweepBench verdict for this speedup
+	}{
+		{"slow run on wide host fails", 8, 8, 3, 1.1, "", true},
+		{"fast run on wide host passes", 8, 8, 3, 3.4, "", false},
+		{"exactly 4 CPUs still enforces", 4, 8, 3, 1.1, "", true},
+		{"3 CPUs skip, num_cpu recorded", 3, 8, 3, 1.1, "num_cpu=3", false},
+		{"single CPU skips, num_cpu recorded", 1, 8, 3, 1.0, "num_cpu=1", false},
+		{"serial-only run skips", 8, 1, 3, 1.0, "workers=1", false},
+		{"disabled floor skips", 8, 8, 0, 1.0, "disabled", false},
+	}
+	base := validSweepBench()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := validSweepBench()
+			cur.NumCPU = tc.numCPU
+			cur.GoMaxProcs = tc.numCPU
+			cur.Workers = tc.workers
+			cur.Speedup = tc.speedup
+			skip := SpeedupGateSkip(cur, tc.minSpeedup)
+			if tc.wantSkip == "" {
+				if skip != "" {
+					t.Fatalf("gate skipped unexpectedly: %q", skip)
+				}
+			} else {
+				if !strings.Contains(skip, tc.wantSkip) {
+					t.Fatalf("skip reason %q missing %q", skip, tc.wantSkip)
+				}
+				if !strings.Contains(skip, "num_cpu=") {
+					t.Fatalf("skip reason %q does not record num_cpu", skip)
+				}
+			}
+			err := CompareSweepBench(base, cur, 0.15, tc.minSpeedup)
+			if tc.wantErr && err == nil {
+				t.Fatal("slow run passed an enforced speedup gate")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("gate fired when it should not: %v", err)
+			}
+		})
+	}
+}
+
 func TestMeasureSweepBenchSmall(t *testing.T) {
 	b, err := MeasureSweepBench(Params{Seed: 3, Packets: 20, Payloads: []int{64, 256}}, 4)
 	if err != nil {

@@ -43,7 +43,7 @@ func AttributeTails(sw *Sweep) error {
 	p := sw.Params.withDefaults()
 	for _, pt := range sw.VirtIO {
 		err := attributePoint(pt, func(targets []int) ([]fpgavirtio.CapturedPath, error) {
-			cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
+			cfg := fpgavirtio.NetConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults, PollMode: p.PollMode}}
 			ns, err := fpgavirtio.OpenNet(cfg)
 			if err != nil {
 				return nil, err
@@ -56,7 +56,7 @@ func AttributeTails(sw *Sweep) error {
 	}
 	for _, pt := range sw.XDMA {
 		err := attributePoint(pt, func(targets []int) ([]fpgavirtio.CapturedPath, error) {
-			cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults}}
+			cfg := fpgavirtio.XDMAConfig{Config: fpgavirtio.Config{Seed: p.Seed, Link: p.Link, Faults: p.Faults, PollMode: p.PollMode}}
 			xs, err := fpgavirtio.OpenXDMA(cfg)
 			if err != nil {
 				return nil, err

@@ -35,6 +35,7 @@ func (tp ThroughputParams) withDefaults() ThroughputParams {
 // notification configuration at one payload size.
 type ThroughputArm struct {
 	Driver     string
+	Datapath   string // "poll" or "" (interrupt mode)
 	Suppressed bool
 	Payload    int
 	Result     fpgavirtio.StreamResult
@@ -88,14 +89,15 @@ func streamXDMA(cfg fpgavirtio.XDMAConfig, sc fpgavirtio.StreamConfig) (fpgavirt
 
 // latencyPoint converts a window=1 stream (whose RTT samples come from
 // the exact latency-mode sequence) into the sweep's point shape.
-func latencyPoint(driver string, payload int, res fpgavirtio.StreamResult) *PointResult {
+func latencyPoint(driver, datapath string, payload int, res fpgavirtio.StreamResult) *PointResult {
 	pt := &PointResult{
-		Driver:  driver,
-		Payload: payload,
-		Total:   perf.NewSeries(fmt.Sprintf("%s/%d/total", driver, payload)),
-		SW:      perf.NewSeries("sw"),
-		HW:      perf.NewSeries("hw"),
-		RG:      perf.NewSeries("rg"),
+		Driver:   driver,
+		Datapath: datapath,
+		Payload:  payload,
+		Total:    perf.NewSeries(fmt.Sprintf("%s/%d/total", driver, payload)),
+		SW:       perf.NewSeries("sw"),
+		HW:       perf.NewSeries("hw"),
+		RG:       perf.NewSeries("rg"),
 	}
 	for _, s := range res.RTT {
 		pt.Total.Add(toSim(s.Total))
@@ -117,7 +119,8 @@ func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
 	tp = tp.withDefaults()
 	m := &ThroughputMode{Params: tp}
 	kickBatch, coalesce := suppressionFor(tp.Window)
-	base := fpgavirtio.Config{Seed: tp.Seed, Link: tp.Link}
+	base := fpgavirtio.Config{Seed: tp.Seed, Link: tp.Link, PollMode: tp.PollMode}
+	dp := datapathName(tp.PollMode)
 	for _, payload := range tp.Payloads {
 		sc := fpgavirtio.StreamConfig{
 			Packets:     tp.Packets,
@@ -126,17 +129,25 @@ func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
 			RatePPS:     tp.RatePPS,
 		}
 
-		supp, err := streamVirtIO(fpgavirtio.NetConfig{
-			Config:          base,
-			UseEventIdx:     true,
-			QueuePairs:      tp.QueuePairs,
-			TxKickBatch:     kickBatch,
-			IRQCoalescePkts: coalesce,
-		}, sc)
+		// The suppressed arm's notification-thrift knobs depend on the
+		// datapath: in interrupt mode it is EVENT_IDX doorbells, batched
+		// TX kicks and coalesced completion interrupts; in poll mode
+		// EVENT_IDX is off the table (no thresholds are armed) and
+		// interrupts do not exist, so only TX-kick batching remains.
+		suppCfg := fpgavirtio.NetConfig{
+			Config:      base,
+			QueuePairs:  tp.QueuePairs,
+			TxKickBatch: kickBatch,
+		}
+		if !tp.PollMode {
+			suppCfg.UseEventIdx = true
+			suppCfg.IRQCoalescePkts = coalesce
+		}
+		supp, err := streamVirtIO(suppCfg, sc)
 		if err != nil {
 			return nil, fmt.Errorf("virtio suppressed %dB: %w", payload, err)
 		}
-		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Suppressed: true, Payload: payload, Result: supp})
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Datapath: dp, Suppressed: true, Payload: payload, Result: supp})
 
 		unsupp, err := streamVirtIO(fpgavirtio.NetConfig{
 			Config:     base,
@@ -146,7 +157,7 @@ func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
 		if err != nil {
 			return nil, fmt.Errorf("virtio unsuppressed %dB: %w", payload, err)
 		}
-		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Payload: payload, Result: unsupp})
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "virtio", Datapath: dp, Payload: payload, Result: unsupp})
 
 		// The XDMA stream moves payload+headers bytes so the link carries
 		// the same traffic as the VirtIO test (the sweep's pairing rule).
@@ -157,7 +168,7 @@ func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
 			return nil, fmt.Errorf("xdma %dB: %w", payload, err)
 		}
 		xres.PayloadBytes = payload // report the VirtIO-equivalent size
-		m.Arms = append(m.Arms, ThroughputArm{Driver: "xdma", Payload: payload, Result: xres})
+		m.Arms = append(m.Arms, ThroughputArm{Driver: "xdma", Datapath: dp, Payload: payload, Result: xres})
 
 		// Degenerate window=1 runs through the same stream engine: their
 		// RTT samples are the paper's latency experiment.
@@ -166,14 +177,14 @@ func RunThroughputMode(tp ThroughputParams) (*ThroughputMode, error) {
 		if err != nil {
 			return nil, fmt.Errorf("virtio window=1 %dB: %w", payload, err)
 		}
-		m.Latency = append(m.Latency, latencyPoint("virtio", payload, vlat))
+		m.Latency = append(m.Latency, latencyPoint("virtio", dp, payload, vlat))
 		xone := one
 		xone.PayloadSize = payload + HeaderOverhead
 		xlat, err := streamXDMA(fpgavirtio.XDMAConfig{Config: base}, xone)
 		if err != nil {
 			return nil, fmt.Errorf("xdma window=1 %dB: %w", payload, err)
 		}
-		m.Latency = append(m.Latency, latencyPoint("xdma", payload, xlat))
+		m.Latency = append(m.Latency, latencyPoint("xdma", dp, payload, xlat))
 	}
 	return m, nil
 }
@@ -197,6 +208,7 @@ func BuildThroughputArtifact(m *ThroughputMode) *telemetry.BenchArtifact {
 		r := arm.Result
 		a.Throughput = append(a.Throughput, telemetry.ThroughputPoint{
 			Driver:        arm.Driver,
+			Datapath:      arm.Datapath,
 			Payload:       arm.Payload,
 			Packets:       r.Packets,
 			Window:        r.Window,

@@ -107,7 +107,7 @@ func TestThroughputArtifactValidates(t *testing.T) {
 	if len(lines) != 1+len(a.Throughput) {
 		t.Errorf("CSV has %d lines, want header + %d rows", len(lines), len(a.Throughput))
 	}
-	if !strings.HasPrefix(lines[0], "driver,payload_bytes,") {
+	if !strings.HasPrefix(lines[0], "driver,datapath,payload_bytes,") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
 }

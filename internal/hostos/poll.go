@@ -1,0 +1,112 @@
+package hostos
+
+import (
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
+)
+
+// Busy-poll cost model. Poll-mode datapaths replace the interrupt
+// pipeline (MSI-X message, IRQ entry, softirq, scheduler wake) with a
+// loop that re-reads a completion indicator from its spinning context.
+// The loop still costs CPU: every iteration charges SpinCost through
+// CPUWork — the same jitter/preemption noise process as every other
+// software segment — so poll-mode latency distributions stay seeded
+// and replayable, and the simulation cannot livelock (time advances on
+// every empty iteration). Every SpinBudget empty iterations the loop
+// yields the processor (sched_yield/cpu_relax batch), charging
+// YieldCost and giving the caller a hook to run slow-path checks such
+// as watchdog-less fault detection.
+
+// PollPolicy configures the spin budget and per-iteration costs of a
+// busy-poll loop.
+type PollPolicy struct {
+	// SpinCost is the CPU time of one poll iteration: an uncached
+	// status read (ring idx / writeback word) plus loop overhead.
+	SpinCost sim.Duration
+	// SpinBudget is the number of empty iterations between yields.
+	SpinBudget int
+	// YieldCost is the cost of one yield slot (sched_yield latency).
+	YieldCost sim.Duration
+}
+
+// DefaultPollPolicy is the calibrated spin policy: ~80 ns per poll of
+// a remote cache line, a yield every 64 empty spins costing ~700 ns.
+func DefaultPollPolicy() PollPolicy {
+	return PollPolicy{
+		SpinCost:   sim.Ns(80),
+		SpinBudget: 64,
+		YieldCost:  sim.Ns(700),
+	}
+}
+
+// withDefaults fills zero fields from DefaultPollPolicy.
+func (pp PollPolicy) withDefaults() PollPolicy {
+	def := DefaultPollPolicy()
+	if pp.SpinCost <= 0 {
+		pp.SpinCost = def.SpinCost
+	}
+	if pp.SpinBudget <= 0 {
+		pp.SpinBudget = def.SpinBudget
+	}
+	if pp.YieldCost <= 0 {
+		pp.YieldCost = def.YieldCost
+	}
+	return pp
+}
+
+// Spinner executes busy-poll loops under a PollPolicy, charging their
+// CPU cost and accounting them in the poll.* instruments. One Spinner
+// serves a whole driver: Spin allocates nothing, so it is safe on the
+// steady-state packet path.
+type Spinner struct {
+	host *Host
+	pol  PollPolicy
+
+	spins  *telemetry.Counter
+	wasted *telemetry.Counter
+	yields *telemetry.Counter
+	burnNs *telemetry.Counter
+}
+
+// NewSpinner builds a Spinner on this host's cost model and registry.
+// Zero policy fields take their defaults.
+func (h *Host) NewSpinner(pol PollPolicy) *Spinner {
+	return &Spinner{
+		host:   h,
+		pol:    pol.withDefaults(),
+		spins:  h.metrics.Counter(telemetry.MetricPollSpins),
+		wasted: h.metrics.Counter(telemetry.MetricPollWasted),
+		yields: h.metrics.Counter(telemetry.MetricPollYields),
+		burnNs: h.metrics.Counter(telemetry.MetricPollBurnNs),
+	}
+}
+
+// Policy returns the effective (default-filled) policy.
+func (sp *Spinner) Policy() PollPolicy { return sp.pol }
+
+// Spin busy-waits until ready reports true, charging SpinCost per
+// iteration and YieldCost (plus the optional onYield hook, for slow-
+// path checks like fault detection) every SpinBudget empty iterations.
+// It returns the number of empty (wasted) iterations. The first check
+// is free: a completion that is already visible costs nothing extra,
+// matching an interrupt-mode driver that finds work already done.
+func (sp *Spinner) Spin(p *sim.Proc, ready func(p *sim.Proc) bool, onYield func(p *sim.Proc)) int {
+	empty := 0
+	for !ready(p) {
+		empty++
+		sp.spins.Inc()
+		sp.wasted.Inc()
+		sp.burnNs.Add(int64(sp.pol.SpinCost / sim.Nanosecond))
+		sp.host.CPUWork(p, sp.pol.SpinCost)
+		if empty%sp.pol.SpinBudget == 0 {
+			sp.yields.Inc()
+			sp.burnNs.Add(int64(sp.pol.YieldCost / sim.Nanosecond))
+			sp.host.CPUWork(p, sp.pol.YieldCost)
+			if onYield != nil {
+				onYield(p)
+			}
+		}
+	}
+	sp.spins.Inc()
+	return empty
+}

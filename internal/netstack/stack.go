@@ -258,6 +258,27 @@ func (s *UDPSocket) RecvFrom(p *sim.Proc) (payload []byte, from IPv4, fromPort u
 	for s.Pending() == 0 {
 		s.wq.Wait(p)
 	}
+	return s.pop(p)
+}
+
+// RecvFromPolled is RecvFrom's busy-poll variant (the SO_BUSY_POLL
+// shape): when nothing is queued the socket never parks on its wait
+// queue — it invokes poll, which spins on the device's completion
+// state and delivers frames inline via Input from this process's
+// context. IRQ dispatch, softirq scheduling and the scheduler wake
+// latency (with its tails) never appear on this path.
+func (s *UDPSocket) RecvFromPolled(p *sim.Proc, poll func(p *sim.Proc)) (payload []byte, from IPv4, fromPort uint16, err error) {
+	h := s.stack.host
+	h.SyscallEnter(p)
+	for s.Pending() == 0 {
+		poll(p)
+	}
+	return s.pop(p)
+}
+
+// pop dequeues the head datagram and completes the syscall.
+func (s *UDPSocket) pop(p *sim.Proc) (payload []byte, from IPv4, fromPort uint16, err error) {
+	h := s.stack.host
 	item := s.queue[s.head]
 	s.queue[s.head] = recvItem{}
 	s.head++

@@ -60,7 +60,11 @@ const BenchSchema = "fvbench/v1"
 // artifact: the percentile table of the total-latency series plus the
 // decomposed means, all in nanoseconds.
 type BenchPoint struct {
-	Driver     string `json:"driver"`
+	Driver string `json:"driver"`
+	// Datapath tags how completions were discovered: "poll" for the
+	// busy-poll variants, "" (omitted) for the interrupt-driven default
+	// — keeping pre-poll artifacts byte-identical.
+	Datapath   string `json:"datapath,omitempty"`
 	Payload    int    `json:"payload_bytes"`
 	Count      int    `json:"count"`
 	MeanNs     int64  `json:"mean_ns"`
@@ -106,10 +110,12 @@ type FaultSummary struct {
 // measurement in a bench artifact: rates, queue behaviour, and the
 // signalling totals of the run.
 type ThroughputPoint struct {
-	Driver  string `json:"driver"`
-	Payload int    `json:"payload_bytes"`
-	Packets int    `json:"packets"`
-	Window  int    `json:"window"`
+	Driver string `json:"driver"`
+	// Datapath is "poll" for busy-poll runs, "" for interrupt mode.
+	Datapath string `json:"datapath,omitempty"`
+	Payload  int    `json:"payload_bytes"`
+	Packets  int    `json:"packets"`
+	Window   int    `json:"window"`
 	// Suppressed marks the kick-suppression arm of a comparison pair
 	// (event-index doorbells plus batched TX kicks).
 	Suppressed bool    `json:"suppressed"`
@@ -207,7 +213,7 @@ func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"driver", "payload_bytes", "count", "mean_ns", "std_ns", "min_ns",
+		"driver", "datapath", "payload_bytes", "count", "mean_ns", "std_ns", "min_ns",
 		"p25_ns", "p50_ns", "p75_ns", "p95_ns", "p99_ns", "p999_ns", "max_ns",
 		"sw_mean_ns", "hw_mean_ns", "rg_mean_ns", "interrupts", "faulted",
 	}); err != nil {
@@ -216,7 +222,7 @@ func WriteBenchCSV(w io.Writer, a *BenchArtifact) error {
 	d := func(v int64) string { return strconv.FormatInt(v, 10) }
 	for _, p := range a.Points {
 		if err := cw.Write([]string{
-			p.Driver, strconv.Itoa(p.Payload), strconv.Itoa(p.Count),
+			p.Driver, datapathCSV(p.Datapath), strconv.Itoa(p.Payload), strconv.Itoa(p.Count),
 			d(p.MeanNs), d(p.StdNs), d(p.MinNs),
 			d(p.P25Ns), d(p.P50Ns), d(p.P75Ns), d(p.P95Ns), d(p.P99Ns), d(p.P999Ns), d(p.MaxNs),
 			d(p.SWMeanNs), d(p.HWMeanNs), d(p.RGMeanNs), strconv.Itoa(p.Interrupts),
@@ -236,7 +242,7 @@ func WriteThroughputCSV(w io.Writer, a *BenchArtifact) error {
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"driver", "payload_bytes", "packets", "window", "suppressed",
+		"driver", "datapath", "payload_bytes", "packets", "window", "suppressed",
 		"elapsed_ns", "pps", "goodput_bps", "occupancy_max", "occupancy_mean",
 		"drops", "backpressure", "doorbells", "interrupts",
 	}); err != nil {
@@ -245,7 +251,7 @@ func WriteThroughputCSV(w io.Writer, a *BenchArtifact) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, p := range a.Throughput {
 		if err := cw.Write([]string{
-			p.Driver, strconv.Itoa(p.Payload), strconv.Itoa(p.Packets),
+			p.Driver, datapathCSV(p.Datapath), strconv.Itoa(p.Payload), strconv.Itoa(p.Packets),
 			strconv.Itoa(p.Window), strconv.FormatBool(p.Suppressed),
 			strconv.FormatInt(p.ElapsedNs, 10), f(p.PPS), f(p.GoodputBps),
 			strconv.Itoa(p.OccupancyMax), f(p.OccupancyMean),
@@ -258,6 +264,18 @@ func WriteThroughputCSV(w io.Writer, a *BenchArtifact) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// datapathCSV spells the datapath axis in CSV rows, where an empty
+// cell would be ambiguous.
+func datapathCSV(d string) string {
+	if d == "" {
+		return "irq"
+	}
+	return d
+}
+
+// validDatapath checks the datapath tag of a point.
+func validDatapath(d string) bool { return d == "" || d == "poll" }
 
 // Validate checks structural invariants of the artifact.
 func (a *BenchArtifact) Validate() error {
@@ -273,6 +291,9 @@ func (a *BenchArtifact) Validate() error {
 	for i, p := range a.Throughput {
 		if p.Driver == "" {
 			return fmt.Errorf("bench artifact: throughput point %d: empty driver", i)
+		}
+		if !validDatapath(p.Datapath) {
+			return fmt.Errorf("bench artifact: throughput point %d: unknown datapath %q", i, p.Datapath)
 		}
 		if p.Payload <= 0 {
 			return fmt.Errorf("bench artifact: throughput point %d: payload %d", i, p.Payload)
@@ -299,6 +320,9 @@ func (a *BenchArtifact) Validate() error {
 	for i, p := range a.Points {
 		if p.Driver == "" {
 			return fmt.Errorf("bench artifact: point %d: empty driver", i)
+		}
+		if !validDatapath(p.Datapath) {
+			return fmt.Errorf("bench artifact: point %d: unknown datapath %q", i, p.Datapath)
 		}
 		if p.Payload <= 0 {
 			return fmt.Errorf("bench artifact: point %d: payload %d", i, p.Payload)

@@ -98,6 +98,16 @@ const (
 	MetricTailRTTHWNs    = "tail.rtt.hw.ns"
 	MetricTailRTTRGNs    = "tail.rtt.rg.ns"
 
+	// Busy-poll datapaths (internal/hostos poll.go): spin-loop
+	// accounting for the poll-mode drivers. wasted counts empty
+	// iterations (a proxy for burned cycles with no work to show),
+	// cpu.burn.ns is the modeled CPU time the spin loops consumed —
+	// the currency of the latency-vs-CPU trade study.
+	MetricPollSpins  = "poll.spins"
+	MetricPollWasted = "poll.wasted"
+	MetricPollYields = "poll.yields"
+	MetricPollBurnNs = "poll.cpu.burn.ns"
+
 	// Flight recorder (internal/telemetry/flight.go): the always-on
 	// bounded span ring each session installs at boot and the
 	// post-mortem dumps it takes on fault recoveries and new

@@ -360,7 +360,7 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV lines = %d, want header + 1 point", len(lines))
 	}
-	if !strings.HasPrefix(lines[1], "virtio,64,100,29000,") {
+	if !strings.HasPrefix(lines[1], "virtio,irq,64,100,29000,") {
 		t.Errorf("CSV row = %q", lines[1])
 	}
 }

@@ -73,11 +73,12 @@ type channel struct {
 	descs     *telemetry.Counter
 	dataBytes *telemetry.Counter
 
-	// Per-engine scratch: one descriptor image and one data staging
-	// buffer, reused across descriptors so the steady-state engine run
-	// does not allocate.
+	// Per-engine scratch: one descriptor image, one data staging buffer
+	// and one poll-writeback word image, reused across descriptors so
+	// the steady-state engine run does not allocate.
 	descBuf [DescSize]byte
 	dataBuf []byte
+	wbBuf   [WbSize]byte
 }
 
 // NewVendor attaches a vendor XDMA device to the root complex and
@@ -253,6 +254,23 @@ func (ch *channel) run(p *sim.Proc) {
 		}
 		ch.counter.End(p.Now())
 		sp.End()
+		if ch.ctrl()&CtrlPollModeWB != 0 {
+			// Poll-mode writeback: DMA-write the run's outcome to the
+			// host slot the driver programmed, through the same posted
+			// write path data takes. No interrupt is involved — with the
+			// IE bits clear and the IRQ block disabled the conditional
+			// below stays false.
+			wb := uint32(WbDone)
+			if failed {
+				wb |= WbErr
+			}
+			ch.wbBuf[0] = byte(wb)
+			ch.wbBuf[1] = byte(wb >> 8)
+			ch.wbBuf[2] = byte(wb >> 16)
+			ch.wbBuf[3] = byte(wb >> 24)
+			wbAddr := mem.Addr(uint64(d.regs.Get(ch.base+RegPollWbLo)) | uint64(d.regs.Get(ch.base+RegPollWbHi))<<32)
+			chunkedWrite(p, d.ep, d.clk, wbAddr, ch.wbBuf[:])
+		}
 		if ch.ctrl()&CtrlIEDescComplete != 0 &&
 			d.regs.Get(IRQBlockBase+RegIRQChanEnable)&ch.irqBit != 0 {
 			d.ep.RaiseMSIX(ch.vector)

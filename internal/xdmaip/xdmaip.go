@@ -37,6 +37,12 @@ const (
 	RegChanControl    = 0x04
 	RegChanStatus     = 0x40
 	RegChanCompleted  = 0x48
+	// RegPollWbLo/Hi hold the host address of the channel's poll-mode
+	// writeback slot (PG195's pollmode_lo/hi_wb_addr): when
+	// CtrlPollModeWB is set the engine DMA-writes a 4-byte status word
+	// there at the end of each run instead of signalling MSI-X.
+	RegPollWbLo = 0x88
+	RegPollWbHi = 0x8c
 )
 
 // SGDMA-block register offsets (relative to the SGDMA base).
@@ -57,6 +63,10 @@ const (
 	CtrlRun            = 1 << 0
 	CtrlIEDescStopped  = 1 << 1
 	CtrlIEDescComplete = 1 << 2
+	// CtrlPollModeWB enables poll-mode writeback (PG195 control bit
+	// 26): the engine reports run completion by DMA-writing the
+	// writeback word to RegPollWbLo/Hi rather than raising MSI-X.
+	CtrlPollModeWB = 1 << 26
 )
 
 // Status register bits.
@@ -79,6 +89,17 @@ const (
 
 // DescMagic occupies the top half of descriptor dword 0.
 const DescMagic = 0xad4b
+
+// Poll-mode writeback word bits. The word travels through the same
+// fault-injectable DMA-write path as data, so a poll-mode driver sees
+// engine aborts in the error bit with no interrupt involved.
+const (
+	WbDone = 1 << 0 // run finished (with or without error)
+	WbErr  = 1 << 1 // run halted on a descriptor error
+)
+
+// WbSize is the writeback word's size in bytes.
+const WbSize = 4
 
 // DescSize is the XDMA descriptor size in bytes.
 const DescSize = 32

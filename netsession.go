@@ -87,6 +87,11 @@ type NetSession struct {
 	sock   *netstack.UDPSocket
 	faults *faults.Injector
 	flight *flightWatch
+	// pollFn is the busy-poll hook bound once at boot in poll mode
+	// (nil otherwise): it spins the driver's RX path under the poll
+	// policy until the socket has a deliverable datagram. Binding at
+	// boot keeps the per-packet path allocation-free.
+	pollFn func(p *sim.Proc)
 }
 
 // OpenNet boots a network-device session: attach the FPGA, enumerate,
@@ -143,6 +148,7 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 		opt.QueuePairs = cfg.QueuePairs
 		opt.TxKickBatch = cfg.TxKickBatch
 		opt.ForceKicks = cfg.ForceKicks
+		opt.PollMode = cfg.PollMode
 		drv, err := virtionet.Probe(p, h, st, infos[0], opt)
 		if err != nil {
 			bootErr = err
@@ -158,6 +164,20 @@ func OpenNet(cfg NetConfig) (*NetSession, error) {
 			return
 		}
 		ns.sock = sock
+		if cfg.PollMode {
+			// Bind the busy-poll hook once: RecvFromPolled invokes it
+			// whenever the socket is empty, and it spins the driver's
+			// RX drain under the poll policy until a datagram lands.
+			// PollYield rides each yield slot for watchdog-less fault
+			// detection.
+			spinner := drv.Spinner()
+			ready := func(p *sim.Proc) bool {
+				drv.BusyPoll(p)
+				return sock.Pending() > 0
+			}
+			yield := drv.PollYield
+			ns.pollFn = func(p *sim.Proc) { spinner.Spin(p, ready, yield) }
+		}
 		booted = true
 	})
 	if err := s.Run(); err != nil {
@@ -262,7 +282,7 @@ func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, 
 	if fvassert.Enabled && ns.sock.Pending() == 0 && ns.drv.UnkickedTx() > 0 {
 		fvassert.Failf("blocking receive with %d batched chains unkicked", ns.drv.UnkickedTx())
 	}
-	got, _, _, err := ns.sock.RecvFrom(p)
+	got, err := ns.recv(p)
 	if err != nil {
 		sp.End()
 		return nil, RTTSample{}, err
@@ -287,6 +307,18 @@ func (ns *NetSession) pingOnce(p *sim.Proc, payload []byte) ([]byte, RTTSample, 
 	}
 	ns.flight.note(sample)
 	return got, sample, nil
+}
+
+// recv is the session's blocking receive: busy-polled in poll mode
+// (the spin loop runs inside the recvfrom syscall, SO_BUSY_POLL
+// style), wait-queue-blocked otherwise.
+func (ns *NetSession) recv(p *sim.Proc) ([]byte, error) {
+	if ns.pollFn != nil {
+		got, _, _, err := ns.sock.RecvFromPolled(p, ns.pollFn)
+		return got, err
+	}
+	got, _, _, err := ns.sock.RecvFrom(p)
+	return got, err
 }
 
 // BurstResult summarizes one Burst call's signalling costs.
@@ -320,7 +352,7 @@ func (ns *NetSession) Burst(count, payloadSize int) (BurstResult, error) {
 			fvassert.Failf("burst drain starting with %d batched chains unkicked", ns.drv.UnkickedTx())
 		}
 		for i := 0; i < count; i++ {
-			if _, _, _, err := ns.sock.RecvFrom(p); err != nil {
+			if _, err := ns.recv(p); err != nil {
 				return err
 			}
 		}

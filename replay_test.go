@@ -199,6 +199,111 @@ func TestReplayXDMARoundTripSeries(t *testing.T) {
 	requireSameMetrics(t, m1, m2)
 }
 
+// Poll-mode runs must replay bit-for-bit too: the busy-poll loop
+// advances sim time per spin iteration, so its schedule (and the
+// poll.* counters) is as deterministic as the interrupt path's.
+
+func netPollLatencyRun(t *testing.T, seed uint64, packets int) ([]RTTSample, []telemetry.MetricSnapshot) {
+	t.Helper()
+	ns, err := OpenNet(NetConfig{Config: Config{Seed: seed, PollMode: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	samples := make([]RTTSample, 0, packets)
+	err = ns.PingSeries(buf, packets, func(i int, s RTTSample) {
+		samples = append(samples, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, ns.Registry().Snapshot()
+}
+
+func xdmaPollLatencyRun(t *testing.T, seed uint64, packets int) ([]RTTSample, []telemetry.MetricSnapshot) {
+	t.Helper()
+	xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: seed, PollMode: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	samples := make([]RTTSample, 0, packets)
+	err = xs.RoundTripSeries(buf, packets, func(i int, s RTTSample) {
+		samples = append(samples, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, xs.Registry().Snapshot()
+}
+
+func TestReplayNetPollLatency(t *testing.T) {
+	s1, m1 := netPollLatencyRun(t, 42, 200)
+	s2, m2 := netPollLatencyRun(t, 42, 200)
+	requireSameSamples(t, s1, s2)
+	requireSameMetrics(t, m1, m2)
+}
+
+func TestReplayXDMAPollLatency(t *testing.T) {
+	s1, m1 := xdmaPollLatencyRun(t, 42, 200)
+	s2, m2 := xdmaPollLatencyRun(t, 42, 200)
+	requireSameSamples(t, s1, s2)
+	requireSameMetrics(t, m1, m2)
+}
+
+func TestReplayNetPollStream(t *testing.T) {
+	sc := StreamConfig{Packets: 400, PayloadSize: 128, Window: 8}
+	run := func() (StreamResult, []telemetry.MetricSnapshot) {
+		ns, err := OpenNet(NetConfig{Config: Config{Seed: 42, PollMode: true}, TxKickBatch: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ns.Stream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ns.Registry().Snapshot()
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("poll stream replay diverged:\n run1 %+v\n run2 %+v", r1, r2)
+	}
+	requireSameMetrics(t, m1, m2)
+}
+
+func TestReplayXDMAPollStream(t *testing.T) {
+	sc := StreamConfig{Packets: 400, PayloadSize: 256, Window: 16}
+	run := func() (StreamResult, []telemetry.MetricSnapshot) {
+		xs, err := OpenXDMA(XDMAConfig{Config: Config{Seed: 42, PollMode: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := xs.Stream(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, xs.Registry().Snapshot()
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("poll stream replay diverged:\n run1 %+v\n run2 %+v", r1, r2)
+	}
+	requireSameMetrics(t, m1, m2)
+}
+
+// Poll and interrupt datapaths must NOT produce identical samples —
+// otherwise the poll replay checks above could pass on a PollMode flag
+// that never reaches the drivers.
+func TestReplayPollDiffersFromIRQ(t *testing.T) {
+	irq, _ := netSeriesRun(t, 42, 100)
+	poll, _ := netPollLatencyRun(t, 42, 100)
+	if reflect.DeepEqual(irq, poll) {
+		t.Fatal("poll-mode samples identical to interrupt-mode samples")
+	}
+}
+
 // Different seeds must NOT replay identically — otherwise the equality
 // checks above would pass vacuously on a seed-blind implementation.
 func TestReplayDistinguishesSeeds(t *testing.T) {

@@ -225,7 +225,7 @@ func (ns *NetSession) Stream(cfg StreamConfig) (StreamResult, error) {
 				// behind a deferred TxKickBatch doorbell before blocking.
 				ns.drv.FlushTx(p)
 			}
-			if _, _, _, err := ns.sock.RecvFrom(p); err != nil {
+			if _, err := ns.recv(p); err != nil {
 				return err
 			}
 			// Windowed streaming has no per-packet RTTSample, so the

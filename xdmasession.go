@@ -75,7 +75,8 @@ func OpenXDMA(cfg XDMAConfig) (*XDMASession, error) {
 			bootErr = fmt.Errorf("fpgavirtio: enumerated %d devices, want 1", len(infos))
 			return
 		}
-		drv, err := xdmadrv.Probe(p, h, infos[0], "xdma0")
+		drv, err := xdmadrv.ProbeWithOptions(p, h, infos[0], "xdma0",
+			xdmadrv.Options{PollMode: cfg.PollMode})
 		if err != nil {
 			bootErr = err
 			return
