@@ -23,11 +23,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# lint runs the project's static-analysis suite (ringorder, kickflush,
-# metricname, lockorder); it fails on any diagnostic that lacks an
-# auditable `//fvlint:ignore <analyzer> <reason>` directive.
+# lint runs the project's static-analysis suite — the per-package
+# analyzers (ringorder, metricname, hotalloc) plus the interprocedural
+# ones over the whole-module call graph (kickflush, lockorder,
+# detsafe), printing the root→site call path under each cross-function
+# finding. It fails on any diagnostic that lacks an auditable
+# `//fvlint:ignore <analyzer> <reason>` directive, and then audits
+# every suppression in the tree: one without a reason fails the build.
 lint:
-	$(GO) run ./cmd/fvlint -suppressed -root .
+	$(GO) run ./cmd/fvlint -suppressed -why -root .
+	$(GO) run ./cmd/fvlint -suppressions -root .
 
 # vuln runs govulncheck when the toolchain ships it; absence is not a
 # failure so offline/minimal containers still pass ci.
@@ -136,7 +141,7 @@ coverbase:
 chaos:
 	$(GO) test -race -tags fvinvariants -run '^TestChaos' -v ./internal/experiments
 
-ci: build fmt lint vuln fuzzseed flake chaos cover smoke benchsmoke tailcheck
+ci: build fmt vet lint vuln fuzzseed flake chaos cover smoke benchsmoke tailcheck
 	@echo "ci: all checks passed"
 
 clean:

@@ -17,7 +17,8 @@
 //	-write    (re)write -baseline from the profile instead of gating
 //	-margin   floor headroom in percentage points for -write (default 2)
 //	-gate     comma-separated package prefixes the baseline covers
-//	          (default: the driver stacks and the simulation core)
+//	          (default: the driver stacks, the simulation core, and
+//	          the static-analysis framework + analyzers)
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 	"strings"
 )
 
-const defaultGate = "fpgavirtio/internal/drivers,fpgavirtio/internal/sim"
+const defaultGate = "fpgavirtio/internal/drivers,fpgavirtio/internal/sim,fpgavirtio/internal/analysis"
 
 func main() {
 	profile := flag.String("profile", "", "merged cover profile from go test -coverprofile")

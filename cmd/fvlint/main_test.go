@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -20,10 +21,11 @@ func repoRoot(t *testing.T) string {
 }
 
 // TestLintRepoIsClean is the lint gate in test form: the repository
-// itself must produce zero unsuppressed diagnostics.
+// itself must produce zero unsuppressed diagnostics — including from
+// the interprocedural analyzers over the whole-module call graph.
 func TestLintRepoIsClean(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := runLint(repoRoot(t), false, &out, &errw); code != 0 {
+	if code := runLint(repoRoot(t), options{}, &out, &errw); code != 0 {
 		t.Fatalf("fvlint on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
 	}
 }
@@ -34,7 +36,7 @@ func TestLintRepoIsClean(t *testing.T) {
 func TestLintFlagsKnownBadModule(t *testing.T) {
 	bad := filepath.Join(repoRoot(t), "cmd", "fvlint", "testdata", "lintbad")
 	var out, errw bytes.Buffer
-	if code := runLint(bad, false, &out, &errw); code != 1 {
+	if code := runLint(bad, options{}, &out, &errw); code != 1 {
 		t.Fatalf("fvlint on lintbad exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
 	}
 	got := out.String()
@@ -47,7 +49,79 @@ func TestLintFlagsKnownBadModule(t *testing.T) {
 	if strings.Contains(got, "GoodPing") {
 		t.Errorf("fixed shape GoodPing was flagged:\n%s", got)
 	}
-	if n := strings.Count(got, "bad.go"); n != 1 {
+	if n := strings.Count(got, "/bad.go:"); n != 1 {
 		t.Errorf("want exactly 1 finding in bad.go, got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "[detsafe]") || !strings.Contains(got, "time.Now") {
+		t.Errorf("diagnostics missing the seeded detsafe wall-clock finding:\n%s", got)
+	}
+}
+
+// TestWhyPrintsWitness pins the -why acceptance shape: the seeded
+// detsafe finding in lintbad carries the root→helper call path.
+func TestWhyPrintsWitness(t *testing.T) {
+	bad := filepath.Join(repoRoot(t), "cmd", "fvlint", "testdata", "lintbad")
+	var out, errw bytes.Buffer
+	if code := runLint(bad, options{why: true}, &out, &errw); code != 1 {
+		t.Fatalf("fvlint -why on lintbad exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	got := out.String()
+	for _, wantLine := range []string{
+		"lintbad.RunStamp",
+		"→ lintbad.stamp (called at",
+		"→ calls time.Now",
+	} {
+		if !strings.Contains(got, wantLine) {
+			t.Errorf("-why output missing witness line %q:\n%s", wantLine, got)
+		}
+	}
+}
+
+// TestGraphMode checks -graph prints the deterministic call-graph dump.
+func TestGraphMode(t *testing.T) {
+	bad := filepath.Join(repoRoot(t), "cmd", "fvlint", "testdata", "lintbad")
+	var out, errw bytes.Buffer
+	if code := runLint(bad, options{graph: true}, &out, &errw); code != 0 {
+		t.Fatalf("fvlint -graph exited %d, want 0\nstderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "lintbad.RunStamp\n") {
+		t.Errorf("-graph output missing node lintbad.RunStamp:\n%s", got)
+	}
+	if !strings.Contains(got, "→ lintbad.stamp") || !strings.Contains(got, "→ time.Now") {
+		t.Errorf("-graph output missing edges of RunStamp/stamp:\n%s", got)
+	}
+	var again bytes.Buffer
+	if code := runLint(bad, options{graph: true}, &again, &errw); code != 0 || again.String() != got {
+		t.Errorf("-graph output not identical across runs")
+	}
+}
+
+// TestSuppressionsAuditRepo: every suppression in the repo proper must
+// carry a reason, so the audit gate exits 0.
+func TestSuppressionsAuditRepo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := runSuppressionsAudit(repoRoot(t), &out, &errw); code != 0 {
+		t.Fatalf("suppressions audit on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "suppression(s), 0 without reason") {
+		t.Errorf("audit summary line missing:\n%s", out.String())
+	}
+}
+
+// TestSuppressionsAuditFlagsMissingReason: a reason-less directive
+// fails the audit with exit 1 and is listed as MISSING REASON.
+func TestSuppressionsAuditFlagsMissingReason(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc f() {\n\t//fvlint:ignore kickflush\n\t_ = 0\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := runSuppressionsAudit(dir, &out, &errw); code != 1 {
+		t.Fatalf("audit exited %d, want 1\nstdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING REASON") {
+		t.Errorf("audit did not flag the reason-less directive:\n%s", out.String())
 	}
 }

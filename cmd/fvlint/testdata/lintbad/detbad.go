@@ -1,0 +1,16 @@
+package lintbad
+
+import "time"
+
+// RunStamp is a detsafe root whose helper reads the wall clock: the
+// seeded cross-function finding the -why smoke test prints a witness
+// for.
+//
+//fvlint:detsafe-root
+func RunStamp() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

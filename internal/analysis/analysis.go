@@ -43,8 +43,14 @@ type Analyzer struct {
 	// when Packages matches (e.g. the package defining the checked API,
 	// whose own tests legitimately violate the call-site rule).
 	Skip []string
-	// Run reports diagnostics for one package via pass.Reportf.
+	// Run reports diagnostics for one package via pass.Reportf. Nil for
+	// module analyzers, which implement RunModule instead.
 	Run func(pass *Pass)
+	// RunModule, when set, makes this a whole-module analyzer: it runs
+	// once over the call graph of every loaded package rather than
+	// per-package. Packages/Skip still scope its diagnostics: findings
+	// positioned in out-of-scope packages are dropped.
+	RunModule func(mp *ModulePass)
 }
 
 // AppliesTo reports whether the analyzer runs on the given import path.
@@ -90,6 +96,11 @@ type Diagnostic struct {
 	// directive; Reason carries the directive's justification.
 	Suppressed bool
 	Reason     string
+	// Witness, when non-empty, is the call path that makes the finding
+	// reachable (root first, one "→ callee" line per hop). fvlint -why
+	// prints it under the diagnostic so cross-function findings are
+	// auditable without re-deriving the chain by hand.
+	Witness []string
 }
 
 func (d Diagnostic) String() string {
@@ -122,6 +133,86 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 		return o
 	}
 	return nil
+}
+
+// ModulePass carries one whole-module analyzer run over the call
+// graph. Diagnostics are scope-filtered against the analyzer's
+// Packages/Skip lists by the position they are reported at.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Graph    *CallGraph
+	Fset     *token.FileSet
+
+	diags []Diagnostic
+}
+
+// Reportf records a module diagnostic at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(pos, nil, format, args...)
+}
+
+// ReportWitness records a module diagnostic carrying the call path
+// that makes it reachable.
+func (mp *ModulePass) ReportWitness(pos token.Pos, witness []string, format string, args ...any) {
+	mp.report(pos, witness, format, args...)
+}
+
+func (mp *ModulePass) report(pos token.Pos, witness []string, format string, args ...any) {
+	p := mp.Fset.Position(pos)
+	if path := mp.Graph.PkgPathOf(p); path != "" && !mp.Analyzer.AppliesTo(path) {
+		return
+	}
+	mp.diags = append(mp.diags, Diagnostic{
+		Pos:      p,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Witness:  witness,
+	})
+}
+
+// RunModuleAnalyzers executes every module analyzer once over the call
+// graph and returns directive-filtered diagnostics sorted by position.
+// Ignore directives from every loaded package apply, so cross-function
+// findings are suppressed where they are reported, exactly like
+// per-package ones.
+func RunModuleAnalyzers(graph *CallGraph, analyzers []*Analyzer) []Diagnostic {
+	var dirs []*ignoreDirective
+	for _, pkg := range graph.Pkgs {
+		dirs = append(dirs, parseDirectives(pkg.Fset, pkg.Files)...)
+	}
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Graph: graph, Fset: graph.Fset}
+		a.RunModule(mp)
+		all = append(all, applyDirectives(mp.diags, dirs)...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// DirectiveInfo is one //fvlint:ignore occurrence, as listed by the
+// fvlint -suppressions audit. Parsing is shared with suppression
+// matching itself, so the audit sees exactly the directives that can
+// suppress — not prose or string literals that merely mention the
+// marker.
+type DirectiveInfo struct {
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+}
+
+// ListDirectives lists every ignore directive in the files, in source
+// order.
+func ListDirectives(fset *token.FileSet, files []*ast.File) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, d := range parseDirectives(fset, files) {
+		out = append(out, DirectiveInfo{File: d.file, Line: d.line, Rule: d.rule, Reason: d.reason})
+	}
+	return out
 }
 
 // ignoreDirective is one parsed //fvlint:ignore comment.
@@ -188,7 +279,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var all []Diagnostic
 	dirs := parseDirectives(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
-		if !a.AppliesTo(pkg.Path) {
+		if a.Run == nil || !a.AppliesTo(pkg.Path) {
 			continue
 		}
 		pass := &Pass{
@@ -202,6 +293,18 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 		all = append(all, applyDirectives(pass.diags, dirs)...)
 	}
+	sortDiagnostics(all)
+	return all
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer) —
+// the canonical print order. cmd/fvlint uses it to merge per-package
+// and module diagnostics into one stable stream.
+func SortDiagnostics(all []Diagnostic) { sortDiagnostics(all) }
+
+// sortDiagnostics orders findings by (file, line, column, analyzer) —
+// the canonical print order every fvlint mode emits.
+func sortDiagnostics(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
 		if a.Filename != b.Filename {
@@ -210,7 +313,9 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all
 }

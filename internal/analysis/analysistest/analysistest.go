@@ -46,12 +46,23 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
 	}
-	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{{
-		Name:     a.Name,
-		Doc:      a.Doc,
-		Run:      a.Run,
-		Packages: nil, // fixtures always run the analyzer
-	}})
+	// Fixtures always run the analyzer: the copy drops package scoping.
+	unscoped := &analysis.Analyzer{
+		Name:      a.Name,
+		Doc:       a.Doc,
+		Run:       a.Run,
+		RunModule: a.RunModule,
+	}
+	var diags []analysis.Diagnostic
+	if a.RunModule != nil {
+		// Module analyzers see the fixture as a one-package module: its
+		// call graph is still enough to exercise every interprocedural
+		// shape (helpers, interface dispatch, multi-hop chains).
+		graph := analysis.BuildCallGraph([]*analysis.Package{pkg})
+		diags = analysis.RunModuleAnalyzers(graph, []*analysis.Analyzer{unscoped})
+	} else {
+		diags = analysis.RunAnalyzers(pkg, []*analysis.Analyzer{unscoped})
+	}
 
 	wants := collectWants(t, pkg)
 	for _, d := range diags {

@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fpgavirtio/internal/analysis"
+	"fpgavirtio/internal/analysis/kickflush"
+	"fpgavirtio/internal/analysis/lockorder"
+)
+
+// buildFixtureGraph loads the kickflush and lockorder fixture packages
+// with a completely fresh loader (fresh FileSet, fresh type-checker
+// state) and builds a two-package call graph over them. Each call
+// re-does everything from scratch so map-iteration nondeterminism in
+// construction, had any survived, would show up as run-to-run drift.
+func buildFixtureGraph(t *testing.T) *analysis.CallGraph {
+	t.Helper()
+	kickDir, err := filepath.Abs("kickflush/testdata/kick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locksDir, err := filepath.Abs("lockorder/testdata/locks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := analysis.FindModule(kickDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(modPath, root)
+	kick, err := loader.LoadDir(kickDir, "fvlint.fixture/kick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locks, err := loader.LoadDir(locksDir, "fvlint.fixture/locks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.BuildCallGraph([]*analysis.Package{kick, locks})
+}
+
+// TestCallGraphDeterministic pins the determinism contract stated in
+// callgraph.go: construction and Dump ordering are byte-identical
+// across independent loads.
+func TestCallGraphDeterministic(t *testing.T) {
+	first := buildFixtureGraph(t).Dump()
+	if first == "" {
+		t.Fatal("empty call-graph dump")
+	}
+	for i := 0; i < 3; i++ {
+		if again := buildFixtureGraph(t).Dump(); again != first {
+			t.Fatalf("call-graph dump drifted between identical loads:\n--- first\n%s\n--- run %d\n%s", first, i+1, again)
+		}
+	}
+}
+
+// TestModuleDiagnosticsStableOrder checks that the module analyzers
+// emit diagnostics — and their witness paths — in the same order on
+// every run over the same input.
+func TestModuleDiagnosticsStableOrder(t *testing.T) {
+	render := func() string {
+		g := buildFixtureGraph(t)
+		diags := analysis.RunModuleAnalyzers(g, []*analysis.Analyzer{kickflush.Analyzer, lockorder.Analyzer})
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+			for _, w := range d.Witness {
+				b.WriteString("    " + w + "\n")
+			}
+		}
+		return b.String()
+	}
+	first := render()
+	if !strings.Contains(first, "[kickflush]") || !strings.Contains(first, "[lockorder]") {
+		t.Fatalf("expected findings from both module analyzers, got:\n%s", first)
+	}
+	for i := 0; i < 3; i++ {
+		if again := render(); again != first {
+			t.Fatalf("module diagnostics drifted between identical runs:\n--- first\n%s\n--- run %d\n%s", first, i+1, again)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package detsafe makes byte-identical deterministic replay — the
+// invariant every replay test, artifact golden and the parallel sweep
+// engine rest on — a statically checked property. Functions reachable
+// from the simulation/artifact/metrics-export surface must not:
+//
+//   - read the wall clock (time.Now / time.Since / time.Until): the
+//     sim clock (sim.Time) is the only clock simulated code may see;
+//   - draw from unseeded math/rand package-level state: randomness
+//     must come from the seeded, replayable sim RNG (or an explicit
+//     rand.New(rand.NewSource(seed)));
+//   - observe goroutine identity (runtime.NumGoroutine /
+//     runtime.Stack): scheduling is not part of the replayed state;
+//   - iterate a map in emission order — the exact PR 6 exporter bug
+//     class. A `range` over a map whose body writes ordered output
+//     (fmt.Fprint*, Write/WriteString/Encode, or a helper that
+//     transitively does) is flagged, as is a map range that collects
+//     into a slice with no subsequent sort in the same function.
+//     The collect-keys-then-sort idiom stays silent.
+//
+// Roots of the checked surface are found by shape — experiment
+// entrypoints (`Run*` in internal/experiments), telemetry exporters
+// (`Write*`/`Export*`/`ChromeTraceEvents` in internal/telemetry), and
+// session methods (receiver type ending in "Session") — and by the
+// explicit `//fvlint:detsafe-root` annotation on any function
+// declaration. Reachability is computed over the module call graph,
+// so a wall-clock read three helpers deep is still found; fvlint -why
+// prints the root→function call path that witnesses each finding.
+// False positives carry `//fvlint:ignore detsafe <reason>` like any
+// other rule.
+package detsafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fpgavirtio/internal/analysis"
+)
+
+// Analyzer is the detsafe rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsafe",
+	Doc: "code reachable from the sim/artifact/export surface must not read wall " +
+		"clocks, unseeded math/rand, goroutine identity, or emit map-ordered output",
+	RunModule: runModule,
+}
+
+// rootDirective marks a function as a detsafe root explicitly.
+const rootDirective = "//fvlint:detsafe-root"
+
+// wallClockFuncs are denied external callees that read host time.
+var wallClockFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+// goroutineFuncs observe scheduler state that replay does not pin.
+var goroutineFuncs = map[string]bool{
+	"runtime.NumGoroutine": true,
+	"runtime.Stack":        true,
+}
+
+// randConstructors are the math/rand entry points that build an
+// explicitly seeded generator; everything else package-level draws
+// from the shared unseeded source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// emitMethods are ordered-output method names: writing them inside a
+// map range leaks iteration order into the output stream.
+var emitMethods = map[string]bool{"Write": true, "WriteString": true, "Encode": true}
+
+func runModule(mp *analysis.ModulePass) {
+	g := mp.Graph
+
+	// Per-function emission/sort summaries, to a fixpoint, so a helper
+	// that prints (or sorts) is recognized behind any number of calls.
+	sums := computeSummaries(g)
+
+	roots := findRoots(g)
+	if len(roots) == 0 {
+		return
+	}
+	reached := g.Reachable(roots)
+
+	for _, n := range g.Functions() {
+		if _, ok := reached[n]; !ok {
+			continue
+		}
+		checkCalls(mp, g, reached, n)
+		checkMapRanges(mp, g, reached, sums, n)
+	}
+}
+
+// findRoots collects the deterministic-surface entry points.
+func findRoots(g *analysis.CallGraph) []*analysis.FuncNode {
+	var roots []*analysis.FuncNode
+	for _, n := range g.Functions() {
+		if isRoot(n) {
+			n.Root = true
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+func isRoot(n *analysis.FuncNode) bool {
+	if hasRootDirective(n.Decl) {
+		return true
+	}
+	name := n.Decl.Name.Name
+	if !ast.IsExported(name) {
+		return false
+	}
+	if recv := receiverTypeName(n.Obj); recv != "" {
+		// Session methods are the app-facing measurement surface.
+		return strings.HasSuffix(recv, "Session")
+	}
+	switch {
+	case strings.HasSuffix(n.Pkg.Path, "internal/experiments"):
+		return strings.HasPrefix(name, "Run")
+	case strings.HasSuffix(n.Pkg.Path, "internal/telemetry"):
+		return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Export") ||
+			name == "ChromeTraceEvents"
+	}
+	return false
+}
+
+func hasRootDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, rootDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverTypeName(obj *types.Func) string {
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// checkCalls flags denied external callees reached from n's body.
+func checkCalls(mp *analysis.ModulePass, g *analysis.CallGraph, reached map[*analysis.FuncNode]*analysis.CallSite, n *analysis.FuncNode) {
+	for _, cs := range n.Calls {
+		callee := cs.Callee
+		if !callee.External() {
+			continue
+		}
+		var what string
+		switch {
+		case wallClockFuncs[callee.Key]:
+			what = "reads the wall clock"
+		case goroutineFuncs[callee.Key]:
+			what = "observes goroutine/scheduler state"
+		case isUnseededRand(callee.Obj):
+			what = "draws from unseeded math/rand global state"
+		default:
+			continue
+		}
+		witness := append(g.WitnessPath(reached, n), fmt.Sprintf("→ calls %s", callee.Key))
+		mp.ReportWitness(cs.Pos, witness,
+			"%s %s: not allowed on the deterministic-replay surface; thread the sim clock/seeded RNG instead",
+			callee.Key, what)
+	}
+}
+
+// isUnseededRand reports whether obj is a math/rand (or v2)
+// package-level function drawing from the shared source. Methods on an
+// explicitly constructed *rand.Rand are fine.
+func isUnseededRand(obj *types.Func) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // method on a seeded *rand.Rand / Source
+	}
+	return !randConstructors[obj.Name()]
+}
+
+// emitSummary records whether a function transitively writes ordered
+// output or performs a sort.
+type emitSummary struct {
+	emits bool
+	sorts bool
+}
+
+func computeSummaries(g *analysis.CallGraph) map[*analysis.FuncNode]*emitSummary {
+	sums := make(map[*analysis.FuncNode]*emitSummary)
+	for _, n := range g.Functions() {
+		sums[n] = &emitSummary{}
+	}
+	g.Fixpoint(func(n *analysis.FuncNode) bool {
+		s := sums[n]
+		next := emitSummary{}
+		if n.Decl.Body != nil {
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isDirectSink(n.Pkg, call) {
+					next.emits = true
+				}
+				for _, cs := range g.SitesAt(call.Pos()) {
+					if isSortCallee(cs.Callee) {
+						next.sorts = true
+					}
+					if cal := sums[cs.Callee]; cal != nil {
+						if cal.emits {
+							next.emits = true
+						}
+						if cal.sorts {
+							next.sorts = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if next != *s {
+			*s = next
+			return true
+		}
+		return false
+	})
+	return sums
+}
+
+// isDirectSink reports whether call writes ordered output right here:
+// an fmt print/fprint or an ordered-output method (Write/WriteString/
+// Encode) on anything.
+func isDirectSink(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		name := obj.Name()
+		return strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")
+	}
+	if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+		return emitMethods[sel.Sel.Name]
+	}
+	return false
+}
+
+// isSortCallee reports whether the callee is a stdlib sorting routine.
+func isSortCallee(n *analysis.FuncNode) bool {
+	if !n.External() || n.Obj.Pkg() == nil {
+		return false
+	}
+	p := n.Obj.Pkg().Path()
+	if p != "sort" && p != "slices" {
+		return false
+	}
+	return strings.Contains(n.Obj.Name(), "Sort") || p == "sort" // sort.Strings, sort.Ints, sort.Slice...
+}
+
+// checkMapRanges flags map iteration whose order can leak into
+// artifacts, metrics emission, or any ordered output.
+func checkMapRanges(mp *analysis.ModulePass, g *analysis.CallGraph, reached map[*analysis.FuncNode]*analysis.CallSite, sums map[*analysis.FuncNode]*emitSummary, n *analysis.FuncNode) {
+	if n.Decl.Body == nil {
+		return
+	}
+	pkg := n.Pkg
+	sortPositions := collectSortPositions(g, n)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		rs, ok := node.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := findSink(g, pkg, sums, rs.Body); sink != "" {
+			witness := append(g.WitnessPath(reached, n), "→ ranges over a map, emitting per iteration")
+			mp.ReportWitness(rs.For, witness,
+				"map iteration order flows into ordered output (%s) — the PR 6 exporter bug class; collect keys, sort, then emit",
+				sink)
+			return true
+		}
+		if bodyAppends(rs.Body) && !sortAfter(sortPositions, rs.Body.End()) {
+			witness := append(g.WitnessPath(reached, n), "→ ranges over a map into a slice, never sorted")
+			mp.ReportWitness(rs.For, witness,
+				"map iteration collects into a slice with no subsequent sort in this function; sort before the result reaches an artifact or output")
+		}
+		return true
+	})
+}
+
+// findSink returns a description of the first ordered-output write in
+// body ("" when none): a direct fmt/Write/Encode call or a call to a
+// module function that transitively emits.
+func findSink(g *analysis.CallGraph, pkg *analysis.Package, sums map[*analysis.FuncNode]*emitSummary, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isDirectSink(pkg, call) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				found = sel.Sel.Name
+			} else {
+				found = "write"
+			}
+			return false
+		}
+		for _, cs := range g.SitesAt(call.Pos()) {
+			if cal := sums[cs.Callee]; cal != nil && cal.emits {
+				found = "call to " + cs.Callee.Key + ", which emits"
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyAppends reports whether body grows a slice via append.
+func bodyAppends(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectSortPositions gathers the positions of every sorting call
+// (stdlib sort/slices or a module helper that transitively sorts) in
+// the function body.
+func collectSortPositions(g *analysis.CallGraph, n *analysis.FuncNode) []token.Pos {
+	var out []token.Pos
+	for _, cs := range n.Calls {
+		if isSortCallee(cs.Callee) {
+			out = append(out, cs.Pos)
+		}
+	}
+	return out
+}
+
+// sortAfter reports whether any sort call sits after end.
+func sortAfter(sorts []token.Pos, end token.Pos) bool {
+	for _, p := range sorts {
+		if p >= end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package detsafe_test
+
+import (
+	"testing"
+
+	"fpgavirtio/internal/analysis/analysistest"
+	"fpgavirtio/internal/analysis/detsafe"
+)
+
+func TestDetsafe(t *testing.T) {
+	analysistest.Run(t, detsafe.Analyzer, "testdata/det")
+}

@@ -1,0 +1,117 @@
+// Package fixture exercises the detsafe analyzer: wall clocks,
+// unseeded randomness, goroutine identity and map-ordered emission on
+// the deterministic-replay surface. Roots are marked with the
+// //fvlint:detsafe-root directive or recognized by shape (Session
+// methods); functions not reachable from any root are never flagged.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+//fvlint:detsafe-root
+func RunClock() int64 {
+	return helperClock()
+}
+
+// helperClock hides the wall-clock read one call deep.
+func helperClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+//fvlint:detsafe-root
+func RunDice() int {
+	return helperRand()
+}
+
+// helperRand draws from the shared unseeded source.
+func helperRand() int {
+	return rand.Intn(6) // want "draws from unseeded math/rand global state"
+}
+
+// helperSeeded builds an explicit generator: replayable, not flagged.
+func helperSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+//fvlint:detsafe-root
+func RunSeeded(seed int64) int {
+	return helperSeeded(seed)
+}
+
+//fvlint:detsafe-root
+func RunGoroutines() int {
+	return runtime.NumGoroutine() // want "observes goroutine/scheduler state"
+}
+
+// unreachableClock reads the clock but no root reaches it: silent.
+func unreachableClock() int64 {
+	return time.Now().UnixNano()
+}
+
+//fvlint:detsafe-root
+func RunEmit(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order flows into ordered output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// emitLine writes ordered output; its emit summary propagates up.
+func emitLine(w io.Writer, k string, v int) {
+	fmt.Fprintf(w, "%s=%d\n", k, v)
+}
+
+//fvlint:detsafe-root
+func RunEmitViaHelper(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order flows into ordered output"
+		emitLine(w, k, v)
+	}
+}
+
+//fvlint:detsafe-root
+func RunCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration collects into a slice with no subsequent sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RunSortedCollect is the canonical clean idiom: collect keys, sort,
+// then emit in sorted order.
+//
+//fvlint:detsafe-root
+func RunSortedCollect(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// BenchSession methods are roots by shape: the receiver type name ends
+// in "Session".
+type BenchSession struct{}
+
+func (BenchSession) Report() int64 {
+	return stampNow()
+}
+
+func stampNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+//fvlint:detsafe-root
+func RunSuppressed() int64 {
+	//fvlint:ignore detsafe fixture demonstrates justified suppression
+	return time.Now().UnixNano()
+}

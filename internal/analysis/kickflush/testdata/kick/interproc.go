@@ -1,0 +1,60 @@
+// Interprocedural shapes: blocks, flushes and pending enqueues hidden
+// behind helper calls, seen through the call-graph summaries.
+package fixture
+
+// waitReply hides the blocking receive one call deep.
+func waitReply(p *Proc, s Socket) []byte {
+	return s.RecvFrom(p)
+}
+
+// waitIndirect hides it two calls deep.
+func waitIndirect(p *Proc, s Socket) []byte {
+	return waitReply(p, s)
+}
+
+// queueFrame leaves an enqueue pending at return: its caller inherits
+// the owed doorbell.
+func queueFrame(p *Proc, d Driver, b []byte) {
+	d.SendTo(p, b)
+}
+
+// flushAll delivers the doorbell; callers' pending enqueues clear.
+func flushAll(p *Proc, d Driver) {
+	d.FlushTx(p)
+}
+
+// badHelperHidesBlock is the PR 2 deadlock with the block moved into a
+// helper: the summary makes the hidden RecvFrom visible here.
+func badHelperHidesBlock(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	return waitReply(p, s) // want "call to fvlint.fixture/kick.waitReply blocks on RecvFrom while a batched doorbell may be pending after SendTo"
+}
+
+// badTwoHopBlock pushes the block two frames down; the fixpoint still
+// surfaces it at the outermost call that owes the doorbell.
+func badTwoHopBlock(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.Xmit(p, b)
+	return waitIndirect(p, s) // want "call to fvlint.fixture/kick.waitIndirect blocks on RecvFrom while a batched doorbell may be pending after Xmit"
+}
+
+// badInheritedPending enqueues inside a helper, then blocks directly:
+// the pending doorbell is inherited from the callee's summary.
+func badInheritedPending(p *Proc, d Driver, s Socket, b []byte) []byte {
+	queueFrame(p, d, b)
+	return s.RecvFrom(p) // want "blocking on RecvFrom while a batched doorbell may be pending after SendTo"
+}
+
+// goodHelperFlushes: the helper's flush clears the caller's pending
+// enqueue before the blocking receive.
+func goodHelperFlushes(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	flushAll(p, d)
+	return s.RecvFrom(p)
+}
+
+// goodFlushedBeforeHelper flushes before calling the blocking helper.
+func goodFlushedBeforeHelper(p *Proc, d Driver, s Socket, b []byte) []byte {
+	d.SendTo(p, b)
+	d.Kick(p)
+	return waitReply(p, s)
+}

@@ -7,6 +7,14 @@
 // without default — because the process that would release the waited
 // condition may need the same lock.
 //
+// The check is interprocedural: every function gets a summary of the
+// ranks it (transitively) acquires and whether it may (transitively)
+// block, propagated to a fixpoint over the module call graph. A
+// two-hop inversion — f locks "ring", calls g, g locks "session" — or
+// a helper that parks while the caller holds a ranked lock is reported
+// at the call site in f, with the call-path witness fvlint -why
+// prints.
+//
 // Annotating is opt-in per field:
 //
 //	type Registry struct {
@@ -18,7 +26,9 @@
 package lockorder
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -29,8 +39,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "locks annotated //fvlint:lockrank must be acquired in session→ring→metrics " +
-		"order and never held across a blocking operation",
-	Run: run,
+		"order and never held across a blocking operation, including acquisitions " +
+		"and blocks hidden inside callees",
+	RunModule: runModule,
 }
 
 // hierarchy lists lock ranks outermost first. Acquisition must follow
@@ -51,21 +62,84 @@ const rankDirective = "//fvlint:lockrank"
 // blockMethods are simulator calls that park the process.
 var blockMethods = map[string]bool{"Wait": true, "RecvFrom": true}
 
-func run(pass *analysis.Pass) {
-	ranks := collectRanks(pass)
+// summary is the interprocedural fact set of one function: the ranks
+// it may acquire (directly or via callees) and whether it may block.
+type summary struct {
+	// acquires maps rank name -> the op (site or lock position) that
+	// first acquires it; presence is what matters for the join.
+	acquires    map[string]acquireInfo
+	mayBlock    bool
+	blockDetail string
+	blockPos    token.Pos
+	blockSite   *analysis.CallSite
+}
+
+type acquireInfo struct {
+	pos  token.Pos
+	site *analysis.CallSite // non-nil when acquired inside a callee
+}
+
+func (s *summary) equal(o *summary) bool {
+	if s.mayBlock != o.mayBlock || len(s.acquires) != len(o.acquires) {
+		return false
+	}
+	for r := range s.acquires {
+		if _, ok := o.acquires[r]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func runModule(mp *analysis.ModulePass) {
+	g := mp.Graph
+	ranks := collectRanks(mp)
 	if len(ranks) == 0 {
 		return
 	}
-	cfg := analysis.FlowConfig{
+	cfg := flowConfig(g, ranks)
+
+	ops := make(map[*analysis.FuncNode][]analysis.Op)
+	sums := make(map[*analysis.FuncNode]*summary)
+	for _, n := range g.Functions() {
+		sums[n] = &summary{acquires: map[string]acquireInfo{}}
+		if n.Decl.Body != nil {
+			ops[n] = analysis.Linearize(n.Decl.Body, cfg)
+		}
+	}
+	g.Fixpoint(func(n *analysis.FuncNode) bool {
+		next := summarize(g, ops[n], sums)
+		if !sums[n].equal(next) {
+			sums[n] = next
+			return true
+		}
+		return false
+	})
+
+	for _, n := range g.Functions() {
+		if n.Decl.Body == nil {
+			continue
+		}
+		check(mp, g, sums, ops[n])
+		for _, fl := range analysis.FuncLits(n.Decl.Body) {
+			check(mp, g, sums, analysis.Linearize(fl.Body, cfg))
+		}
+	}
+}
+
+// flowConfig classifies Lock/Unlock on ranked mutexes, known blocking
+// methods, and tags every other call for callee-summary joins.
+func flowConfig(g *analysis.CallGraph, ranks map[types.Object]string) analysis.FlowConfig {
+	return analysis.FlowConfig{
 		ClassifyCall: func(call *ast.CallExpr) (string, bool) {
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
-				return "", false
+				return "call", false
 			}
 			switch sel.Sel.Name {
 			case "Lock", "Unlock":
 				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
-					if s, ok := pass.Info.Selections[inner]; ok {
+					if s := selectionOf(g, inner); s != nil {
 						if rank, ok := ranks[s.Obj()]; ok {
 							if sel.Sel.Name == "Lock" {
 								return "lock:" + rank, false
@@ -79,56 +153,244 @@ func run(pass *analysis.Pass) {
 					return sel.Sel.Name, true
 				}
 			}
-			return "", false
+			return "call", false
 		},
 		ChanOpsBlock: true,
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+}
+
+// selectionOf finds the types.Selection of a selector expression in
+// whichever loaded package recorded it (the expression belongs to
+// exactly one package's Info).
+func selectionOf(g *analysis.CallGraph, sel *ast.SelectorExpr) *types.Selection {
+	for _, pkg := range g.Pkgs {
+		if s, ok := pkg.Info.Selections[sel]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// summarize recomputes one function's summary from its ops and its
+// callees' current summaries.
+func summarize(g *analysis.CallGraph, ops []analysis.Op, sums map[*analysis.FuncNode]*summary) *summary {
+	s := &summary{acquires: map[string]acquireInfo{}}
+	for _, op := range ops {
+		if op.Deferred {
+			continue
+		}
+		switch {
+		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "lock:"):
+			rank := strings.TrimPrefix(op.Detail, "lock:")
+			if _, ok := s.acquires[rank]; !ok {
+				s.acquires[rank] = acquireInfo{pos: op.Pos}
+			}
+		case op.Kind == analysis.OpBlock:
+			if !s.mayBlock {
+				s.mayBlock = true
+				s.blockDetail = op.Detail
+				s.blockPos = op.Pos
+			}
+		case op.Kind == analysis.OpCall && op.Detail == "call":
+			for _, cs := range g.SitesAt(op.Pos) {
+				cal := sums[cs.Callee]
+				if cal == nil {
+					continue
+				}
+				for rank := range cal.acquires {
+					if _, ok := s.acquires[rank]; !ok {
+						s.acquires[rank] = acquireInfo{pos: op.Pos, site: cs}
+					}
+				}
+				if cal.mayBlock && !s.mayBlock {
+					s.mayBlock = true
+					s.blockDetail = cal.blockDetail
+					s.blockPos = cal.blockPos
+					s.blockSite = cs
+				}
+			}
+		}
+	}
+	return s
+}
+
+// check walks one linearized op sequence tracking the held-rank set,
+// reporting order inversions and blocking-while-held — whether the
+// acquisition or block happens directly or inside a callee.
+func check(mp *analysis.ModulePass, g *analysis.CallGraph, sums map[*analysis.FuncNode]*summary, ops []analysis.Op) {
+	held := map[string]bool{} // rank name -> held
+	heldList := func() string {
+		var hs []string
+		for _, h := range hierarchy {
+			if held[h] {
+				hs = append(hs, h)
+			}
+		}
+		return strings.Join(hs, ", ")
+	}
+	anyHeld := func() bool {
+		for _, h := range hierarchy {
+			if held[h] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, op := range ops {
+		if op.Deferred {
+			continue // a deferred Unlock releases at exit: the lock stays held below
+		}
+		switch {
+		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "lock:"):
+			rank := strings.TrimPrefix(op.Detail, "lock:")
+			for _, h := range hierarchy {
+				if held[h] && rankOf(h) > rankOf(rank) {
+					mp.Reportf(op.Pos,
+						"acquiring %q while holding %q violates the %s lock order",
+						rank, h, strings.Join(hierarchy, "→"))
+				}
+			}
+			held[rank] = true
+		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "unlock:"):
+			held[strings.TrimPrefix(op.Detail, "unlock:")] = false
+		case op.Kind == analysis.OpBlock:
+			if hl := heldList(); hl != "" {
+				mp.Reportf(op.Pos,
+					"blocking operation (%s) while holding lock(s) %s: release before blocking",
+					op.Detail, hl)
+				for k := range held {
+					held[k] = false // one report per held set
+				}
+			}
+		case op.Kind == analysis.OpCall && op.Detail == "call":
+			if !anyHeld() {
 				continue
 			}
-			check(pass, analysis.Linearize(fd.Body, cfg))
-			for _, fl := range analysis.FuncLits(fd.Body) {
-				check(pass, analysis.Linearize(fl.Body, cfg))
+			for _, cs := range g.SitesAt(op.Pos) {
+				cal := sums[cs.Callee]
+				if cal == nil {
+					continue
+				}
+				for _, rank := range hierarchy { // stable report order
+					ai, ok := cal.acquires[rank]
+					if !ok {
+						continue
+					}
+					for _, h := range hierarchy {
+						if held[h] && rankOf(h) > rankOf(rank) {
+							mp.ReportWitness(op.Pos, acquireWitness(g, sums, cs, rank, ai),
+								"call to %s acquires %q while holding %q: violates the %s lock order",
+								cs.Callee.Key, rank, h, strings.Join(hierarchy, "→"))
+						}
+					}
+				}
+				if cal.mayBlock {
+					if hl := heldList(); hl != "" {
+						mp.ReportWitness(op.Pos, blockWitness(g, sums, cs),
+							"call to %s blocks (%s) while holding lock(s) %s: release before calling",
+							cs.Callee.Key, cal.blockDetail, hl)
+						for k := range held {
+							held[k] = false
+						}
+					}
+				}
 			}
 		}
 	}
 }
 
-// collectRanks maps annotated mutex field objects to their rank names.
-func collectRanks(pass *analysis.Pass) map[types.Object]string {
-	out := map[types.Object]string{}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
+// acquireWitness renders the call chain from a flagged call site down
+// to the out-of-order Lock it hides.
+func acquireWitness(g *analysis.CallGraph, sums map[*analysis.FuncNode]*summary, cs *analysis.CallSite, rank string, ai acquireInfo) []string {
+	out := []string{cs.Caller.Key}
+	seen := map[*analysis.FuncNode]bool{cs.Caller: true}
+	for {
+		n := cs.Callee
+		pos := g.Fset.Position(cs.Pos)
+		out = append(out, fmt.Sprintf("→ %s (called at %s:%d)", n.Key, pos.Filename, pos.Line))
+		if seen[n] {
+			break
+		}
+		seen[n] = true
+		s := sums[n]
+		if s == nil {
+			break
+		}
+		inner, ok := s.acquires[rank]
+		if !ok {
+			break
+		}
+		if inner.site == nil {
+			lp := g.Fset.Position(inner.pos)
+			out = append(out, fmt.Sprintf("→ locks %q at %s:%d", rank, lp.Filename, lp.Line))
+			break
+		}
+		cs = inner.site
+	}
+	return out
+}
+
+// blockWitness renders the call chain from a flagged call site down to
+// the blocking operation it hides.
+func blockWitness(g *analysis.CallGraph, sums map[*analysis.FuncNode]*summary, cs *analysis.CallSite) []string {
+	out := []string{cs.Caller.Key}
+	seen := map[*analysis.FuncNode]bool{cs.Caller: true}
+	for {
+		n := cs.Callee
+		pos := g.Fset.Position(cs.Pos)
+		out = append(out, fmt.Sprintf("→ %s (called at %s:%d)", n.Key, pos.Filename, pos.Line))
+		if seen[n] {
+			break
+		}
+		seen[n] = true
+		s := sums[n]
+		if s == nil || s.blockSite == nil {
+			if s != nil && s.blockPos.IsValid() {
+				bp := g.Fset.Position(s.blockPos)
+				out = append(out, fmt.Sprintf("→ blocks on %s at %s:%d", s.blockDetail, bp.Filename, bp.Line))
 			}
-			for _, field := range st.Fields.List {
-				rank := fieldRank(pass, field)
-				if rank == "" {
-					continue
+			break
+		}
+		cs = s.blockSite
+	}
+	return out
+}
+
+// collectRanks maps annotated mutex field objects to their rank names
+// across every loaded package.
+func collectRanks(mp *analysis.ModulePass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, pkg := range mp.Graph.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
 				}
-				if rankOf(rank) < 0 {
-					pass.Reportf(field.Pos(), "unknown lock rank %q: hierarchy is %s", rank, strings.Join(hierarchy, "→"))
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := pass.Info.Defs[name]; obj != nil {
-						out[obj] = rank
+				for _, field := range st.Fields.List {
+					rank := fieldRank(field)
+					if rank == "" {
+						continue
+					}
+					if rankOf(rank) < 0 {
+						mp.Reportf(field.Pos(), "unknown lock rank %q: hierarchy is %s", rank, strings.Join(hierarchy, "→"))
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out[obj] = rank
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	return out
 }
 
 // fieldRank extracts the rank from a field's trailing or doc comment.
-func fieldRank(pass *analysis.Pass, field *ast.Field) string {
+func fieldRank(field *ast.Field) string {
 	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
 		if cg == nil {
 			continue
@@ -142,45 +404,4 @@ func fieldRank(pass *analysis.Pass, field *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-func check(pass *analysis.Pass, ops []analysis.Op) {
-	held := map[string]bool{} // rank name -> held
-	heldList := func() string {
-		var hs []string
-		for _, h := range hierarchy {
-			if held[h] {
-				hs = append(hs, h)
-			}
-		}
-		return strings.Join(hs, ", ")
-	}
-	for _, op := range ops {
-		if op.Deferred {
-			continue // a deferred Unlock releases at exit: the lock stays held below
-		}
-		switch {
-		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "lock:"):
-			rank := op.Detail[len("lock:"):]
-			for _, h := range hierarchy {
-				if held[h] && rankOf(h) > rankOf(rank) {
-					pass.Reportf(op.Pos,
-						"acquiring %q while holding %q violates the %s lock order",
-						rank, h, strings.Join(hierarchy, "→"))
-				}
-			}
-			held[rank] = true
-		case op.Kind == analysis.OpCall && strings.HasPrefix(op.Detail, "unlock:"):
-			held[op.Detail[len("unlock:"):]] = false
-		case op.Kind == analysis.OpBlock:
-			if hl := heldList(); hl != "" {
-				pass.Reportf(op.Pos,
-					"blocking operation (%s) while holding lock(s) %s: release before blocking",
-					op.Detail, hl)
-				for k := range held {
-					held[k] = false // one report per held set
-				}
-			}
-		}
-	}
 }

@@ -1,0 +1,56 @@
+// Interprocedural shapes: acquisitions and blocking operations hidden
+// behind helper calls, seen through the call-graph summaries.
+package fixture
+
+// lockRing acquires the ring rank on behalf of its caller.
+func lockRing(r *Ring) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// lockRingDeep hides the acquisition two frames down.
+func lockRingDeep(r *Ring) {
+	lockRing(r)
+}
+
+// parkHelper blocks on behalf of its caller.
+func parkHelper(w WaitQueue, p *Proc) {
+	w.Wait(p)
+}
+
+// badHelperInversion: metrics is held while the helper takes ring —
+// a one-hop inversion of the session→ring→metrics order.
+func badHelperInversion(r *Ring, m *Metrics) {
+	m.mu.Lock()
+	lockRing(r) // want "call to fvlint.fixture/locks.lockRing acquires \"ring\" while holding \"metrics\""
+	m.mu.Unlock()
+}
+
+// badTwoHopInversion: the inversion survives another call hop.
+func badTwoHopInversion(r *Ring, m *Metrics) {
+	m.mu.Lock()
+	lockRingDeep(r) // want "call to fvlint.fixture/locks.lockRingDeep acquires \"ring\" while holding \"metrics\""
+	m.mu.Unlock()
+}
+
+// badHelperBlocksWhileHeld: the helper parks while session is held.
+func badHelperBlocksWhileHeld(s *Session, w WaitQueue, p *Proc) {
+	s.mu.Lock()
+	parkHelper(w, p) // want "call to fvlint.fixture/locks.parkHelper blocks (Wait) while holding lock(s) session"
+	s.mu.Unlock()
+}
+
+// goodHelperOrder: ring under session is the correct nesting; the
+// helper's acquisition summary matches the hierarchy.
+func goodHelperOrder(s *Session, r *Ring) {
+	s.mu.Lock()
+	lockRing(r)
+	s.mu.Unlock()
+}
+
+// goodHelperAfterRelease: nothing is held when the helper parks.
+func goodHelperAfterRelease(r *Ring, w WaitQueue, p *Proc) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	parkHelper(w, p)
+}

@@ -1,0 +1,33 @@
+package analysis
+
+// Fixpoint support for interprocedural summaries. Each analyzer owns
+// its summary type (kickflush: blocks-before-flush / flushes /
+// enqueue-pending; lockorder: may-block / acquired ranks; detsafe:
+// emits / sorts); what they share is the propagation discipline:
+// recompute every function's summary from its callees' until nothing
+// changes. Summaries are monotone booleans and grow-only sets, so the
+// iteration terminates, and running it over Functions() (sorted by
+// key) makes the fixpoint — and every diagnostic derived from it —
+// deterministic.
+
+// Fixpoint applies update to every module function, repeatedly, until
+// one full sweep reports no change. update returns true when it
+// changed the summary of the node it was given. The sweep order is the
+// deterministic Functions() order; rounds are capped defensively at
+// the node count plus a small constant (a longest dependency chain
+// cannot exceed it for monotone facts).
+func (g *CallGraph) Fixpoint(update func(n *FuncNode) bool) {
+	fns := g.Functions()
+	maxRounds := len(fns) + 2
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range fns {
+			if update(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // event is one scheduled callback. Events are recycled through a
@@ -254,5 +255,8 @@ func (s *Sim) parkedNames() []string {
 	for p, why := range s.parked {
 		names = append(names, p.name+": "+why)
 	}
+	// The deadlock error this feeds must read identically on every run
+	// of the same seed; map order must not leak into it.
+	sort.Strings(names)
 	return names
 }
