@@ -4,7 +4,10 @@
 // the regression gate behind `make benchcmp`: it exits non-zero when
 // the serial per-packet cost regresses past -tolerance against the
 // committed baseline, or when the parallel speedup falls below
-// -minspeedup on a host with enough cores to show one.
+// -minspeedup on a host with enough cores to show one. A passing check
+// also prints the signed per-packet delta, so improvement magnitudes
+// (and the re-baselines they justify, `make benchbase`) are auditable
+// from the log.
 //
 // Flags:
 //
@@ -113,6 +116,7 @@ func main() {
 		if skip := experiments.SpeedupGateSkip(b, *minSpeedup); skip != "" {
 			fmt.Fprintf(os.Stderr, "fvsweepbench: %s\n", skip)
 		}
+		fmt.Fprintf(os.Stderr, "fvsweepbench: %s\n", experiments.ImprovementDelta(base, b))
 		fmt.Fprintf(os.Stderr, "fvsweepbench: within budget vs %s (baseline %.0f ns/packet)\n",
 			*check, base.SerialNsPerPacket)
 	}

@@ -194,6 +194,26 @@ func CompareSweepBench(base, cur *SweepBench, tolerance, minSpeedup float64) err
 	return nil
 }
 
+// ImprovementDelta renders the signed serial per-packet cost change of
+// cur against base as an auditable one-liner: benchcmp logs must show
+// the magnitude of an improvement (so a re-baseline after a perf win is
+// reviewable) just as loudly as they fail a regression. The sign
+// convention follows cost: negative percentages are faster.
+func ImprovementDelta(base, cur *SweepBench) string {
+	d := cur.SerialNsPerPacket - base.SerialNsPerPacket
+	pct := 100 * (cur.SerialNsPerPacket/base.SerialNsPerPacket - 1)
+	switch {
+	case d < 0:
+		return fmt.Sprintf("improvement: serial per-packet cost %.0f ns vs baseline %.0f ns (%.1f%%, %.2fx faster)",
+			cur.SerialNsPerPacket, base.SerialNsPerPacket, pct, base.SerialNsPerPacket/cur.SerialNsPerPacket)
+	case d > 0:
+		return fmt.Sprintf("growth within budget: serial per-packet cost %.0f ns vs baseline %.0f ns (+%.1f%%)",
+			cur.SerialNsPerPacket, base.SerialNsPerPacket, pct)
+	default:
+		return fmt.Sprintf("unchanged: serial per-packet cost %.0f ns matches baseline", cur.SerialNsPerPacket)
+	}
+}
+
 // SpeedupGateSkip reports why the parallel-speedup floor does NOT
 // apply to cur — empty string when the gate is enforced. The reason
 // always records the host context (num_cpu) so a benchcmp log that

@@ -199,3 +199,25 @@ func BenchmarkSweepGrid(b *testing.B) {
 		}
 	})
 }
+
+func TestImprovementDelta(t *testing.T) {
+	base := validSweepBench() // 500 ns/packet
+
+	faster := validSweepBench()
+	faster.SerialNsPerPacket = 250
+	got := ImprovementDelta(base, faster)
+	if !strings.Contains(got, "improvement") || !strings.Contains(got, "2.00x faster") {
+		t.Fatalf("2x win not reported as improvement: %q", got)
+	}
+
+	slower := validSweepBench()
+	slower.SerialNsPerPacket = 550
+	got = ImprovementDelta(base, slower)
+	if !strings.Contains(got, "growth within budget") || !strings.Contains(got, "+10.0%") {
+		t.Fatalf("+10%% growth not reported: %q", got)
+	}
+
+	if got = ImprovementDelta(base, validSweepBench()); !strings.Contains(got, "unchanged") {
+		t.Fatalf("identical cost not reported as unchanged: %q", got)
+	}
+}

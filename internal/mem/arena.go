@@ -1,0 +1,111 @@
+package mem
+
+import "unsafe"
+
+// arenaChunk is the default chunk size for Arena. Small enough that an
+// idle simulation carries negligible overhead, large enough that the
+// per-run name-intern population of a sweep cell fits in one chunk.
+const arenaChunk = 4 << 10
+
+// Arena is a chunked bump allocator for per-run scratch with a single
+// lifetime: allocations are freed all at once by Reset (or never, for
+// Sim-lifetime data like interned event names). It exists because the
+// sim hot path must stay at exactly 0 heap allocations per packet —
+// anything with per-event or per-run lifetime is carved out of an arena
+// chunk instead of going through the Go allocator.
+//
+// An Arena is not safe for concurrent use; like everything else in a
+// simulation instance it is confined to one worker.
+type Arena struct {
+	buf   []byte   // active chunk; len(buf) is the bump offset
+	full  [][]byte // retired chunks, recycled by Reset
+	chunk int
+	total int64 // bytes handed out since construction or last Reset
+}
+
+// NewArena returns an arena with the given chunk size; chunkSize <= 0
+// selects the default.
+func NewArena(chunkSize int) *Arena {
+	if chunkSize <= 0 {
+		chunkSize = arenaChunk
+	}
+	return &Arena{chunk: chunkSize}
+}
+
+// Alloc returns a zeroed n-byte slice carved from the arena. The slice
+// aliases arena storage: it is valid until Reset, and callers must not
+// append past its length. n larger than the chunk size gets a dedicated
+// chunk.
+func (a *Arena) Alloc(n int) []byte {
+	if n < 0 {
+		panic("mem: negative arena alloc")
+	}
+	a.total += int64(n)
+	if n > a.chunk {
+		b := make([]byte, n)
+		a.full = append(a.full, b)
+		return b
+	}
+	if cap(a.buf)-len(a.buf) < n {
+		if a.buf != nil {
+			a.full = append(a.full, a.buf)
+		}
+		a.buf = make([]byte, 0, a.chunk)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	b := a.buf[off : off+n : off+n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// String concatenates parts into a single arena-backed string. The
+// bytes live in the arena, so the result costs no Go heap allocation;
+// it is immutable by construction because no slice referencing the
+// storage escapes. Do not Reset an arena whose strings are still
+// referenced.
+func (a *Arena) String(parts ...string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return ""
+	}
+	b := a.Alloc(n)
+	off := 0
+	for _, p := range parts {
+		off += copy(b[off:], p)
+	}
+	return unsafe.String(&b[0], n)
+}
+
+// Reset frees every allocation at once, recycling chunk storage for
+// subsequent Allocs. Any slice or string previously handed out becomes
+// invalid.
+func (a *Arena) Reset() {
+	if a.buf != nil {
+		// Keep the active chunk, drop the rest: steady-state runs then
+		// settle to zero make calls.
+		a.buf = a.buf[:0]
+	}
+	for i := range a.full {
+		a.full[i] = nil
+	}
+	a.full = a.full[:0]
+	a.total = 0
+}
+
+// Allocated reports the bytes handed out since construction or Reset.
+func (a *Arena) Allocated() int64 { return a.total }
+
+// Chunks reports how many chunks the arena currently holds.
+func (a *Arena) Chunks() int {
+	n := len(a.full)
+	if a.buf != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package mem
+
+import "testing"
+
+func TestArenaAlloc(t *testing.T) {
+	a := NewArena(64)
+	x := a.Alloc(16)
+	if len(x) != 16 {
+		t.Fatalf("len = %d, want 16", len(x))
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+		x[i] = byte(i)
+	}
+	y := a.Alloc(16)
+	for i := range y {
+		if y[i] != 0 {
+			t.Fatalf("second alloc byte %d not zeroed", i)
+		}
+	}
+	// Distinct allocations must not alias.
+	y[0] = 0xFF
+	if x[0] != 0 {
+		t.Fatal("allocations alias")
+	}
+	if got := a.Allocated(); got != 32 {
+		t.Fatalf("Allocated = %d, want 32", got)
+	}
+}
+
+func TestArenaChunkGrowth(t *testing.T) {
+	a := NewArena(32)
+	for i := 0; i < 10; i++ {
+		a.Alloc(24) // each forces a fresh chunk after the first
+	}
+	if a.Chunks() < 2 {
+		t.Fatalf("Chunks = %d, want >= 2", a.Chunks())
+	}
+}
+
+func TestArenaOversized(t *testing.T) {
+	a := NewArena(32)
+	b := a.Alloc(1000)
+	if len(b) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(b))
+	}
+}
+
+func TestArenaString(t *testing.T) {
+	a := NewArena(0)
+	s := a.String("wake:", "app")
+	if s != "wake:app" {
+		t.Fatalf("String = %q, want %q", s, "wake:app")
+	}
+	if a.String() != "" {
+		t.Fatal("empty String not empty")
+	}
+	// Arena-backed strings must not heap-allocate beyond arena chunks:
+	// steady-state String calls inside one chunk do zero allocations.
+	a2 := NewArena(1 << 12)
+	a2.String("warm") // fault in the first chunk
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = a2.String("label:", "proc")
+	})
+	if allocs != 0 {
+		t.Fatalf("String allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	a := NewArena(64)
+	for i := 0; i < 8; i++ {
+		a.Alloc(48)
+	}
+	a.Reset()
+	if a.Allocated() != 0 {
+		t.Fatalf("Allocated after Reset = %d, want 0", a.Allocated())
+	}
+	// Recycled chunk memory must come back zeroed.
+	b := a.Alloc(48)
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("recycled byte %d not zeroed", i)
+		}
+	}
+}

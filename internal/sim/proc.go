@@ -1,3 +1,4 @@
+//fvlint:hotpath
 package sim
 
 import "fmt"
@@ -10,20 +11,30 @@ import "fmt"
 // Inside the process function, the Proc methods Sleep, Wait and Park
 // block in *simulated* time by yielding back to the scheduler.
 //
-// Finished processes are pooled: the goroutine and its hand-off
-// channels are reused by the next Go/GoAfter, so per-operation process
-// spawns (one per ping, one per interrupt) do not allocate in steady
-// state. The spawn generation counter catches the one hazard pooling
+// Under Run/RunUntil the hand-off is *chained*: a parking or finishing
+// process drains the event queue from its own goroutine (see chainNext)
+// instead of bouncing through the scheduler goroutine. Callback events
+// execute inline, a wake of the same process coalesces into
+// straight-line execution with zero channel operations, and a wake of a
+// different process is one direct channel rendezvous instead of two
+// plus a Go-scheduler round trip. The event execution order is exactly
+// the (at, seq) order either way — only which OS-level goroutine drives
+// the dispatch changes, which no simulated observable depends on.
+//
+// Finished processes are pooled: the goroutine and its hand-off channel
+// are reused by the next Go/GoAfter, so per-operation process spawns
+// (one per ping, one per interrupt) do not allocate in steady state.
+// The spawn generation counter catches the one hazard pooling
 // introduces — a stale wake event resuming a recycled process — by
 // panicking instead of silently corrupting the schedule.
 type Proc struct {
-	sim    *Sim
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
-	fn     func(p *Proc)
-	gen    uint32 // spawn generation; bumped when returned to the pool
+	sim     *Sim
+	name    string
+	resume  chan struct{}
+	fn      func(p *Proc)
+	gen     uint32 // spawn generation; bumped when returned to the pool
+	why     string // park reason, read by deadlock detection
+	parkIdx int    // index in sim.parked while parked
 }
 
 // Go spawns a process that starts executing at the current simulation
@@ -45,7 +56,6 @@ func (s *Sim) GoAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 			sim:    s,
 			name:   name,
 			resume: make(chan struct{}),
-			yield:  make(chan struct{}),
 		}
 		go p.loop()
 	}
@@ -60,36 +70,117 @@ func (s *Sim) GoAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 func (p *Proc) loop() {
 	for {
 		<-p.resume
+		if !p.runBody() {
+			// The body (or dispatch chained from it) panicked and the
+			// panic was forwarded to the scheduler goroutine; this
+			// goroutine's state is gone, so it dies here.
+			return
+		}
+	}
+}
+
+// runBody executes one spawned body to completion, then chains through
+// the event queue (see chainNext). Model panics — a bus error, an
+// unhandled IRQ, a stale resume — must surface from Run/Step on the
+// scheduler goroutine no matter which goroutine dispatch happened to be
+// running on, so a panic here is captured, parked in sim.trap, and
+// control is handed back for the scheduler to re-throw; runBody then
+// reports false and the goroutine exits.
+func (p *Proc) runBody() (ok bool) {
+	s := p.sim
+	defer func() {
+		if r := recover(); r != nil {
+			s.trap = r
+			s.stopped = true
+			s.yield <- struct{}{}
+		}
+	}()
+	for {
 		fn := p.fn
 		p.fn = nil
 		fn(p)
-		p.done = true
-		p.sim.procs--
-		p.yield <- struct{}{}
-	}
-}
-
-// run transfers control to the process until it parks or finishes.
-// Must be called from the scheduler goroutine (inside an event).
-// A finished process is returned to the scheduler's pool.
-func (p *Proc) run() {
-	p.resume <- struct{}{}
-	<-p.yield
-	if p.done {
-		p.done = false
+		s.procs--
 		p.gen++
-		p.sim.procPool = append(p.sim.procPool, p)
+		s.procPool = append(s.procPool, p)
+		// Snapshot the dispatch regime while control is still held:
+		// once chainNext hands control away on a channel, the scheduler
+		// may exit Run and rewrite s.chained concurrently.
+		chained := s.chained
+		if chained && p.chainNext() {
+			// The finished process chained straight into an event
+			// that resumes this same goroutine: a callback it ran
+			// inline respawned it (LIFO pool reuse) and the start
+			// event fired. Run the fresh body without a hand-off.
+			continue
+		}
+		if !chained {
+			s.yield <- struct{}{}
+		}
+		return true
 	}
 }
 
-// park suspends the process; control returns to the scheduler. The
-// process stays suspended until some event calls run again. why should
-// be a precomputed string: it is only read if the simulation deadlocks.
+// chainNext continues the dispatch loop from this process's goroutine
+// after it parks or finishes. It pops and fires events until one of:
+//
+//   - the next event resumes this very process (the coalesced self-wake
+//     fast path): report true, the caller keeps running with zero
+//     channel operations;
+//   - the next event resumes another process: hand control to it with a
+//     single channel send and report false;
+//   - nothing runnable remains (or Stop was called): return control to
+//     the scheduler goroutine and report false.
+//
+// Callback events execute inline in the loop. After the first send on
+// any channel, this goroutine touches no Sim state — every mutation is
+// ordered by the strict hand-off's happens-before edges.
+func (p *Proc) chainNext() bool {
+	s := p.sim
+	for !s.stopped {
+		e := s.popLive(s.deadline)
+		if e == nil {
+			break
+		}
+		q := s.take(e)
+		if q == nil {
+			continue
+		}
+		if q == p {
+			return true
+		}
+		q.resume <- struct{}{}
+		return false
+	}
+	s.yield <- struct{}{}
+	return false
+}
+
+// park suspends the process until some event resumes it. why should be
+// a precomputed string: it is only read if the simulation deadlocks.
+// The process registers itself in the parked set *before* giving up
+// control, so deadlock detection can never miss it.
 func (p *Proc) park(why string) {
-	p.sim.parked[p] = why
-	p.yield <- struct{}{}
-	<-p.resume
-	delete(p.sim.parked, p)
+	s := p.sim
+	p.why = why
+	p.parkIdx = len(s.parked)
+	s.parked = append(s.parked, p)
+	woke := false
+	if s.chained {
+		woke = p.chainNext()
+	} else {
+		s.yield <- struct{}{}
+	}
+	if !woke {
+		<-p.resume
+	}
+	// Swap-remove from the parked set; runs with control held either
+	// way (self-wake kept it, resume receive regained it).
+	n := len(s.parked) - 1
+	last := s.parked[n]
+	s.parked[p.parkIdx] = last
+	last.parkIdx = p.parkIdx
+	s.parked[n] = nil
+	s.parked = s.parked[:n]
 }
 
 // Park suspends the process until an event resumes it; pair it with
@@ -134,7 +225,7 @@ type Trigger struct {
 
 // NewTrigger returns an unfired trigger bound to s.
 func NewTrigger(s *Sim, name string) *Trigger {
-	return &Trigger{sim: s, name: name, parkName: "trigger:" + name}
+	return &Trigger{sim: s, name: name, parkName: s.internName("trigger:", name)}
 }
 
 // Fired reports whether the trigger has fired.
@@ -184,7 +275,7 @@ type Cond struct {
 
 // NewCond returns a condition variable bound to s.
 func NewCond(s *Sim, name string) *Cond {
-	return &Cond{sim: s, name: name, parkName: "wait:" + name}
+	return &Cond{sim: s, name: name, parkName: s.internName("wait:", name)}
 }
 
 // Wait suspends p until Broadcast or Signal. Spurious wakeups do not

@@ -1,9 +1,12 @@
+//fvlint:hotpath
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
+
+	"fpgavirtio/internal/mem"
 )
 
 // event is one scheduled callback. Events are recycled through a
@@ -20,45 +23,27 @@ type event struct {
 	fn   func()
 	proc *Proc  // when non-nil, the event resumes this process
 	pgen uint32 // proc spawn generation captured at schedule time
-	idx  int    // heap index
 	dead bool
 	gen  uint32 // recycle generation, guards stale EventIDs
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the queue's total order: time, then schedule sequence.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+
+// maxTime is the dispatch limit of Run and Step: no deadline.
+const maxTime = Time(math.MaxInt64)
 
 // EventID identifies a scheduled event so it can be cancelled. The
 // generation snapshot makes Cancel safe against event recycling: an ID
 // held past the event's execution refers to a retired generation and
 // cancels nothing.
 type EventID struct {
+	s   *Sim
 	e   *event
 	gen uint32
 }
@@ -66,8 +51,10 @@ type EventID struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (id EventID) Cancel() {
-	if id.e != nil && id.e.gen == id.gen {
+	if id.e != nil && id.e.gen == id.gen && !id.e.dead {
 		id.e.dead = true
+		id.s.stats.Cancelled++
+		id.s.live--
 	}
 }
 
@@ -77,28 +64,68 @@ type Tracer interface {
 	Event(at Time, name string)
 }
 
+// QueueStats are the event loop's introspection counters, accumulated
+// over the Sim's whole life. They are plain integers bumped on the hot
+// path (no instrument indirection); sessions publish them into the
+// telemetry registry as sim.events.* / sim.queue.* after each run.
+// All four are implementation-independent — the calendar queue and the
+// simrefqueue reference shim report identical values for the same
+// schedule, which the replay fingerprint golden relies on.
+type QueueStats struct {
+	Scheduled int64 // events ever pushed (At/After/ResumeAfter/Go)
+	Fired     int64 // live events popped and executed
+	Cancelled int64 // events killed by EventID.Cancel before firing
+	DepthMax  int64 // high-water mark of live queued events
+}
+
 // Sim is a discrete-event scheduler. It is not safe for concurrent use;
-// all model code runs on the scheduler's goroutine (processes created
-// with Go run with strict hand-off, one at a time). Distinct Sim
-// instances are fully independent and may run on concurrent goroutines
-// — the parallel sweep engine relies on this isolation.
+// all model code runs under a strict control hand-off: exactly one
+// goroutine — the scheduler or a single process — is runnable at any
+// instant. Distinct Sim instances are fully independent and may run on
+// concurrent goroutines — the parallel sweep engine relies on this
+// isolation.
 type Sim struct {
 	now      Time
-	queue    eventHeap
+	q        equeue
 	seq      uint64
+	live     int64 // queued, not-cancelled events
 	stopped  bool
+	deadline Time // dispatch limit (RunUntil); maxTime under Run/Step
+	// chained enables the run-to-completion fast path: inside Run and
+	// RunUntil, a parking process drains the event queue from its own
+	// goroutine — callbacks run inline, consecutive wakes of the same
+	// process coalesce to straight-line execution, and a wake of
+	// another process is a direct goroutine-to-goroutine hand-off that
+	// skips the scheduler round trip entirely. Under Step (and before
+	// Run is entered) it is false and every event returns control to
+	// the scheduler goroutine, which is what gives Step its one-event
+	// granularity.
+	chained  bool
+	yield    chan struct{} // control returns to the scheduler goroutine
+	trap     any           // panic forwarded from a process goroutine
 	tracer   Tracer
 	spans    SpanSink
 	flight   FlightSink
-	procs    int // live (not yet finished) processes
-	parked   map[*Proc]string
-	free     []*event // recycled events
-	procPool []*Proc  // finished processes whose goroutines idle for reuse
+	procs    int     // live (not yet finished) processes
+	parked   []*Proc // processes currently suspended (unordered)
+	free     []*event
+	procPool []*Proc // finished processes whose goroutines idle for reuse
+	stats    QueueStats
+	arena    *mem.Arena         // backs interned trace/park name strings
+	names    map[nameKey]string // (label, sub) -> interned "label+sub"
 }
+
+type nameKey struct{ label, sub string }
 
 // New returns an empty simulation positioned at time zero.
 func New() *Sim {
-	return &Sim{parked: make(map[*Proc]string)}
+	s := &Sim{
+		yield: make(chan struct{}),
+		arena: mem.NewArena(0),
+		names: make(map[nameKey]string),
+	}
+	s.q.init()
+	return s
 }
 
 // Now reports the current simulation time.
@@ -110,6 +137,25 @@ func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 // Traced reports whether an execution tracer is installed. Hot paths
 // use it to skip composing event-name strings that only a tracer reads.
 func (s *Sim) Traced() bool { return s.tracer != nil }
+
+// Stats returns the event loop's lifetime counters.
+func (s *Sim) Stats() QueueStats { return s.stats }
+
+// internName returns the interned concatenation label+sub. Composed
+// names (a proc wake's "wake:app", a trigger's park reason) have tiny
+// cardinality but used to be rebuilt — one heap allocation each — on
+// every traced event. The intern table builds each unique composition
+// once, in the Sim's arena, and the steady state is a map hit with
+// zero allocations even with a tracer installed.
+func (s *Sim) internName(label, sub string) string {
+	k := nameKey{label, sub}
+	if n, ok := s.names[k]; ok {
+		return n
+	}
+	n := s.arena.String(label, sub)
+	s.names[k] = n
+	return n
+}
 
 func (s *Sim) alloc() *event {
 	if n := len(s.free); n > 0 {
@@ -130,6 +176,16 @@ func (s *Sim) release(e *event) {
 	s.free = append(s.free, e)
 }
 
+// enqueue pushes e and maintains the introspection counters.
+func (s *Sim) enqueue(e *event) {
+	s.stats.Scheduled++
+	s.live++
+	if s.live > s.stats.DepthMax {
+		s.stats.DepthMax = s.live
+	}
+	s.q.push(e, s.now)
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it would violate causality.
 func (s *Sim) At(at Time, name string, fn func()) EventID {
@@ -139,8 +195,8 @@ func (s *Sim) At(at Time, name string, fn func()) EventID {
 	e := s.alloc()
 	e.at, e.seq, e.name, e.fn = at, s.seq, name, fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return EventID{e, e.gen}
+	s.enqueue(e)
+	return EventID{s, e, e.gen}
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -153,8 +209,8 @@ func (s *Sim) After(d Duration, name string, fn func()) EventID {
 
 // atProc schedules a resume of p at absolute time at without allocating
 // a wrapper closure. label names the event kind ("wake", "start", ...);
-// the tracer composes label:procname lazily, so untraced runs never
-// build the string.
+// the tracer composes label:procname lazily (and interned), so untraced
+// runs never build the string.
 func (s *Sim) atProc(at Time, label string, p *Proc) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, at, s.now))
@@ -162,8 +218,8 @@ func (s *Sim) atProc(at Time, label string, p *Proc) EventID {
 	e := s.alloc()
 	e.at, e.seq, e.name, e.proc, e.pgen = at, s.seq, label, p, p.gen
 	s.seq++
-	heap.Push(&s.queue, e)
-	return EventID{e, e.gen}
+	s.enqueue(e)
+	return EventID{s, e, e.gen}
 }
 
 // ResumeAfter schedules p to be resumed d from now. It is the
@@ -173,41 +229,104 @@ func (s *Sim) atProc(at Time, label string, p *Proc) EventID {
 // resume must be outstanding per parked process.
 func (s *Sim) ResumeAfter(d Duration, label string, p *Proc) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v for %q", d, label))
+		panic(fmt.Sprintf("sim: negative delay %v for %v", d, label))
 	}
 	return s.atProc(s.now.Add(d), label, p)
 }
 
-// Step executes the next pending event, advancing time to it.
-// It reports whether an event was executed.
-func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
+// popLive removes and returns the next live event with at <= limit,
+// releasing cancelled events along the way. Returns nil when nothing
+// runnable remains within limit.
+func (s *Sim) popLive(limit Time) *event {
+	for {
+		e := s.q.pop(s.now, limit)
+		if e == nil {
+			return nil
+		}
 		if e.dead {
 			s.release(e)
 			continue
 		}
-		s.now = e.at
-		if s.tracer != nil {
-			if e.proc != nil {
-				s.tracer.Event(e.at, e.name+":"+e.proc.name)
-			} else {
-				s.tracer.Event(e.at, e.name)
-			}
-		}
-		fn, p, pgen := e.fn, e.proc, e.pgen
-		s.release(e)
-		if p != nil {
-			if p.gen != pgen {
-				panic(fmt.Sprintf("sim: stale resume of recycled process %q", p.name))
-			}
-			p.run()
-		} else {
-			fn()
-		}
-		return true
+		s.live--
+		s.stats.Fired++
+		return e
 	}
-	return false
+}
+
+// take advances the clock to e, traces it, and executes it if it is a
+// callback. For a process event it returns the process to hand control
+// to (after the stale-generation check); for callbacks it returns nil.
+// e is released before execution, so the callback may immediately
+// recycle it.
+func (s *Sim) take(e *event) *Proc {
+	s.now = e.at
+	if s.tracer != nil {
+		if e.proc != nil {
+			s.tracer.Event(e.at, s.internName(e.name+":", e.proc.name))
+		} else {
+			s.tracer.Event(e.at, e.name)
+		}
+	}
+	fn, p, pgen := e.fn, e.proc, e.pgen
+	s.release(e)
+	if p == nil {
+		fn()
+		return nil
+	}
+	if p.gen != pgen {
+		panic(fmt.Sprintf("sim: stale resume of recycled process %q", p.name))
+	}
+	return p
+}
+
+// Step executes the next pending event, advancing time to it.
+// It reports whether an event was executed. Step always returns after
+// exactly one event: the chained fast path stays off, so a resumed
+// process yields control back to the scheduler as soon as it parks.
+func (s *Sim) Step() bool {
+	s.deadline = maxTime
+	e := s.popLive(maxTime)
+	if e == nil {
+		return false
+	}
+	if p := s.take(e); p != nil {
+		p.resume <- struct{}{}
+		<-s.yield
+		s.repanic()
+	}
+	return true
+}
+
+// repanic re-throws a panic forwarded from a process goroutine (see
+// Proc.runBody) so that model panics always surface to the caller of
+// Run/RunUntil/Step regardless of which goroutine was dispatching when
+// they fired. The simulation is unusable afterwards.
+func (s *Sim) repanic() {
+	if r := s.trap; r != nil {
+		s.trap = nil
+		panic(r)
+	}
+}
+
+// runLoop is the scheduler side of the chained dispatch regime: it
+// pops and fires events until the queue drains (within deadline) or
+// Stop is called. Firing a process event hands control to that
+// process's goroutine; from there processes chain through the queue
+// themselves (see Proc.chainNext) and control only returns here — one
+// receive on s.yield — when nothing more is runnable from a process
+// context. Callback-only stretches run inline in this loop with no
+// hand-offs at all.
+func (s *Sim) runLoop() {
+	for !s.stopped {
+		e := s.popLive(s.deadline)
+		if e == nil {
+			return
+		}
+		if p := s.take(e); p != nil {
+			p.resume <- struct{}{}
+			<-s.yield
+		}
+	}
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -215,8 +334,11 @@ func (s *Sim) Step() bool {
 // (a deadlock in the modeled system).
 func (s *Sim) Run() error {
 	s.stopped = false
-	for !s.stopped && s.Step() {
-	}
+	s.deadline = maxTime
+	s.chained = true
+	s.runLoop()
+	s.chained = false
+	s.repanic()
 	if !s.stopped && len(s.parked) > 0 {
 		return fmt.Errorf("sim: deadlock at %v: %d process(es) parked: %v", s.now, len(s.parked), s.parkedNames())
 	}
@@ -224,14 +346,19 @@ func (s *Sim) Run() error {
 }
 
 // RunUntil executes events with timestamps <= deadline. Events beyond
-// the deadline remain queued; time is left at the last executed event
-// (or advanced to deadline if nothing ran at it).
+// the deadline remain queued; time is advanced to deadline if nothing
+// ran at it.
 func (s *Sim) RunUntil(deadline Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
-		s.Step()
-	}
+	s.deadline = deadline
+	s.chained = true
+	s.runLoop()
+	s.chained = false
+	s.repanic()
 	if s.now < deadline {
+		// A Stop may have left same-timestamp events in the fast lane;
+		// migrate them before the clock jumps so queue invariants hold.
+		s.q.flushCurr()
 		s.now = deadline
 	}
 }
@@ -240,23 +367,15 @@ func (s *Sim) RunUntil(deadline Time) {
 func (s *Sim) Stop() { s.stopped = true }
 
 // Pending reports the number of live queued events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) Pending() int { return int(s.live) }
 
 func (s *Sim) parkedNames() []string {
 	var names []string
-	for p, why := range s.parked {
-		names = append(names, p.name+": "+why)
+	for _, p := range s.parked {
+		names = append(names, p.name+": "+p.why)
 	}
 	// The deadlock error this feeds must read identically on every run
-	// of the same seed; map order must not leak into it.
+	// of the same seed; parking order must not leak into it.
 	sort.Strings(names)
 	return names
 }

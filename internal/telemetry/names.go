@@ -116,6 +116,16 @@ const (
 	MetricRecorderSpansDropped  = "recorder.spans.dropped"
 	MetricRecorderDumps         = "recorder.dumps"
 	MetricRecorderDumpsDropped  = "recorder.dumps.dropped"
+
+	// Event-loop introspection (internal/sim): scheduler load mirrored
+	// from sim.QueueStats after each run, so event counts and queue
+	// pressure show up next to the driver metrics in `fvbench -metrics`
+	// and on the Prometheus endpoint. depth.max is the high-water mark
+	// of live queued events over the session's life.
+	MetricSimEventsScheduled = "sim.events.scheduled"
+	MetricSimEventsFired     = "sim.events.fired"
+	MetricSimEventsCancelled = "sim.events.cancelled"
+	MetricSimQueueDepthMax   = "sim.queue.depth.max"
 )
 
 // Per-instance metric families. The helpers keep the dynamic part (a

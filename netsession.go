@@ -202,7 +202,9 @@ func (ns *NetSession) run(fn func(p *sim.Proc) error) error {
 		opErr = fn(p)
 		done = true
 	})
-	if err := ns.s.Run(); err != nil {
+	err := ns.s.Run()
+	publishSimStats(ns.s, ns.host.Metrics())
+	if err != nil {
 		return err
 	}
 	if !done {

@@ -47,7 +47,7 @@ func OpenConsole(cfg Config) (*ConsoleSession, error) {
 func (cs *ConsoleSession) WriteRead(data []byte) ([]byte, time.Duration, error) {
 	var out []byte
 	var rtt sim.Duration
-	err := runApp(cs.s, func(p *sim.Proc) error {
+	err := runApp(cs.s, cs.host, func(p *sim.Proc) error {
 		t0 := cs.host.ClockGettime(p)
 		if err := cs.drv.Write(p, data); err != nil {
 			return err
@@ -111,7 +111,7 @@ func (bs *BlkSession) CapacitySectors() uint64 { return bs.drv.CapacitySectors()
 // WriteSector writes one 512-byte sector and returns the operation time.
 func (bs *BlkSession) WriteSector(sector uint64, data []byte) (time.Duration, error) {
 	var rtt sim.Duration
-	err := runApp(bs.s, func(p *sim.Proc) error {
+	err := runApp(bs.s, bs.host, func(p *sim.Proc) error {
 		t0 := bs.host.ClockGettime(p)
 		if err := bs.drv.WriteSector(p, sector, data); err != nil {
 			return err
@@ -127,7 +127,7 @@ func (bs *BlkSession) WriteSector(sector uint64, data []byte) (time.Duration, er
 func (bs *BlkSession) ReadSector(sector uint64) ([]byte, time.Duration, error) {
 	var out []byte
 	var rtt sim.Duration
-	err := runApp(bs.s, func(p *sim.Proc) error {
+	err := runApp(bs.s, bs.host, func(p *sim.Proc) error {
 		t0 := bs.host.ClockGettime(p)
 		data, err := bs.drv.ReadSector(p, sector)
 		if err != nil {
@@ -143,7 +143,7 @@ func (bs *BlkSession) ReadSector(sector uint64) ([]byte, time.Duration, error) {
 // WriteSectors writes len(data)/512 consecutive sectors in one request.
 func (bs *BlkSession) WriteSectors(sector uint64, data []byte) (time.Duration, error) {
 	var rtt sim.Duration
-	err := runApp(bs.s, func(p *sim.Proc) error {
+	err := runApp(bs.s, bs.host, func(p *sim.Proc) error {
 		t0 := bs.host.ClockGettime(p)
 		if err := bs.drv.WriteSectors(p, sector, data); err != nil {
 			return err
@@ -158,7 +158,7 @@ func (bs *BlkSession) WriteSectors(sector uint64, data []byte) (time.Duration, e
 func (bs *BlkSession) ReadSectors(sector uint64, count int) ([]byte, time.Duration, error) {
 	var out []byte
 	var rtt sim.Duration
-	err := runApp(bs.s, func(p *sim.Proc) error {
+	err := runApp(bs.s, bs.host, func(p *sim.Proc) error {
 		t0 := bs.host.ClockGettime(p)
 		data, err := bs.drv.ReadSectors(p, sector, count)
 		if err != nil {
@@ -173,7 +173,7 @@ func (bs *BlkSession) ReadSectors(sector uint64, count int) ([]byte, time.Durati
 
 // Flush issues a flush barrier.
 func (bs *BlkSession) Flush() error {
-	return runApp(bs.s, func(p *sim.Proc) error { return bs.drv.Flush(p) })
+	return runApp(bs.s, bs.host, func(p *sim.Proc) error { return bs.drv.Flush(p) })
 }
 
 // ---- shared session plumbing -------------------------------------------
@@ -203,7 +203,7 @@ func bootSession(s *sim.Sim, h *hostos.Host, bind func(p *sim.Proc, infos []*pci
 	return nil
 }
 
-func runApp(s *sim.Sim, fn func(p *sim.Proc) error) error {
+func runApp(s *sim.Sim, h *hostos.Host, fn func(p *sim.Proc) error) error {
 	var opErr error
 	done := false
 	s.Go("app", func(p *sim.Proc) {
@@ -211,7 +211,9 @@ func runApp(s *sim.Sim, fn func(p *sim.Proc) error) error {
 		opErr = fn(p)
 		done = true
 	})
-	if err := s.Run(); err != nil {
+	err := s.Run()
+	publishSimStats(s, h.Metrics())
+	if err != nil {
 		return err
 	}
 	if !done {

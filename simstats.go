@@ -1,0 +1,29 @@
+package fpgavirtio
+
+import (
+	"fpgavirtio/internal/sim"
+	"fpgavirtio/internal/telemetry"
+)
+
+// publishSimStats mirrors the event loop's lifetime counters into the
+// session's metric registry. The sim core keeps its stats as plain
+// integers (the schedule/fire path is the hottest loop in the tree and
+// must not pay instrument indirection), so sessions sync the registry
+// to the absolute values after each completed run. Syncing instead of
+// accumulating makes the call idempotent: every publish leaves the
+// counters equal to sim.Stats(), no per-session delta state needed.
+func publishSimStats(s *sim.Sim, reg *telemetry.Registry) {
+	st := s.Stats()
+	syncCounter(reg.Counter(telemetry.MetricSimEventsScheduled), st.Scheduled)
+	syncCounter(reg.Counter(telemetry.MetricSimEventsFired), st.Fired)
+	syncCounter(reg.Counter(telemetry.MetricSimEventsCancelled), st.Cancelled)
+	reg.Gauge(telemetry.MetricSimQueueDepthMax).Set(float64(st.DepthMax))
+}
+
+// syncCounter raises c to the absolute value v (counters are monotonic,
+// so a stale publish never rewinds one).
+func syncCounter(c *telemetry.Counter, v int64) {
+	if d := v - c.Value(); d > 0 {
+		c.Add(d)
+	}
+}

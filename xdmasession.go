@@ -123,7 +123,9 @@ func (xs *XDMASession) run(fn func(p *sim.Proc) error) error {
 		opErr = fn(p)
 		done = true
 	})
-	if err := xs.s.Run(); err != nil {
+	err := xs.s.Run()
+	publishSimStats(xs.s, xs.host.Metrics())
+	if err != nil {
 		return err
 	}
 	if !done {
